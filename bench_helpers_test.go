@@ -1,0 +1,6 @@
+package repro_test
+
+import "math/rand"
+
+// newRand returns a seeded PRNG for benchmark setup.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

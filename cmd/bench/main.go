@@ -1,0 +1,69 @@
+// Command bench regenerates every table and figure of the evaluation
+// (EXPERIMENTS.md): E1–E8 plus the ablations A1–A3. Output is aligned text
+// tables by default, CSV with -csv.
+//
+// Examples:
+//
+//	bench                  # everything, full size (minutes)
+//	bench -quick           # everything, smoke size (seconds)
+//	bench -experiment E6   # one experiment
+//	bench -runs 100        # more repetitions per configuration
+//	bench -csv > out.csv   # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	var (
+		id    = fs.String("experiment", "", "run a single experiment (E1..E8, A1..A3); empty = all")
+		runs  = fs.Int("runs", 0, "repetitions per configuration (0 = default)")
+		seed  = fs.Int64("seed", 1, "base seed")
+		quick = fs.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		csv   = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := experiments.Options{Runs: *runs, Seed: *seed, Quick: *quick}
+
+	var list []experiments.Experiment
+	if *id != "" {
+		e, err := experiments.ByID(*id)
+		if err != nil {
+			return err
+		}
+		list = []experiments.Experiment{e}
+	} else {
+		list = experiments.All()
+	}
+
+	for _, e := range list {
+		start := time.Now()
+		tbl, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if *csv {
+			fmt.Fprintf(out, "# %s: %s\n%s\n", e.ID, e.Title, tbl.CSV())
+		} else {
+			fmt.Fprintf(out, "%s\n(%s in %v)\n\n", tbl.Render(), e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-quick", "-runs", "2", "-experiment", "E1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "E1 / Table 1") {
+		t.Errorf("missing table title:\n%s", out)
+	}
+	if !strings.Contains(out, "(E1 in ") {
+		t.Errorf("missing timing line:\n%s", out)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-quick", "-runs", "2", "-experiment", "E5", "-csv"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# E5:") {
+		t.Errorf("missing CSV header comment:\n%s", out)
+	}
+	if !strings.Contains(out, "n,f,") {
+		t.Errorf("missing CSV columns:\n%s", out)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "E42"}, &sb); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-bogus"}, &sb); err == nil {
+		t.Fatal("bogus flag accepted")
+	}
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/runner"
+	"repro/internal/types"
+)
+
+func parseProtocol(s string) (runner.Protocol, error) {
+	switch s {
+	case "bracha":
+		return runner.ProtocolBracha, nil
+	case "benor":
+		return runner.ProtocolBenOr, nil
+	default:
+		return 0, fmt.Errorf("unknown protocol %q", s)
+	}
+}
+
+func parseCoin(s string) (runner.CoinKind, error) {
+	switch s {
+	case "local":
+		return runner.CoinLocal, nil
+	case "common":
+		return runner.CoinCommon, nil
+	case "ideal":
+		return runner.CoinIdeal, nil
+	default:
+		return 0, fmt.Errorf("unknown coin %q", s)
+	}
+}
+
+func parseAdversary(s string) (runner.Adversary, error) {
+	switch s {
+	case "none":
+		return runner.AdvNone, nil
+	case "silent":
+		return runner.AdvSilent, nil
+	case "equivocator":
+		return runner.AdvEquivocator, nil
+	case "liar":
+		return runner.AdvLiar, nil
+	case "decide-forger":
+		return runner.AdvDecideForger, nil
+	case "split-brain":
+		return runner.AdvSplitBrain, nil
+	case "crash-midway":
+		return runner.AdvCrashMidway, nil
+	default:
+		return 0, fmt.Errorf("unknown adversary %q", s)
+	}
+}
+
+func parseScheduler(s string) (runner.SchedulerKind, error) {
+	switch s {
+	case "uniform":
+		return runner.SchedUniform, nil
+	case "fifo":
+		return runner.SchedFIFO, nil
+	case "rush-byz":
+		return runner.SchedRushByz, nil
+	case "partition":
+		return runner.SchedPartition, nil
+	default:
+		return 0, fmt.Errorf("unknown scheduler %q", s)
+	}
+}
+
+func parseInputs(s string) (runner.Inputs, error) {
+	switch s {
+	case "unanimous-0":
+		return runner.InputUnanimous0, nil
+	case "unanimous-1":
+		return runner.InputUnanimous1, nil
+	case "split":
+		return runner.InputSplit, nil
+	case "random":
+		return runner.InputRandom, nil
+	default:
+		return 0, fmt.Errorf("unknown inputs %q", s)
+	}
+}
+
+func sortedKeys(m map[types.ProcessID]types.Value) []types.ProcessID {
+	keys := make([]types.ProcessID, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

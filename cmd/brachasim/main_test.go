@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunCleanConfiguration(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-n", "4", "-f", "1", "-adversary", "liar", "-seed", "3"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"violations: none", "all-decided=true", "coin=common"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBrokenConfigurationFails(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-n", "4", "-f", "1", "-byzantine", "2",
+		"-adversary", "split-brain", "-scheduler", "rush-byz",
+		"-max-rounds", "50", "-max-deliveries", "200000",
+	}, &sb)
+	if err == nil {
+		t.Fatalf("oversized-f run reported success:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "agreement") {
+		t.Errorf("expected an agreement violation in output:\n%s", sb.String())
+	}
+}
+
+func TestRunTraceOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "4", "-f", "1", "-adversary", "none", "-trace", "-coin", "ideal"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "--- trace ---") || !strings.Contains(out, "DECIDE") {
+		t.Errorf("trace output missing:\n%s", out)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	tests := [][]string{
+		{"-protocol", "pbft"},
+		{"-coin", "quantum"},
+		{"-adversary", "gremlin"},
+		{"-scheduler", "psychic"},
+		{"-inputs", "all-sevens"},
+	}
+	for _, args := range tests {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunBenOr(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-n", "11", "-f", "2", "-protocol", "benor", "-adversary", "silent"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "benor") {
+		t.Errorf("output missing protocol name:\n%s", sb.String())
+	}
+}
+
+func TestFlagParsers(t *testing.T) {
+	// Every accepted spelling round-trips through its parser.
+	if _, err := parseProtocol("bracha"); err != nil {
+		t.Error(err)
+	}
+	if _, err := parseCoin("local"); err != nil {
+		t.Error(err)
+	}
+	if _, err := parseAdversary("decide-forger"); err != nil {
+		t.Error(err)
+	}
+	if _, err := parseScheduler("partition"); err != nil {
+		t.Error(err)
+	}
+	if _, err := parseInputs("unanimous-0"); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,13 @@
+// Package repro reproduces Bracha's asynchronous Byzantine consensus
+// (PODC 1984) as a production-quality Go library: reliable broadcast,
+// message validation, randomized binary consensus with optimal resilience
+// f < n/3, local and Rabin-style common coins, a deterministic
+// discrete-event asynchronous network simulator with adversarial
+// scheduling, Byzantine fault injection, the Ben-Or (1983) baseline, live
+// channel/TCP transports, and a benchmark harness that regenerates every
+// table and figure of the evaluation (see EXPERIMENTS.md).
+//
+// Start at internal/core (the consensus protocol), internal/rbc (reliable
+// broadcast), and internal/runner (the experiment harness); the examples/
+// directory shows the public API in use.
+package repro

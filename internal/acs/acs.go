@@ -1,0 +1,309 @@
+// Package acs implements Asynchronous Common Subset (Ben-Or, Kelmer, Rabin
+// PODC 1994) on top of this repository's two primitives — exactly the
+// construction that HoneyBadgerBFT (CCS 2016) later industrialized, and the
+// reason Bracha's PODC-84 building blocks are called the basis of modern
+// asynchronous BFT.
+//
+// Every process contributes an arbitrary byte-string input; all correct
+// processes output the *same* subset of at least n−f inputs. The protocol:
+//
+//  1. Each process disseminates its input with Bracha reliable broadcast.
+//  2. For every process j there is one binary consensus instance BA_j
+//     ("does j's input make it into the subset?"). A process votes 1 in
+//     BA_j as soon as it rbc-delivers j's input.
+//  3. Once n−f instances have decided 1, the process votes 0 in every
+//     instance it has not voted in yet.
+//  4. When all n instances have decided, the output is the inputs of the
+//     instances that decided 1 (waiting, where needed, for their RBC
+//     deliveries — guaranteed by binary validity + RBC totality: a 1
+//     decision means some correct process delivered that input).
+//
+// Each BA_j is a full Bracha randomized consensus node (internal/core)
+// namespaced by instance — n+1 protocols multiplexed over one network, with
+// no change to the underlying implementations.
+package acs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/coin"
+	"repro/internal/core"
+	"repro/internal/quorum"
+	"repro/internal/rbc"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// valueNS is the Tag.Seq namespace for input dissemination; binary
+// instances use Seq 1..n. It bounds the number of processes, comfortably.
+const valueNS = 1 << 20
+
+// Proposal is one subset member: a process's contributed input.
+type Proposal struct {
+	Proposer types.ProcessID
+	Value    string
+}
+
+// Config configures an ACS node.
+type Config struct {
+	// Me is this process; Peers lists all processes including Me.
+	Me    types.ProcessID
+	Peers []types.ProcessID
+	// Spec is the failure assumption.
+	Spec quorum.Spec
+	// NewCoin builds the coin for one binary instance. Instances must not
+	// share coin state; for the common coin give every instance its own
+	// dealer. Required.
+	NewCoin func(instance int) coin.Coin
+	// Input is this process's contribution.
+	Input string
+	// Recorder, when enabled, receives protocol events.
+	Recorder *trace.Recorder
+}
+
+// Node is one ACS participant. Deterministic state machine (sim.Node); not
+// safe for concurrent use.
+type Node struct {
+	cfg  Config
+	spec quorum.Spec
+
+	values *rbc.Broadcaster // input dissemination
+
+	bins    map[int]*core.Node      // binary instance per proposer index (1-based)
+	pending map[int][]types.Message // traffic for instances not yet started
+	inputs  map[int]string          // rbc-delivered inputs by proposer index
+	decided map[int]types.Value     // binary decisions by proposer index
+	voted   map[int]bool            // instances this node has an opinion in
+	ones    int                     // instances decided 1
+	output  []Proposal
+	done    bool
+}
+
+// Config errors.
+var (
+	ErrNoCoinFactory = errors.New("acs: config requires NewCoin")
+	ErrBadPeers      = errors.New("acs: peers must include me and match spec size")
+)
+
+// New creates an ACS node.
+func New(cfg Config) (*Node, error) {
+	if cfg.NewCoin == nil {
+		return nil, ErrNoCoinFactory
+	}
+	if len(cfg.Peers) != cfg.Spec.N() || len(cfg.Peers) >= valueNS {
+		return nil, fmt.Errorf("%w: %d peers for %v", ErrBadPeers, len(cfg.Peers), cfg.Spec)
+	}
+	found := false
+	for _, p := range cfg.Peers {
+		if p == cfg.Me {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("%w: %v not in peers", ErrBadPeers, cfg.Me)
+	}
+	return &Node{
+		cfg:     cfg,
+		spec:    cfg.Spec,
+		values:  rbc.New(cfg.Me, cfg.Peers, cfg.Spec),
+		bins:    make(map[int]*core.Node),
+		pending: make(map[int][]types.Message),
+		inputs:  make(map[int]string),
+		decided: make(map[int]types.Value),
+		voted:   make(map[int]bool),
+	}, nil
+}
+
+var _ sim.Node = (*Node)(nil)
+
+// ID implements sim.Node.
+func (n *Node) ID() types.ProcessID { return n.cfg.Me }
+
+// Done implements sim.Node. An ACS node never reports done: after producing
+// its output it keeps serving RBC echoes and consensus traffic so laggards
+// can finish (the caller stops the network once every correct node has
+// output).
+func (n *Node) Done() bool { return false }
+
+// Start implements sim.Node: disseminate this process's input.
+func (n *Node) Start() []types.Message {
+	idx := n.indexOf(n.cfg.Me)
+	return n.values.Broadcast(types.Tag{Seq: valueNS + idx}, n.cfg.Input)
+}
+
+// Deliver implements sim.Node.
+func (n *Node) Deliver(m types.Message) []types.Message {
+	var out []types.Message
+	switch inst, kind := n.classify(m); kind {
+	case trafficValues:
+		p, ok := m.Payload.(*types.RBCPayload)
+		if !ok {
+			return nil
+		}
+		msgs, deliveries := n.values.Handle(m.From, p)
+		out = append(out, msgs...)
+		for _, d := range deliveries {
+			idx := d.ID.Tag.Seq - valueNS
+			if idx < 1 || idx > n.spec.N() || idx != n.indexOf(d.ID.Sender) {
+				continue // input instances are bound to their proposer
+			}
+			if _, dup := n.inputs[idx]; dup {
+				continue
+			}
+			n.inputs[idx] = d.Body
+			// Seeing j's input is the trigger to vote 1 in BA_j.
+			out = append(out, n.vote(idx, types.One)...)
+		}
+	case trafficCoin:
+		// Coin shares carry a round but no instance; with per-instance
+		// dealers the MACs bind each share to its dealer, so fan them to
+		// every open instance — the right one accepts, the rest reject.
+		for _, bin := range n.bins {
+			out = append(out, bin.Deliver(m)...)
+		}
+	case trafficBinary:
+		if bin, ok := n.bins[inst]; ok {
+			out = append(out, bin.Deliver(m)...)
+		} else if inst >= 1 && inst <= n.spec.N() {
+			// Traffic for an instance this node has no opinion in yet:
+			// buffer until an input arrives (vote 1) or the 0-voting phase
+			// starts.
+			n.pending[inst] = append(n.pending[inst], m)
+		}
+	}
+	out = append(out, n.harvest()...)
+	return out
+}
+
+// Output returns the agreed subset once available: proposals of every
+// instance that decided 1, ordered by proposer.
+func (n *Node) Output() ([]Proposal, bool) {
+	if !n.done {
+		return nil, false
+	}
+	return append([]Proposal(nil), n.output...), true
+}
+
+type trafficKind int
+
+const (
+	trafficValues trafficKind = iota + 1
+	trafficBinary
+	trafficCoin
+)
+
+// classify maps a message to the value-dissemination plane, a binary
+// instance, or the coin plane.
+func (n *Node) classify(m types.Message) (int, trafficKind) {
+	switch p := m.Payload.(type) {
+	case *types.RBCPayload:
+		if p.ID.Tag.Seq >= valueNS {
+			return 0, trafficValues
+		}
+		return p.ID.Tag.Seq, trafficBinary
+	case *types.DecidePayload:
+		return p.Instance, trafficBinary
+	case *types.CoinSharePayload:
+		return 0, trafficCoin
+	default:
+		return 0, trafficBinary
+	}
+}
+
+// vote starts binary instance idx with the given proposal, if this node has
+// not voted there yet, and replays buffered traffic into it.
+func (n *Node) vote(idx int, v types.Value) []types.Message {
+	if n.voted[idx] {
+		return nil
+	}
+	n.voted[idx] = true
+	bin, err := core.New(core.Config{
+		Me:       n.cfg.Me,
+		Peers:    n.cfg.Peers,
+		Spec:     n.spec,
+		Coin:     n.cfg.NewCoin(idx),
+		Proposal: v,
+		Instance: idx,
+		Recorder: n.cfg.Recorder,
+	})
+	if err != nil {
+		// Config is derived from our own validated Config; this cannot
+		// fail for valid binary values.
+		panic(fmt.Sprintf("acs: starting BA_%d: %v", idx, err))
+	}
+	n.bins[idx] = bin
+	out := bin.Start()
+	for _, m := range n.pending[idx] {
+		out = append(out, bin.Deliver(m)...)
+	}
+	delete(n.pending, idx)
+	return out
+}
+
+// harvest collects freshly decided instances, triggers the 0-voting phase,
+// routes coin shares, and assembles the final output.
+func (n *Node) harvest() []types.Message {
+	var out []types.Message
+	for idx, bin := range n.bins {
+		if _, seen := n.decided[idx]; seen {
+			continue
+		}
+		if v, ok := bin.Decided(); ok {
+			n.decided[idx] = v
+			if v == types.One {
+				n.ones++
+			}
+			n.record(trace.Event{Kind: trace.KindNote, P: n.cfg.Me, Round: idx,
+				Note: fmt.Sprintf("BA_%d decided %v", idx, v)})
+		}
+	}
+	// Phase 3: n−f inclusions reached — vote 0 everywhere else.
+	if n.ones >= n.spec.Quorum() {
+		for idx := 1; idx <= n.spec.N(); idx++ {
+			out = append(out, n.vote(idx, types.Zero)...)
+		}
+	}
+	// Completion: all instances decided and all included inputs delivered.
+	if !n.done && len(n.decided) == n.spec.N() {
+		for idx := 1; idx <= n.spec.N(); idx++ {
+			if n.decided[idx] == types.One {
+				if _, ok := n.inputs[idx]; !ok {
+					return out // an included input is still in flight
+				}
+			}
+		}
+		n.done = true
+		for idx := 1; idx <= n.spec.N(); idx++ {
+			if n.decided[idx] == types.One {
+				n.output = append(n.output, Proposal{
+					Proposer: n.cfg.Peers[idx-1],
+					Value:    n.inputs[idx],
+				})
+			}
+		}
+		sort.Slice(n.output, func(i, j int) bool {
+			return n.output[i].Proposer < n.output[j].Proposer
+		})
+	}
+	return out
+}
+
+// indexOf returns the 1-based index of p in the peer list (0 if absent).
+func (n *Node) indexOf(p types.ProcessID) int {
+	for i, q := range n.cfg.Peers {
+		if q == p {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+func (n *Node) record(e trace.Event) {
+	if n.cfg.Recorder.Enabled() {
+		n.cfg.Recorder.Record(e)
+	}
+}

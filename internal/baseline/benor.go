@@ -1,0 +1,357 @@
+// Package baseline implements Ben-Or's randomized Byzantine consensus
+// (PODC 1983, "protocol B"), the algorithm Bracha's PODC-84 paper improves
+// on. It predates both reliable broadcast and message validation: processes
+// exchange plain point-to-point messages, so a Byzantine process can freely
+// equivocate (tell different processes different things). The price is
+// resilience: Ben-Or needs n > 5f where Bracha achieves the optimal n > 3f.
+// Experiment E6 reproduces exactly this crossover.
+//
+// Round structure (process with current value x, thresholds over n and f):
+//
+//	phase 1: send (1, r, x) to all; await n−f messages (1, r, *).
+//	         If more than (n+f)/2 carry the same v: send (2, r, v, D);
+//	         otherwise send (2, r, ?).
+//	phase 2: await n−f messages (2, r, *).
+//	         If more than (n+f)/2 are D(v): decide v (and x ← v);
+//	         else if at least f+1 are D(v): x ← v;
+//	         else: x ← coin flip.
+//
+// Like Bracha's protocol (and like this repository's core package), deciding
+// does not halt; the same DECIDE-amplification gadget is reused for halting
+// so that latency comparisons between the two protocols are fair.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/coin"
+	"repro/internal/quorum"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// DefaultMaxRounds bounds round progression, as in core.
+const DefaultMaxRounds = 1 << 16
+
+// Config configures a Ben-Or node.
+type Config struct {
+	// Me is this process; Peers lists all processes including Me.
+	Me    types.ProcessID
+	Peers []types.ProcessID
+	// Spec is the failure assumption. Ben-Or is only safe for n > 5f; the
+	// constructor does not enforce that, because experiment E6 runs it
+	// beyond its resilience on purpose.
+	Spec quorum.Spec
+	// Coin supplies phase-2 randomness.
+	Coin coin.Coin
+	// Proposal is this process's input bit.
+	Proposal types.Value
+	// Recorder, when enabled, receives ROUND/COIN/DECIDE/HALT events.
+	Recorder *trace.Recorder
+	// DisableDecideGadget turns off DECIDE amplification.
+	DisableDecideGadget bool
+	// MaxRounds bounds round progression (0 = DefaultMaxRounds).
+	MaxRounds int
+}
+
+// Node is one Ben-Or process. Deterministic state machine; not safe for
+// concurrent use.
+type Node struct {
+	cfg  Config
+	spec quorum.Spec
+
+	round int
+	phase types.Step // Step1 or Step2
+	value types.Value
+
+	// got[slot] holds the first message from each sender for that slot, in
+	// arrival order. No reliable broadcast: equivocation shows up as
+	// different processes holding different firsts.
+	got map[slot][]*types.PlainPayload
+	src map[slotSender]bool
+
+	waitingCoin bool
+	stalled     bool
+
+	decided      bool
+	decision     types.Value
+	decidedRound int
+
+	sentDecide  bool
+	decideVotes map[types.ProcessID]types.Value
+	halted      bool
+
+	stats Stats
+}
+
+// Stats counts protocol activity.
+type Stats struct {
+	RoundsStarted int
+	CoinsUsed     int
+	Adopted       int
+}
+
+type slot struct {
+	round int
+	phase types.Step
+}
+
+type slotSender struct {
+	slot   slot
+	sender types.ProcessID
+}
+
+// Config validation errors.
+var (
+	ErrNoCoin   = errors.New("baseline: config requires a coin")
+	ErrBadPeers = errors.New("baseline: peers must include me and match spec size")
+)
+
+// New creates a Ben-Or node.
+func New(cfg Config) (*Node, error) {
+	if cfg.Coin == nil {
+		return nil, ErrNoCoin
+	}
+	if len(cfg.Peers) != cfg.Spec.N() {
+		return nil, fmt.Errorf("%w: %d peers for %v", ErrBadPeers, len(cfg.Peers), cfg.Spec)
+	}
+	found := false
+	for _, p := range cfg.Peers {
+		if p == cfg.Me {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("%w: %v not in peers", ErrBadPeers, cfg.Me)
+	}
+	if !cfg.Proposal.Valid() {
+		return nil, fmt.Errorf("baseline: invalid proposal %d", cfg.Proposal)
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = DefaultMaxRounds
+	}
+	return &Node{
+		cfg:         cfg,
+		spec:        cfg.Spec,
+		value:       cfg.Proposal,
+		got:         make(map[slot][]*types.PlainPayload),
+		src:         make(map[slotSender]bool),
+		decideVotes: make(map[types.ProcessID]types.Value),
+	}, nil
+}
+
+var _ sim.Node = (*Node)(nil)
+
+// ID implements sim.Node.
+func (n *Node) ID() types.ProcessID { return n.cfg.Me }
+
+// Done implements sim.Node.
+func (n *Node) Done() bool { return n.halted }
+
+// Start implements sim.Node.
+func (n *Node) Start() []types.Message { return n.enterRound(1) }
+
+// Deliver implements sim.Node.
+func (n *Node) Deliver(m types.Message) []types.Message {
+	if n.halted {
+		return nil
+	}
+	switch p := m.Payload.(type) {
+	case *types.PlainPayload:
+		n.onPlain(m.From, p)
+		return n.advance()
+	case *types.CoinSharePayload:
+		n.cfg.Coin.HandleShare(m.From, p)
+		return n.advance()
+	case *types.DecidePayload:
+		return n.onDecideVote(m.From, p)
+	default:
+		return nil
+	}
+}
+
+// Decided reports whether the node decided and what.
+func (n *Node) Decided() (types.Value, bool) { return n.decision, n.decided }
+
+// DecidedRound returns the round of decision (0 if undecided).
+func (n *Node) DecidedRound() int { return n.decidedRound }
+
+// Round returns the current round.
+func (n *Node) Round() int { return n.round }
+
+// Proposal returns the input value.
+func (n *Node) Proposal() types.Value { return n.cfg.Proposal }
+
+// Stats returns activity counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// onPlain records the first message per (sender, slot). Values are checked
+// for well-formedness only — Ben-Or has no validation, which is the point.
+func (n *Node) onPlain(from types.ProcessID, p *types.PlainPayload) {
+	if p.Round < 1 || (p.Step != types.Step1 && p.Step != types.Step2) {
+		return
+	}
+	if !p.Q && !p.V.Valid() {
+		return
+	}
+	if p.Q && p.Step != types.Step2 {
+		return // "?" exists only in phase 2
+	}
+	if p.D && p.Step != types.Step2 {
+		return
+	}
+	s := slot{round: p.Round, phase: p.Step}
+	key := slotSender{slot: s, sender: from}
+	if n.src[key] {
+		return
+	}
+	n.src[key] = true
+	n.got[s] = append(n.got[s], p)
+}
+
+// advance applies transitions until blocked.
+func (n *Node) advance() []types.Message {
+	var out []types.Message
+	for !n.halted && !n.stalled {
+		if n.waitingCoin {
+			s, ok := n.cfg.Coin.Value(n.round)
+			if !ok {
+				break
+			}
+			n.waitingCoin = false
+			n.stats.CoinsUsed++
+			n.record(trace.Event{Kind: trace.KindCoin, P: n.cfg.Me, Round: n.round, V: s})
+			n.value = s
+			out = append(out, n.enterRound(n.round+1)...)
+			continue
+		}
+		window := n.got[slot{round: n.round, phase: n.phase}]
+		q := n.spec.Quorum()
+		if len(window) < q {
+			break
+		}
+		window = window[:q]
+		if n.phase == types.Step1 {
+			out = append(out, n.finishPhase1(window)...)
+		} else {
+			out = append(out, n.finishPhase2(window)...)
+		}
+	}
+	return out
+}
+
+func (n *Node) finishPhase1(window []*types.PlainPayload) []types.Message {
+	var count [2]int
+	for _, p := range window {
+		if !p.Q {
+			count[p.V]++
+		}
+	}
+	threshold := n.spec.HonestSuperMajority()
+	msg := &types.PlainPayload{Round: n.round, Step: types.Step2, Q: true}
+	switch {
+	case count[0] >= threshold:
+		msg = &types.PlainPayload{Round: n.round, Step: types.Step2, V: types.Zero, D: true}
+	case count[1] >= threshold:
+		msg = &types.PlainPayload{Round: n.round, Step: types.Step2, V: types.One, D: true}
+	}
+	n.phase = types.Step2
+	return types.Broadcast(n.cfg.Me, n.cfg.Peers, msg)
+}
+
+func (n *Node) finishPhase2(window []*types.PlainPayload) []types.Message {
+	var dCount [2]int
+	for _, p := range window {
+		if p.D && !p.Q {
+			dCount[p.V]++
+		}
+	}
+	v := types.Zero
+	if dCount[1] > dCount[0] {
+		v = types.One
+	}
+	// Release the round's coin unconditionally, as in core: a threshold
+	// coin needs f+1 correct contributions whether or not this process
+	// personally falls through to the flip.
+	out := n.cfg.Coin.Release(n.round)
+	switch {
+	case dCount[v] >= n.spec.HonestSuperMajority():
+		out = append(out, n.decide(v)...)
+		n.value = v
+		out = append(out, n.enterRound(n.round+1)...)
+	case dCount[v] >= n.spec.Adopt():
+		n.stats.Adopted++
+		n.value = v
+		out = append(out, n.enterRound(n.round+1)...)
+	default:
+		n.waitingCoin = true
+	}
+	return out
+}
+
+func (n *Node) enterRound(r int) []types.Message {
+	if r > n.cfg.MaxRounds {
+		n.stalled = true
+		return nil
+	}
+	n.round = r
+	n.phase = types.Step1
+	n.stats.RoundsStarted++
+	n.record(trace.Event{Kind: trace.KindRound, P: n.cfg.Me, Round: r})
+	msg := &types.PlainPayload{Round: r, Step: types.Step1, V: n.value}
+	return types.Broadcast(n.cfg.Me, n.cfg.Peers, msg)
+}
+
+func (n *Node) decide(v types.Value) []types.Message {
+	if !n.decided {
+		n.decided = true
+		n.decision = v
+		n.decidedRound = n.round
+		n.record(trace.Event{Kind: trace.KindDecide, P: n.cfg.Me, Round: n.round, V: v})
+	}
+	if n.cfg.DisableDecideGadget || n.sentDecide {
+		return nil
+	}
+	n.sentDecide = true
+	return types.Broadcast(n.cfg.Me, n.cfg.Peers, &types.DecidePayload{V: v})
+}
+
+func (n *Node) onDecideVote(from types.ProcessID, p *types.DecidePayload) []types.Message {
+	if p == nil || !p.V.Valid() {
+		return nil
+	}
+	if _, dup := n.decideVotes[from]; dup {
+		return nil
+	}
+	n.decideVotes[from] = p.V
+	var count [2]int
+	for _, v := range n.decideVotes {
+		count[v]++
+	}
+	var out []types.Message
+	v := p.V
+	if count[v] >= n.spec.Adopt() && !n.sentDecide && !n.cfg.DisableDecideGadget {
+		n.sentDecide = true
+		out = append(out, types.Broadcast(n.cfg.Me, n.cfg.Peers, &types.DecidePayload{V: v})...)
+	}
+	if count[v] >= n.spec.Decide() {
+		if !n.decided {
+			n.decided = true
+			n.decision = v
+			n.decidedRound = n.round
+			n.record(trace.Event{Kind: trace.KindDecide, P: n.cfg.Me, Round: n.round, V: v})
+		}
+		n.halted = true
+		n.record(trace.Event{Kind: trace.KindHalt, P: n.cfg.Me, Round: n.round})
+	}
+	return out
+}
+
+func (n *Node) record(e trace.Event) {
+	if n.cfg.Recorder.Enabled() {
+		n.cfg.Recorder.Record(e)
+	}
+}

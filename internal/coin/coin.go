@@ -1,0 +1,91 @@
+// Package coin provides the randomization sources of Bracha's protocol:
+//
+//   - Local: each process flips a private fair coin (what the PODC-84
+//     protocol assumes by default, following Ben-Or). Termination holds with
+//     probability 1, but a full-information adversary can keep disagreement
+//     alive for an expected-exponential number of rounds.
+//   - Common: a Rabin-style predistributed common coin. A trusted dealer
+//     Shamir-shares one random bit per round (threshold f+1, so f Byzantine
+//     processes learn nothing); processes exchange authenticated shares when
+//     the protocol releases the coin and reconstruct the same bit. This is
+//     the variant that gives constant expected rounds.
+//   - Ideal: a test-only coin that is common and immediate (no messages),
+//     for isolating consensus logic from coin mechanics in unit tests.
+//
+// All coins are deterministic functions of their seeds, keeping experiment
+// runs reproducible.
+package coin
+
+import (
+	"repro/internal/types"
+)
+
+// Coin is the interface the consensus core uses. Implementations are driven
+// entirely by the node's event loop: no goroutines, no clocks.
+type Coin interface {
+	// Release begins obtaining the coin for a round and returns any
+	// messages to send (share broadcasts for the common coin). Calling
+	// Release again for the same round is a no-op.
+	Release(round int) []types.Message
+	// HandleShare processes an incoming coin-share payload. Invalid or
+	// irrelevant shares are ignored (Byzantine shares must not block or
+	// bias reconstruction).
+	HandleShare(from types.ProcessID, p *types.CoinSharePayload)
+	// Value returns the coin for the round, if available. Local coins are
+	// always available; the common coin becomes available once f+1 valid
+	// shares for the round arrived (after Release).
+	Value(round int) (types.Value, bool)
+}
+
+// mix64 is SplitMix64's finalizer: a bijective avalanche mix used to derive
+// independent-looking bits from (seed, round) pairs deterministically.
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// bitFor derives a fair bit from a seed and round.
+func bitFor(seed int64, round int) types.Value {
+	return types.Value(mix64(mix64(uint64(seed))^uint64(round)) & 1)
+}
+
+// Local is the Ben-Or-style private coin: every process flips independently.
+type Local struct {
+	seed int64
+}
+
+// NewLocal returns a private coin for one process. Distinct processes must
+// use distinct seeds (the harness derives them from the run seed and the
+// process ID).
+func NewLocal(seed int64) *Local { return &Local{seed: seed} }
+
+// Release implements Coin (no messages needed).
+func (l *Local) Release(int) []types.Message { return nil }
+
+// HandleShare implements Coin (local coins have no shares).
+func (l *Local) HandleShare(types.ProcessID, *types.CoinSharePayload) {}
+
+// Value implements Coin; a local coin is always available.
+func (l *Local) Value(round int) (types.Value, bool) { return bitFor(l.seed, round), true }
+
+// Ideal is a test-only common coin: all processes constructed with the same
+// seed observe the same bit, immediately, with no message exchange. It
+// deliberately has no unpredictability — adversarial tests exploit exactly
+// that to script worst-case schedules.
+type Ideal struct {
+	seed int64
+}
+
+// NewIdeal returns an ideal coin; give every process the same seed.
+func NewIdeal(seed int64) *Ideal { return &Ideal{seed: seed} }
+
+// Release implements Coin.
+func (c *Ideal) Release(int) []types.Message { return nil }
+
+// HandleShare implements Coin.
+func (c *Ideal) HandleShare(types.ProcessID, *types.CoinSharePayload) {}
+
+// Value implements Coin.
+func (c *Ideal) Value(round int) (types.Value, bool) { return bitFor(c.seed, round), true }

@@ -1,0 +1,217 @@
+package coin
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/auth"
+	"repro/internal/quorum"
+	"repro/internal/shamir"
+	"repro/internal/types"
+)
+
+// Dealer is the trusted setup of the Rabin-style common coin. For every
+// round it samples one random bit, Shamir-shares it with threshold f+1 over
+// GF(2^8), and MACs each share so a Byzantine process cannot inject
+// fabricated shares. Rounds are dealt lazily and memoized, so the coin
+// supports unbounded protocol executions; with a fixed seed the dealing is
+// reproducible.
+//
+// The trust model is exactly the paper's (via Rabin, FOCS 1983): the dealer
+// is honest and acts only before the execution; during the execution it is
+// just a lookup table each process holds a slice of.
+type Dealer struct {
+	spec quorum.Spec
+	keys *auth.DealerKeys
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	rounds  map[int][]shamir.Share
+	secrets map[int]types.Value
+}
+
+// NewDealer creates a dealer for the given system spec, deterministically
+// derived from seed. Shamir sharing over GF(2^8) limits the system to
+// n ≤ 255 processes.
+func NewDealer(spec quorum.Spec, seed int64) *Dealer {
+	return &Dealer{
+		spec:    spec,
+		keys:    auth.NewDealerKeys(auth.DeriveKey(seedKey(seed), "dealer")),
+		rng:     rand.New(rand.NewSource(seed)),
+		rounds:  make(map[int][]shamir.Share),
+		secrets: make(map[int]types.Value),
+	}
+}
+
+func seedKey(seed int64) []byte {
+	return []byte(fmt.Sprintf("coin-dealer-%d", seed))
+}
+
+// deal lazily creates the sharing for a round.
+func (d *Dealer) deal(round int) []shamir.Share {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if ss, ok := d.rounds[round]; ok {
+		return ss
+	}
+	bit := types.Value(d.rng.Intn(2))
+	// One secret byte whose low bit is the coin; threshold f+1 means f
+	// colluding processes hold a degree-f polynomial's worth of nothing.
+	ss, err := shamir.Split([]byte{byte(bit)}, d.spec.N(), d.spec.F()+1, d.rng)
+	if err != nil {
+		// Split fails only on invalid (n, threshold); the quorum.Spec
+		// invariants (n ≥ 1, 0 ≤ f < n) rule that out.
+		panic(fmt.Sprintf("coin: dealing round %d: %v", round, err))
+	}
+	d.rounds[round] = ss
+	d.secrets[round] = bit
+	return ss
+}
+
+// ShareFor returns process p's authenticated share for a round — the
+// predistribution lookup. It returns wire-ready opaque strings.
+func (d *Dealer) ShareFor(p types.ProcessID, round int) (share, mac string) {
+	ss := d.deal(round)
+	idx := int(p) - 1
+	if idx < 0 || idx >= len(ss) {
+		return "", ""
+	}
+	raw := encodeShare(ss[idx])
+	return raw, string(d.keys.SignShare(p, round, []byte(raw)))
+}
+
+// VerifyShare checks that a received share is the one dealt to p for round.
+func (d *Dealer) VerifyShare(p types.ProcessID, round int, share, mac string) bool {
+	return d.keys.VerifyShare(p, round, []byte(share), []byte(mac))
+}
+
+// SecretFor exposes the round's bit. It exists for tests and for modelling
+// the strongest adversary (one that has broken the coin's secrecy);
+// protocol code never calls it.
+func (d *Dealer) SecretFor(round int) types.Value {
+	d.deal(round)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.secrets[round]
+}
+
+// Spec returns the system spec the dealer was set up for.
+func (d *Dealer) Spec() quorum.Spec { return d.spec }
+
+// encodeShare flattens a share to an opaque string: X followed by Y.
+func encodeShare(s shamir.Share) string {
+	buf := make([]byte, 0, 1+len(s.Y))
+	buf = append(buf, s.X)
+	buf = append(buf, s.Y...)
+	return string(buf)
+}
+
+// decodeShare parses encodeShare output.
+func decodeShare(raw string) (shamir.Share, bool) {
+	if len(raw) < 2 {
+		return shamir.Share{}, false
+	}
+	return shamir.Share{X: raw[0], Y: []byte(raw[1:])}, true
+}
+
+// Common is one process's endpoint of the dealer coin.
+type Common struct {
+	me     types.ProcessID
+	peers  []types.ProcessID
+	spec   quorum.Spec
+	dealer *Dealer
+
+	released map[int]bool
+	shares   map[int]map[types.ProcessID]shamir.Share
+	values   map[int]types.Value
+}
+
+// NewCommon returns the coin endpoint for process me. All processes of a run
+// share the same dealer (their slice of the predistributed table) and the
+// same peer list.
+func NewCommon(me types.ProcessID, peers []types.ProcessID, dealer *Dealer) *Common {
+	ps := append([]types.ProcessID(nil), peers...)
+	return &Common{
+		me:       me,
+		peers:    ps,
+		spec:     dealer.Spec(),
+		dealer:   dealer,
+		released: make(map[int]bool),
+		shares:   make(map[int]map[types.ProcessID]shamir.Share),
+		values:   make(map[int]types.Value),
+	}
+}
+
+var _ Coin = (*Common)(nil)
+
+// Release implements Coin: broadcast this process's share for the round
+// (including to itself, so its own share is counted on delivery).
+func (c *Common) Release(round int) []types.Message {
+	if c.released[round] {
+		return nil
+	}
+	c.released[round] = true
+	share, mac := c.dealer.ShareFor(c.me, round)
+	if share == "" {
+		return nil
+	}
+	p := &types.CoinSharePayload{Round: round, Share: share, MAC: mac}
+	return types.Broadcast(c.me, c.peers, p)
+}
+
+// HandleShare implements Coin: verify, store, and reconstruct at f+1 valid
+// shares.
+func (c *Common) HandleShare(from types.ProcessID, p *types.CoinSharePayload) {
+	if p == nil {
+		return
+	}
+	if _, done := c.values[p.Round]; done {
+		return
+	}
+	if !c.dealer.VerifyShare(from, p.Round, p.Share, p.MAC) {
+		return // forged or corrupted share
+	}
+	s, ok := decodeShare(p.Share)
+	if !ok || s.X != byte(from) {
+		return // a genuine MAC binds X to the sender, but stay defensive
+	}
+	byRound := c.shares[p.Round]
+	if byRound == nil {
+		byRound = make(map[types.ProcessID]shamir.Share)
+		c.shares[p.Round] = byRound
+	}
+	byRound[from] = s
+	threshold := c.spec.F() + 1
+	if len(byRound) < threshold {
+		return
+	}
+	ss := make([]shamir.Share, 0, len(byRound))
+	for _, sh := range byRound {
+		ss = append(ss, sh)
+	}
+	// Deterministic reconstruction order (any f+1 valid shares agree, but
+	// determinism keeps replays byte-identical).
+	sortShares(ss)
+	secret, err := shamir.Reconstruct(ss[:threshold], threshold)
+	if err != nil {
+		return
+	}
+	c.values[p.Round] = types.Value(secret[0] & 1)
+	delete(c.shares, p.Round) // no longer needed
+}
+
+// Value implements Coin.
+func (c *Common) Value(round int) (types.Value, bool) {
+	v, ok := c.values[round]
+	return v, ok
+}
+
+// sortShares orders shares by X (insertion sort; at most f+1 ≤ 255 items).
+func sortShares(ss []shamir.Share) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j].X < ss[j-1].X; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}

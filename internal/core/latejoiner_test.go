@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/coin"
+	"repro/internal/quorum"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// slowStartNode wraps a consensus node whose entire participation is
+// delayed: its Start messages and all of its sends are held back by the
+// scheduler. It models a correct-but-extremely-slow process, which must
+// still decide via the DECIDE amplification after the fast majority
+// finishes.
+func TestLateJoinerCatchesUpViaDecideGadget(t *testing.T) {
+	spec := quorum.MustNew(4, 1)
+	peers := types.Processes(4)
+
+	// p4's outbound traffic is delayed by a huge constant: the other three
+	// (n−f = 3) run the protocol among themselves, decide, and halt; p4
+	// hears their DECIDEs long before its own round-1 traffic circulates.
+	net, err := sim.New(sim.Config{
+		Scheduler: sim.Compose{
+			Base: sim.UniformDelay{Min: 1, Max: 10},
+			Rules: []sim.Rule{
+				func(m types.Message, at, _ sim.Time) sim.Time {
+					if m.From == 4 && m.To != 4 {
+						return at + 100_000
+					}
+					return at
+				},
+			},
+		},
+		Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dealer := coin.NewDealer(spec, 6)
+	nodes := make([]*Node, 0, 4)
+	for i, p := range peers {
+		nd, err := New(Config{
+			Me: p, Peers: peers, Spec: spec,
+			Coin:     coin.NewCommon(p, peers, dealer),
+			Proposal: types.Value(i % 2),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, nd)
+		if err := net.Add(nd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := net.Run(func() bool {
+		for _, nd := range nodes {
+			if !nd.Done() {
+				return false
+			}
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var first types.Value
+	for i, nd := range nodes {
+		v, ok := nd.Decided()
+		if !ok {
+			t.Fatalf("%v undecided (late joiner did not catch up)", nd.ID())
+		}
+		if i == 0 {
+			first = v
+		} else if v != first {
+			t.Fatalf("agreement broken: %v vs %v", v, first)
+		}
+	}
+	// The slow process must have decided without completing rounds itself:
+	// its decision came from the gadget (decided round equals its current
+	// round, which stayed at 1 since its own traffic never circulated).
+	slow := nodes[3]
+	if slow.Round() > 1 {
+		t.Logf("note: slow process reached round %d", slow.Round())
+	}
+}

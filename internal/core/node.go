@@ -1,0 +1,444 @@
+// Package core implements the primary contribution of the PODC-84 paper:
+// Bracha's asynchronous randomized Byzantine consensus with optimal
+// resilience f < n/3. A Node is a deterministic state machine (sim.Node
+// compatible) that composes the paper's three pieces:
+//
+//   - every step message is disseminated by reliable broadcast
+//     (internal/rbc), so Byzantine processes cannot equivocate;
+//
+//   - received step messages count toward the n−f waits only once
+//     *justified* (internal/validate), so Byzantine processes cannot send
+//     implausible values;
+//
+//   - rounds of three steps drive values together, with a coin
+//     (internal/coin) breaking symmetry:
+//
+//     step 1: broadcast value; await n−f; value ← majority.
+//     step 2: broadcast value; await n−f; if some v holds > n/2, value ← D(v).
+//     step 3: broadcast value; await n−f; if ≥ 2f+1 D(v): decide v;
+//     else if ≥ f+1 D(v): value ← v; else value ← coin.
+//
+// Bracha's protocol decides but never halts (processes keep echoing forever
+// so laggards can finish). For practical termination this implementation
+// adds the standard decide-amplification gadget, a direct reuse of the
+// paper's own READY amplification idea: a deciding process broadcasts
+// DECIDE(v); any process relays on f+1 matching DECIDEs and halts on 2f+1.
+// The gadget is configurable off (ablation A2) to measure the pure protocol.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/coin"
+	"repro/internal/quorum"
+	"repro/internal/rbc"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/types"
+	"repro/internal/validate"
+	"repro/internal/wire"
+)
+
+// DefaultMaxRounds bounds how many rounds a node will start before stalling
+// (a stalled node is detectable as a termination violation; the simulator's
+// delivery budget is the usual backstop long before this).
+const DefaultMaxRounds = 1 << 16
+
+// Config configures a consensus node.
+type Config struct {
+	// Me is this process; Peers lists all processes including Me.
+	Me    types.ProcessID
+	Peers []types.ProcessID
+	// Spec is the failure assumption (n = len(Peers), f tolerated).
+	Spec quorum.Spec
+	// Coin supplies the step-3 randomness. Required.
+	Coin coin.Coin
+	// Proposal is this process's input bit.
+	Proposal types.Value
+	// Recorder, when enabled, receives ROUND/COIN/DECIDE/HALT/RBC events.
+	Recorder *trace.Recorder
+	// Instance namespaces this consensus instance when several share one
+	// network (replicated-log slots): reliable-broadcast tags carry it as
+	// Tag.Seq and DECIDE gadget messages carry it explicitly, so traffic
+	// from other instances is ignored rather than miscounted. Concurrent
+	// instances using the common coin additionally need distinct dealers
+	// (share MACs are bound to a dealer secret, so foreign shares are
+	// rejected, but reusing one dealer would reuse the same coin values).
+	Instance int
+	// DisableValidation turns off message justification (ablation A1).
+	DisableValidation bool
+	// DisableDecideGadget turns off DECIDE amplification (ablation A2):
+	// the node then decides but never halts, as in the paper's original
+	// formulation.
+	DisableDecideGadget bool
+	// MaxRounds bounds round progression (0 = DefaultMaxRounds).
+	MaxRounds int
+}
+
+// Stats counts a node's protocol activity.
+type Stats struct {
+	RoundsStarted int // rounds this node entered (≥ 1 after Start)
+	CoinsUsed     int // step-3 coin fallbacks taken
+	Adopted       int // step-3 f+1 adoptions taken
+	StepsDone     int // step transitions completed
+}
+
+// Node is one Bracha consensus process. Not safe for concurrent use: drive
+// it from a single loop (the simulator or a transport pump).
+type Node struct {
+	cfg   Config
+	spec  quorum.Spec
+	bcast *rbc.Broadcaster
+	val   *validate.Validator
+
+	round int
+	step  types.Step
+	value types.Value
+	dFlag bool // value is a decision proposal (between steps 2 and 3)
+
+	accepted map[slot][]validate.Accepted
+
+	waitingCoin bool
+	stalled     bool // hit MaxRounds
+
+	decided      bool
+	decision     types.Value
+	decidedRound int
+
+	sentDecide  bool
+	decideVotes map[types.ProcessID]types.Value
+	halted      bool
+
+	stats Stats
+}
+
+type slot struct {
+	round int
+	step  types.Step
+}
+
+// Config validation errors.
+var (
+	ErrNoCoin   = errors.New("core: config requires a coin")
+	ErrBadPeers = errors.New("core: peers must include me and match spec size")
+)
+
+// New creates a consensus node. Peers must contain Me and have exactly
+// Spec.N() entries.
+func New(cfg Config) (*Node, error) {
+	if cfg.Coin == nil {
+		return nil, ErrNoCoin
+	}
+	if len(cfg.Peers) != cfg.Spec.N() {
+		return nil, fmt.Errorf("%w: %d peers for %v", ErrBadPeers, len(cfg.Peers), cfg.Spec)
+	}
+	found := false
+	for _, p := range cfg.Peers {
+		if p == cfg.Me {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("%w: %v not in peers", ErrBadPeers, cfg.Me)
+	}
+	if !cfg.Proposal.Valid() {
+		return nil, fmt.Errorf("core: invalid proposal %d", cfg.Proposal)
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = DefaultMaxRounds
+	}
+	newVal := validate.New
+	if cfg.DisableValidation {
+		newVal = validate.NewLax
+	}
+	return &Node{
+		cfg:         cfg,
+		spec:        cfg.Spec,
+		bcast:       rbc.New(cfg.Me, cfg.Peers, cfg.Spec),
+		val:         newVal(cfg.Spec),
+		value:       cfg.Proposal,
+		accepted:    make(map[slot][]validate.Accepted),
+		decideVotes: make(map[types.ProcessID]types.Value),
+	}, nil
+}
+
+var _ sim.Node = (*Node)(nil)
+
+// ID implements sim.Node.
+func (n *Node) ID() types.ProcessID { return n.cfg.Me }
+
+// Done implements sim.Node: true once the node halted via the decide gadget.
+func (n *Node) Done() bool { return n.halted }
+
+// Start implements sim.Node: enter round 1 and broadcast the proposal.
+func (n *Node) Start() []types.Message {
+	return n.enterRound(1)
+}
+
+// Deliver implements sim.Node.
+func (n *Node) Deliver(m types.Message) []types.Message {
+	if n.halted {
+		return nil
+	}
+	switch p := m.Payload.(type) {
+	case *types.RBCPayload:
+		out := n.onRBC(m.From, p)
+		return append(out, n.advance()...)
+	case *types.CoinSharePayload:
+		n.cfg.Coin.HandleShare(m.From, p)
+		return n.advance()
+	case *types.DecidePayload:
+		return n.onDecideVote(m.From, p)
+	default:
+		return nil
+	}
+}
+
+// Decided reports whether the node decided and what.
+func (n *Node) Decided() (types.Value, bool) { return n.decision, n.decided }
+
+// DecidedRound returns the round in which the node decided (0 if undecided).
+func (n *Node) DecidedRound() int { return n.decidedRound }
+
+// Round returns the node's current round.
+func (n *Node) Round() int { return n.round }
+
+// Proposal returns the node's input value.
+func (n *Node) Proposal() types.Value { return n.cfg.Proposal }
+
+// Stats returns protocol activity counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// onRBC feeds a reliable-broadcast payload through the broadcaster, then
+// records every resulting delivery with the validator and appends newly
+// justified messages to the quorum waits.
+func (n *Node) onRBC(from types.ProcessID, p *types.RBCPayload) []types.Message {
+	out, deliveries := n.bcast.Handle(from, p)
+	for _, d := range deliveries {
+		sm, err := wire.DecodeStep(d.Body)
+		if err != nil {
+			continue // Byzantine garbage body
+		}
+		// The RBC instance tag must match the body's slot, or a Byzantine
+		// sender could use one broadcast to occupy another slot; foreign
+		// consensus instances (different Seq) are not ours to count.
+		if sm.Round != d.ID.Tag.Round || sm.Step != d.ID.Tag.Step || d.ID.Tag.Seq != n.cfg.Instance {
+			continue
+		}
+		n.record(trace.Event{Kind: trace.KindRBC, P: n.cfg.Me, Round: sm.Round,
+			Note: fmt.Sprintf("delivered %v from %v", sm, d.ID.Sender)})
+		for _, acc := range n.val.Record(d.ID.Sender, sm) {
+			s := slot{round: acc.Msg.Round, step: acc.Msg.Step}
+			n.accepted[s] = append(n.accepted[s], acc)
+		}
+	}
+	return out
+}
+
+// advance applies every enabled transition until the node blocks on a wait.
+func (n *Node) advance() []types.Message {
+	var out []types.Message
+	for !n.halted && !n.stalled {
+		if n.waitingCoin {
+			s, ok := n.cfg.Coin.Value(n.round)
+			if !ok {
+				break
+			}
+			n.waitingCoin = false
+			n.stats.CoinsUsed++
+			n.record(trace.Event{Kind: trace.KindCoin, P: n.cfg.Me, Round: n.round, V: s})
+			n.value = s
+			out = append(out, n.enterRound(n.round+1)...)
+			continue
+		}
+		window, ok := n.quorumWindow()
+		if !ok {
+			break
+		}
+		n.stats.StepsDone++
+		switch n.step {
+		case types.Step1:
+			n.value = majority(window)
+			n.step = types.Step2
+			out = append(out, n.broadcastStep()...)
+		case types.Step2:
+			if v, ok := superMajority(window, n.spec.SuperMajority()); ok {
+				n.value = v
+				n.dFlag = true
+			} else {
+				n.dFlag = false
+			}
+			n.step = types.Step3
+			out = append(out, n.broadcastStep()...)
+		case types.Step3:
+			out = append(out, n.finishStep3(window)...)
+		}
+	}
+	return out
+}
+
+// quorumWindow returns the first n−f accepted messages for the current
+// slot, or false if the wait is not yet satisfied.
+func (n *Node) quorumWindow() ([]validate.Accepted, bool) {
+	list := n.accepted[slot{round: n.round, step: n.step}]
+	q := n.spec.Quorum()
+	if len(list) < q {
+		return nil, false
+	}
+	return list[:q], true
+}
+
+// finishStep3 applies the decide/adopt/coin rule over the window and either
+// moves to the next round or blocks on the coin.
+func (n *Node) finishStep3(window []validate.Accepted) []types.Message {
+	var out []types.Message
+	// Release the round's coin unconditionally: with the common coin,
+	// reconstruction needs f+1 correct shares, and only processes that
+	// finished step 3 may contribute — so everyone must, whether or not
+	// they personally fall through to the coin. Unpredictability is
+	// preserved exactly as required: the coin stays secret until the first
+	// correct process completes the round's step 3.
+	out = append(out, n.cfg.Coin.Release(n.round)...)
+
+	var dCount [2]int
+	for _, acc := range window {
+		if acc.Msg.D {
+			dCount[acc.Msg.V]++
+		}
+	}
+	// With validation on, at most one value can carry justified D-messages
+	// in a round; pick the better-supported one defensively anyway (lax
+	// ablations can produce both).
+	v := types.Zero
+	if dCount[1] > dCount[0] {
+		v = types.One
+	}
+	switch {
+	case dCount[v] >= n.spec.Decide():
+		out = append(out, n.decide(v)...)
+		n.value = v
+		out = append(out, n.enterRound(n.round+1)...)
+	case dCount[v] >= n.spec.Adopt():
+		n.stats.Adopted++
+		n.value = v
+		out = append(out, n.enterRound(n.round+1)...)
+	default:
+		n.waitingCoin = true // advance() resumes when the coin lands
+	}
+	return out
+}
+
+// enterRound moves to the given round and broadcasts its step-1 message.
+func (n *Node) enterRound(r int) []types.Message {
+	if r > n.cfg.MaxRounds {
+		n.stalled = true
+		n.record(trace.Event{Kind: trace.KindNote, P: n.cfg.Me, Round: r, Note: "max rounds reached; stalling"})
+		return nil
+	}
+	n.round = r
+	n.step = types.Step1
+	n.dFlag = false
+	n.stats.RoundsStarted++
+	n.record(trace.Event{Kind: trace.KindRound, P: n.cfg.Me, Round: r})
+	return n.broadcastStep()
+}
+
+// broadcastStep reliably broadcasts the node's current (round, step, value).
+func (n *Node) broadcastStep() []types.Message {
+	sm := types.StepMessage{Round: n.round, Step: n.step, V: n.value, D: n.dFlag && n.step == types.Step3}
+	body, err := wire.EncodeStep(sm)
+	if err != nil {
+		// All fields are internally generated and valid by construction.
+		panic(fmt.Sprintf("core: encoding own step message %v: %v", sm, err))
+	}
+	return n.bcast.Broadcast(types.Tag{Round: n.round, Step: n.step, Seq: n.cfg.Instance}, body)
+}
+
+// decide records the decision and, unless disabled, launches the DECIDE
+// amplification.
+func (n *Node) decide(v types.Value) []types.Message {
+	if !n.decided {
+		n.decided = true
+		n.decision = v
+		n.decidedRound = n.round
+		n.record(trace.Event{Kind: trace.KindDecide, P: n.cfg.Me, Round: n.round, V: v})
+	}
+	if n.cfg.DisableDecideGadget || n.sentDecide {
+		return nil
+	}
+	n.sentDecide = true
+	return types.Broadcast(n.cfg.Me, n.cfg.Peers, &types.DecidePayload{V: v, Instance: n.cfg.Instance})
+}
+
+// onDecideVote handles the DECIDE amplification: relay at f+1 matching
+// votes, decide-and-halt at 2f+1. One vote per sender counts (Byzantine
+// senders cannot stuff the count, and with at most f of them they can never
+// reach f+1 alone).
+func (n *Node) onDecideVote(from types.ProcessID, p *types.DecidePayload) []types.Message {
+	if p == nil || !p.V.Valid() || p.Instance != n.cfg.Instance {
+		return nil
+	}
+	if _, dup := n.decideVotes[from]; dup {
+		return nil
+	}
+	n.decideVotes[from] = p.V
+	var count [2]int
+	for _, v := range n.decideVotes {
+		count[v]++
+	}
+	var out []types.Message
+	v := p.V
+	if count[v] >= n.spec.Adopt() && !n.sentDecide && !n.cfg.DisableDecideGadget {
+		n.sentDecide = true
+		out = append(out, types.Broadcast(n.cfg.Me, n.cfg.Peers, &types.DecidePayload{V: v, Instance: n.cfg.Instance})...)
+	}
+	if count[v] >= n.spec.Decide() {
+		if !n.decided {
+			n.decided = true
+			n.decision = v
+			n.decidedRound = n.round
+			n.record(trace.Event{Kind: trace.KindDecide, P: n.cfg.Me, Round: n.round, V: v})
+		}
+		n.halted = true
+		n.record(trace.Event{Kind: trace.KindHalt, P: n.cfg.Me, Round: n.round})
+	}
+	return out
+}
+
+func (n *Node) record(e trace.Event) {
+	if n.cfg.Recorder.Enabled() {
+		n.cfg.Recorder.Record(e)
+	}
+}
+
+// majority returns the majority value of a window, ties to 0 — the same
+// deterministic rule the validator assumes.
+func majority(window []validate.Accepted) types.Value {
+	var count [2]int
+	for _, acc := range window {
+		count[acc.Msg.V]++
+	}
+	if count[1] > count[0] {
+		return types.One
+	}
+	return types.Zero
+}
+
+// superMajority returns the value held by more than half of all n processes
+// within the window, if any.
+func superMajority(window []validate.Accepted, sm int) (types.Value, bool) {
+	var count [2]int
+	for _, acc := range window {
+		count[acc.Msg.V]++
+	}
+	switch {
+	case count[0] >= sm:
+		return types.Zero, true
+	case count[1] >= sm:
+		return types.One, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,150 @@
+// Package gf256 implements arithmetic in the finite field GF(2^8) with the
+// AES reduction polynomial x^8 + x^4 + x^3 + x + 1 (0x11B). It is the
+// algebraic substrate for the Shamir secret sharing used by the Rabin-style
+// common coin dealer (internal/shamir, internal/coin).
+//
+// Multiplication and inversion are table-driven via discrete logarithms with
+// the generator 0x03, so all operations are constant-time-ish table lookups —
+// plenty fast for coin reconstruction, which handles n shares per round.
+package gf256
+
+// poly is the AES reduction polynomial (without the x^8 term, applied during
+// reduction).
+const poly = 0x1B
+
+// generator 0x03 is a primitive element of GF(2^8) under poly.
+const generator = 0x03
+
+// tables holds the exp/log tables for the multiplicative group.
+type tables struct {
+	exp [512]byte // doubled so exp[log a + log b] needs no modular reduction
+	log [256]byte
+}
+
+var _tables = buildTables()
+
+func buildTables() *tables {
+	t := &tables{}
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		t.exp[i] = x
+		t.log[x] = byte(i)
+		x = mulSlow(x, generator)
+	}
+	for i := 255; i < 512; i++ {
+		t.exp[i] = t.exp[i-255]
+	}
+	return t
+}
+
+// mulSlow is carry-less "Russian peasant" multiplication with reduction; it
+// seeds the tables and serves as the reference implementation for tests.
+func mulSlow(a, b byte) byte {
+	var p byte
+	for b > 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= poly
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// Add returns a+b in GF(2^8). Addition is XOR; it is its own inverse, so Sub
+// is the same operation.
+func Add(a, b byte) byte { return a ^ b }
+
+// Sub returns a−b in GF(2^8) (identical to Add in characteristic 2).
+func Sub(a, b byte) byte { return a ^ b }
+
+// Mul returns a·b in GF(2^8).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return _tables.exp[int(_tables.log[a])+int(_tables.log[b])]
+}
+
+// MulSlow exposes the reference multiplication for cross-checking in tests.
+func MulSlow(a, b byte) byte { return mulSlow(a, b) }
+
+// Inv returns the multiplicative inverse of a. Inv(0) returns 0; callers
+// dividing by field elements must guard the zero case themselves (Div does).
+func Inv(a byte) byte {
+	if a == 0 {
+		return 0
+	}
+	return _tables.exp[255-int(_tables.log[a])]
+}
+
+// Div returns a/b in GF(2^8), and 0 if b is 0 (no panic: protocol code must
+// treat division by zero as a validation failure before reaching here).
+func Div(a, b byte) byte {
+	if b == 0 || a == 0 {
+		return 0
+	}
+	return _tables.exp[int(_tables.log[a])+255-int(_tables.log[b])]
+}
+
+// Pow returns a^e in GF(2^8) with the convention Pow(x, 0) = 1, including
+// Pow(0, 0) = 1.
+func Pow(a byte, e int) byte {
+	if e == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	// The multiplicative group has order 255.
+	le := (int(_tables.log[a]) * (e % 255)) % 255
+	if le < 0 {
+		le += 255
+	}
+	return _tables.exp[le]
+}
+
+// EvalPoly evaluates the polynomial with the given coefficients (constant
+// term first) at x, using Horner's rule.
+func EvalPoly(coeffs []byte, x byte) byte {
+	var y byte
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		y = Add(Mul(y, x), coeffs[i])
+	}
+	return y
+}
+
+// Interpolate returns the value at x=0 of the unique polynomial of degree
+// < len(xs) passing through the points (xs[i], ys[i]), via Lagrange
+// interpolation. The xs must be distinct and non-zero; ok is false otherwise
+// or when the slices are empty or of mismatched length.
+func Interpolate(xs, ys []byte) (secret byte, ok bool) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return 0, false
+	}
+	seen := make(map[byte]bool, len(xs))
+	for _, x := range xs {
+		if x == 0 || seen[x] {
+			return 0, false
+		}
+		seen[x] = true
+	}
+	var acc byte
+	for i := range xs {
+		// Lagrange basis at 0: prod_{j≠i} x_j / (x_j − x_i).
+		num, den := byte(1), byte(1)
+		for j := range xs {
+			if j == i {
+				continue
+			}
+			num = Mul(num, xs[j])
+			den = Mul(den, Sub(xs[j], xs[i]))
+		}
+		acc = Add(acc, Mul(ys[i], Div(num, den)))
+	}
+	return acc, true
+}

@@ -1,0 +1,225 @@
+package gf256
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMulMatchesReference(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			got := Mul(byte(a), byte(b))
+			want := MulSlow(byte(a), byte(b))
+			if got != want {
+				t.Fatalf("Mul(%d, %d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestKnownProducts(t *testing.T) {
+	// Classic AES test vectors for GF(2^8) under 0x11B.
+	tests := []struct {
+		a, b, want byte
+	}{
+		{0x57, 0x83, 0xC1},
+		{0x57, 0x13, 0xFE},
+		{0x02, 0x87, 0x15},
+		{0x01, 0xFF, 0xFF},
+		{0x00, 0xAB, 0x00},
+	}
+	for _, tt := range tests {
+		if got := Mul(tt.a, tt.b); got != tt.want {
+			t.Errorf("Mul(%#x, %#x) = %#x, want %#x", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestAddIsXor(t *testing.T) {
+	if Add(0x57, 0x83) != 0xD4 {
+		t.Errorf("Add(0x57, 0x83) = %#x, want 0xD4", Add(0x57, 0x83))
+	}
+	prop := func(a, b byte) bool {
+		return Add(a, b) == a^b && Sub(a, b) == a^b
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	t.Run("multiplicative commutativity", func(t *testing.T) {
+		prop := func(a, b byte) bool { return Mul(a, b) == Mul(b, a) }
+		if err := quick.Check(prop, nil); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("multiplicative associativity", func(t *testing.T) {
+		prop := func(a, b, c byte) bool { return Mul(Mul(a, b), c) == Mul(a, Mul(b, c)) }
+		if err := quick.Check(prop, nil); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("distributivity", func(t *testing.T) {
+		prop := func(a, b, c byte) bool { return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c)) }
+		if err := quick.Check(prop, nil); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("multiplicative identity", func(t *testing.T) {
+		prop := func(a byte) bool { return Mul(a, 1) == a }
+		if err := quick.Check(prop, nil); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("additive identity and inverse", func(t *testing.T) {
+		prop := func(a byte) bool { return Add(a, 0) == a && Add(a, a) == 0 }
+		if err := quick.Check(prop, nil); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestInv(t *testing.T) {
+	if Inv(0) != 0 {
+		t.Error("Inv(0) must be 0 by convention")
+	}
+	for a := 1; a < 256; a++ {
+		if got := Mul(byte(a), Inv(byte(a))); got != 1 {
+			t.Fatalf("a·Inv(a) = %d for a = %d, want 1", got, a)
+		}
+	}
+}
+
+func TestDiv(t *testing.T) {
+	if Div(5, 0) != 0 {
+		t.Error("Div by zero must return 0")
+	}
+	if Div(0, 7) != 0 {
+		t.Error("Div of zero must return 0")
+	}
+	prop := func(a, b byte) bool {
+		if b == 0 {
+			return Div(a, b) == 0
+		}
+		return Mul(Div(a, b), b) == a
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPow(t *testing.T) {
+	tests := []struct {
+		a    byte
+		e    int
+		want byte
+	}{
+		{0, 0, 1},
+		{0, 5, 0},
+		{1, 100, 1},
+		{2, 1, 2},
+		{2, 8, 0x1B}, // x^8 reduces to the polynomial tail
+		{3, 255, 1},  // group order
+	}
+	for _, tt := range tests {
+		if got := Pow(tt.a, tt.e); got != tt.want {
+			t.Errorf("Pow(%d, %d) = %#x, want %#x", tt.a, tt.e, got, tt.want)
+		}
+	}
+	// Pow must agree with repeated multiplication.
+	for a := 0; a < 256; a += 7 {
+		acc := byte(1)
+		for e := 0; e < 20; e++ {
+			if got := Pow(byte(a), e); got != acc {
+				t.Fatalf("Pow(%d, %d) = %d, want %d", a, e, got, acc)
+			}
+			acc = Mul(acc, byte(a))
+		}
+	}
+}
+
+func TestEvalPoly(t *testing.T) {
+	// p(x) = 5 + 3x + x^2 over GF(2^8).
+	coeffs := []byte{5, 3, 1}
+	if got := EvalPoly(coeffs, 0); got != 5 {
+		t.Errorf("p(0) = %d, want 5", got)
+	}
+	want := Add(Add(5, Mul(3, 2)), Mul(2, 2))
+	if got := EvalPoly(coeffs, 2); got != want {
+		t.Errorf("p(2) = %d, want %d", got, want)
+	}
+	if got := EvalPoly(nil, 9); got != 0 {
+		t.Errorf("empty poly = %d, want 0", got)
+	}
+}
+
+func TestInterpolateRecoversConstantTerm(t *testing.T) {
+	coeffs := []byte{0xA7, 0x14, 0x99} // degree 2, secret 0xA7
+	xs := []byte{1, 2, 3}
+	ys := make([]byte, len(xs))
+	for i, x := range xs {
+		ys[i] = EvalPoly(coeffs, x)
+	}
+	got, ok := Interpolate(xs, ys)
+	if !ok || got != 0xA7 {
+		t.Fatalf("Interpolate = %#x, %v; want 0xA7, true", got, ok)
+	}
+}
+
+func TestInterpolateRejectsBadInput(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []byte
+		ys   []byte
+	}{
+		{"empty", nil, nil},
+		{"length mismatch", []byte{1, 2}, []byte{3}},
+		{"zero x", []byte{0, 1}, []byte{1, 2}},
+		{"duplicate x", []byte{2, 2}, []byte{1, 2}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, ok := Interpolate(tt.xs, tt.ys); ok {
+				t.Error("Interpolate accepted invalid input")
+			}
+		})
+	}
+}
+
+// TestInterpolateProperty: for random polynomials of random degree, any
+// d+1 distinct evaluation points recover the constant term.
+func TestInterpolateProperty(t *testing.T) {
+	prop := func(secret byte, rest []byte, perm uint) bool {
+		degree := len(rest) % 8
+		coeffs := append([]byte{secret}, rest[:degree]...)
+		// Pick degree+1 distinct non-zero xs, offset by perm for variety.
+		xs := make([]byte, degree+1)
+		ys := make([]byte, degree+1)
+		for i := range xs {
+			xs[i] = byte(1 + (int(perm%255)+i*17)%255)
+		}
+		if hasDup(xs) {
+			return true // skip degenerate sample
+		}
+		for i, x := range xs {
+			ys[i] = EvalPoly(coeffs, x)
+		}
+		got, ok := Interpolate(xs, ys)
+		return ok && got == secret
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func hasDup(xs []byte) bool {
+	seen := map[byte]bool{}
+	for _, x := range xs {
+		if seen[x] {
+			return true
+		}
+		seen[x] = true
+	}
+	return false
+}

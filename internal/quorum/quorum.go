@@ -1,0 +1,121 @@
+// Package quorum centralizes the threshold arithmetic of Bracha's protocol
+// suite. Every magic number of the paper — n−f waits, 2f+1 decision quorums,
+// f+1 adoption/amplification thresholds, >n/2 supermajorities, and the
+// reliable-broadcast echo threshold ⌈(n+f+1)/2⌉ — lives here, so protocol
+// code states intent (`q.Decide()`) instead of arithmetic.
+package quorum
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalid is returned by New for nonsensical (n, f) combinations.
+var ErrInvalid = errors.New("quorum: invalid system size")
+
+// Spec captures the failure assumption of a run: n processes of which at most
+// f may be Byzantine. The zero value is invalid; construct with New.
+//
+// Spec does not require f < n/3: experiment E7 deliberately instantiates
+// over-optimistic specs (more actual faults than assumed) to demonstrate the
+// tightness of the resilience bound. Use Optimal/IsOptimal/Tolerates to
+// reason about the bound itself.
+type Spec struct {
+	n int
+	f int
+}
+
+// New returns a Spec for n processes tolerating f Byzantine faults.
+// It requires n ≥ 1, f ≥ 0, and f < n (at least one correct process);
+// it does not require the Byzantine bound f < n/3 (see Spec).
+func New(n, f int) (Spec, error) {
+	switch {
+	case n < 1:
+		return Spec{}, fmt.Errorf("%w: n = %d", ErrInvalid, n)
+	case f < 0:
+		return Spec{}, fmt.Errorf("%w: f = %d", ErrInvalid, f)
+	case f >= n:
+		return Spec{}, fmt.Errorf("%w: f = %d with n = %d leaves no correct process", ErrInvalid, f, n)
+	}
+	return Spec{n: n, f: f}, nil
+}
+
+// MustNew is New for statically known good parameters; it panics on error.
+// Intended for tests and examples only.
+func MustNew(n, f int) Spec {
+	s, err := New(n, f)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// N returns the total number of processes.
+func (s Spec) N() int { return s.n }
+
+// F returns the assumed maximum number of Byzantine processes.
+func (s Spec) F() int { return s.f }
+
+// Quorum returns n−f, the number of messages a process waits for at each
+// protocol step: the most it can expect without risking waiting on a
+// Byzantine process forever.
+func (s Spec) Quorum() int { return s.n - s.f }
+
+// Decide returns 2f+1, the number of matching D(v) step-3 messages (or
+// DECIDE gadget messages) required to decide: any two (n−f)-sets intersect in
+// ≥ n−2f ≥ f+1 processes, so 2f+1 witnesses guarantee every other correct
+// process sees at least f+1 of them.
+func (s Spec) Decide() int { return 2*s.f + 1 }
+
+// Adopt returns f+1, the number of matching witnesses that guarantees at
+// least one correct process among them (adoption threshold in step 3 and the
+// relay threshold of the READY / DECIDE amplifications).
+func (s Spec) Adopt() int { return s.f + 1 }
+
+// SuperMajority returns ⌊n/2⌋+1, the smallest count strictly greater than
+// n/2 (the step-2 decision-proposal threshold).
+func (s Spec) SuperMajority() int { return s.n/2 + 1 }
+
+// Echo returns ⌈(n+f+1)/2⌉, the reliable-broadcast echo threshold: two
+// echo quorums for different bodies would need n+f+1 distinct echoes, more
+// than the n+f signatures-worth of echo power even Byzantine processes can
+// muster, so at most one body can reach it.
+func (s Spec) Echo() int { return (s.n + s.f + 2) / 2 }
+
+// HonestSuperMajority returns ⌊(n+f)/2⌋+1, the Ben-Or baseline's phase
+// threshold (strictly more than (n+f)/2 matching values).
+func (s Spec) HonestSuperMajority() int { return (s.n+s.f)/2 + 1 }
+
+// IsOptimal reports whether the spec satisfies the paper's resilience bound
+// n > 3f.
+func (s Spec) IsOptimal() bool { return s.n > 3*s.f }
+
+// String implements fmt.Stringer.
+func (s Spec) String() string { return fmt.Sprintf("n=%d f=%d", s.n, s.f) }
+
+// MaxByzantine returns ⌊(n−1)/3⌋, the largest f Bracha's protocol tolerates
+// for a given n — the paper's optimal resilience.
+func MaxByzantine(n int) int {
+	if n < 1 {
+		return 0
+	}
+	return (n - 1) / 3
+}
+
+// MinProcesses returns 3f+1, the smallest system that tolerates f Byzantine
+// processes.
+func MinProcesses(f int) int {
+	if f < 0 {
+		return 1
+	}
+	return 3*f + 1
+}
+
+// BenOrMaxByzantine returns ⌈n/5⌉−1, the largest f the Ben-Or (1983)
+// baseline tolerates (it requires n > 5f).
+func BenOrMaxByzantine(n int) int {
+	if n < 1 {
+		return 0
+	}
+	return (n - 1) / 5
+}

@@ -1,0 +1,40 @@
+package rbc_test
+
+import (
+	"fmt"
+
+	"repro/internal/quorum"
+	"repro/internal/rbc"
+	"repro/internal/types"
+)
+
+// Example shows one reliable broadcast among four processes, pumped by
+// hand: p1 broadcasts, everyone delivers the same body.
+func Example() {
+	spec := quorum.MustNew(4, 1)
+	peers := types.Processes(4)
+	nodes := map[types.ProcessID]*rbc.Broadcaster{}
+	for _, p := range peers {
+		nodes[p] = rbc.New(p, peers, spec)
+	}
+
+	queue := nodes[1].Broadcast(types.Tag{Seq: 1}, "hello")
+	for len(queue) > 0 {
+		m := queue[0]
+		queue = queue[1:]
+		p, ok := m.Payload.(*types.RBCPayload)
+		if !ok {
+			continue
+		}
+		out, deliveries := nodes[m.To].Handle(m.From, p)
+		queue = append(queue, out...)
+		for _, d := range deliveries {
+			fmt.Printf("%v delivered %q from %v\n", m.To, d.Body, d.ID.Sender)
+		}
+	}
+	// Output:
+	// p1 delivered "hello" from p1
+	// p2 delivered "hello" from p1
+	// p3 delivered "hello" from p1
+	// p4 delivered "hello" from p1
+}

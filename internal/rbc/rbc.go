@@ -1,0 +1,184 @@
+// Package rbc implements Bracha's reliable broadcast, the first contribution
+// of the PODC-84 paper and the primitive every consensus step message rides
+// on. It guarantees, with n > 3f and authenticated asynchronous links:
+//
+//   - Validity: if the sender is correct, every correct process delivers its
+//     message.
+//   - Agreement (consistency): no two correct processes deliver different
+//     messages for the same instance — a Byzantine sender cannot
+//     equivocate.
+//   - Integrity: every correct process delivers at most once per instance.
+//   - Totality: if any correct process delivers, every correct process
+//     eventually delivers.
+//
+// Mechanics (per instance, identified by sender and application tag):
+//
+//	sender:   SEND(body) to all
+//	on SEND(body) from the instance's sender, first one only:
+//	          ECHO(body) to all
+//	on ⌈(n+f+1)/2⌉ ECHO(body), or f+1 READY(body), if no READY sent yet:
+//	          READY(body) to all
+//	on 2f+1 READY(body), if not yet delivered:
+//	          deliver(body)
+//
+// The echo threshold makes two quorums for different bodies impossible; the
+// f+1 READY amplification makes delivery contagious (totality); 2f+1 READYs
+// contain at least f+1 correct witnesses, which seed the amplification at
+// every other correct process.
+package rbc
+
+import (
+	"fmt"
+
+	"repro/internal/quorum"
+	"repro/internal/types"
+)
+
+// Delivery is one reliable-broadcast output: instance and agreed body.
+type Delivery struct {
+	ID   types.InstanceID
+	Body string
+}
+
+// String implements fmt.Stringer.
+func (d Delivery) String() string { return fmt.Sprintf("deliver %s: %q", d.ID, d.Body) }
+
+// Broadcaster multiplexes all reliable-broadcast instances of one process.
+// It is a deterministic state machine: Handle consumes one payload and
+// returns the messages and deliveries it triggers. Not safe for concurrent
+// use; the owning node serializes input.
+type Broadcaster struct {
+	me        types.ProcessID
+	peers     []types.ProcessID
+	spec      quorum.Spec
+	instances map[types.InstanceID]*instance
+}
+
+// New creates a Broadcaster for process me among peers (which must include
+// me, matching the paper's "send to all" that includes the sender).
+func New(me types.ProcessID, peers []types.ProcessID, spec quorum.Spec) *Broadcaster {
+	return &Broadcaster{
+		me:        me,
+		peers:     append([]types.ProcessID(nil), peers...),
+		spec:      spec,
+		instances: make(map[types.InstanceID]*instance),
+	}
+}
+
+// instance is the per-(sender, tag) state.
+type instance struct {
+	echoedBody *string // body this process echoed (at most one, ever)
+	readyBody  *string // body this process sent READY for (at most one)
+	delivered  bool
+	echoes     map[string]map[types.ProcessID]bool
+	readies    map[string]map[types.ProcessID]bool
+}
+
+func (b *Broadcaster) inst(id types.InstanceID) *instance {
+	in, ok := b.instances[id]
+	if !ok {
+		in = &instance{
+			echoes:  make(map[string]map[types.ProcessID]bool),
+			readies: make(map[string]map[types.ProcessID]bool),
+		}
+		b.instances[id] = in
+	}
+	return in
+}
+
+// Broadcast starts an instance with this process as sender: it emits the
+// SEND to every peer (including itself; the echo happens on receipt, so a
+// process's own broadcast follows the same path as everyone else's).
+func (b *Broadcaster) Broadcast(tag types.Tag, body string) []types.Message {
+	id := types.InstanceID{Sender: b.me, Tag: tag}
+	p := &types.RBCPayload{Phase: types.KindRBCSend, ID: id, Body: body}
+	return types.Broadcast(b.me, b.peers, p)
+}
+
+// Handle processes one incoming RBC payload from `from` and returns the
+// protocol messages plus any deliveries it triggers. Malformed payloads
+// (wrong phase kinds, SENDs not from the claimed sender) are ignored.
+func (b *Broadcaster) Handle(from types.ProcessID, p *types.RBCPayload) ([]types.Message, []Delivery) {
+	if p == nil {
+		return nil, nil
+	}
+	switch p.Phase {
+	case types.KindRBCSend:
+		// Authenticated links: a SEND for instance (s, tag) counts only if
+		// it actually came from s.
+		if from != p.ID.Sender {
+			return nil, nil
+		}
+		return b.onSend(p), nil
+	case types.KindRBCEcho:
+		return b.onEcho(from, p)
+	case types.KindRBCReady:
+		return b.onReady(from, p)
+	default:
+		return nil, nil
+	}
+}
+
+func (b *Broadcaster) onSend(p *types.RBCPayload) []types.Message {
+	in := b.inst(p.ID)
+	if in.echoedBody != nil {
+		return nil // already echoed a body for this instance (first SEND wins)
+	}
+	body := p.Body
+	in.echoedBody = &body
+	echo := &types.RBCPayload{Phase: types.KindRBCEcho, ID: p.ID, Body: body}
+	return types.Broadcast(b.me, b.peers, echo)
+}
+
+func (b *Broadcaster) onEcho(from types.ProcessID, p *types.RBCPayload) ([]types.Message, []Delivery) {
+	in := b.inst(p.ID)
+	set := in.echoes[p.Body]
+	if set == nil {
+		set = make(map[types.ProcessID]bool)
+		in.echoes[p.Body] = set
+	}
+	set[from] = true
+	return b.maybeReadyAndDeliver(in, p.ID, p.Body)
+}
+
+func (b *Broadcaster) onReady(from types.ProcessID, p *types.RBCPayload) ([]types.Message, []Delivery) {
+	in := b.inst(p.ID)
+	set := in.readies[p.Body]
+	if set == nil {
+		set = make(map[types.ProcessID]bool)
+		in.readies[p.Body] = set
+	}
+	set[from] = true
+	return b.maybeReadyAndDeliver(in, p.ID, p.Body)
+}
+
+// maybeReadyAndDeliver applies the two threshold rules for body after any
+// counter change.
+func (b *Broadcaster) maybeReadyAndDeliver(in *instance, id types.InstanceID, body string) ([]types.Message, []Delivery) {
+	var out []types.Message
+	if in.readyBody == nil &&
+		(len(in.echoes[body]) >= b.spec.Echo() || len(in.readies[body]) >= b.spec.Adopt()) {
+		bodyCopy := body
+		in.readyBody = &bodyCopy
+		ready := &types.RBCPayload{Phase: types.KindRBCReady, ID: id, Body: body}
+		out = types.Broadcast(b.me, b.peers, ready)
+	}
+	var deliveries []Delivery
+	if !in.delivered && len(in.readies[body]) >= b.spec.Decide() {
+		in.delivered = true
+		deliveries = append(deliveries, Delivery{ID: id, Body: body})
+	}
+	return out, deliveries
+}
+
+// Delivered reports whether the given instance has delivered at this
+// process.
+func (b *Broadcaster) Delivered(id types.InstanceID) bool {
+	in, ok := b.instances[id]
+	return ok && in.delivered
+}
+
+// Instances returns the number of instances this broadcaster tracks
+// (diagnostics; Byzantine processes can create instances freely, so memory
+// pressure is observable here).
+func (b *Broadcaster) Instances() int { return len(b.instances) }

@@ -1,0 +1,336 @@
+package rbc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/quorum"
+	"repro/internal/types"
+)
+
+// cluster is a minimal synchronous pump for Broadcasters: FIFO queue, no
+// sim dependency, Byzantine processes modelled by injecting raw messages.
+type cluster struct {
+	t         *testing.T
+	spec      quorum.Spec
+	correct   map[types.ProcessID]*Broadcaster
+	queue     []types.Message
+	delivered map[types.ProcessID][]Delivery
+	sent      int
+}
+
+func newCluster(t *testing.T, n, f int, correct []types.ProcessID) *cluster {
+	t.Helper()
+	spec := quorum.MustNew(n, f)
+	peers := types.Processes(n)
+	c := &cluster{
+		t:         t,
+		spec:      spec,
+		correct:   make(map[types.ProcessID]*Broadcaster),
+		delivered: make(map[types.ProcessID][]Delivery),
+	}
+	for _, p := range correct {
+		c.correct[p] = New(p, peers, spec)
+	}
+	return c
+}
+
+func (c *cluster) enqueue(msgs []types.Message) {
+	c.sent += len(msgs)
+	c.queue = append(c.queue, msgs...)
+}
+
+func (c *cluster) pump() {
+	for len(c.queue) > 0 {
+		m := c.queue[0]
+		c.queue = c.queue[1:]
+		b, ok := c.correct[m.To]
+		if !ok {
+			continue // message to a Byzantine or nonexistent process
+		}
+		p, ok := m.Payload.(*types.RBCPayload)
+		if !ok {
+			continue
+		}
+		out, ds := b.Handle(m.From, p)
+		c.enqueue(out)
+		c.delivered[m.To] = append(c.delivered[m.To], ds...)
+	}
+}
+
+func (c *cluster) uniqueBodies() map[string]bool {
+	bodies := map[string]bool{}
+	for _, ds := range c.delivered {
+		for _, d := range ds {
+			bodies[d.Body] = true
+		}
+	}
+	return bodies
+}
+
+func TestCorrectSenderAllDeliver(t *testing.T) {
+	for _, tc := range []struct{ n, f int }{{4, 1}, {7, 2}, {10, 3}} {
+		c := newCluster(t, tc.n, tc.f, types.Processes(tc.n))
+		tag := types.Tag{Seq: 1}
+		c.enqueue(c.correct[1].Broadcast(tag, "payload"))
+		c.pump()
+		for p, b := range c.correct {
+			ds := c.delivered[p]
+			if len(ds) != 1 || ds[0].Body != "payload" {
+				t.Fatalf("n=%d: %v delivered %v", tc.n, p, ds)
+			}
+			if !b.Delivered(types.InstanceID{Sender: 1, Tag: tag}) {
+				t.Fatalf("n=%d: %v Delivered() is false after delivery", tc.n, p)
+			}
+		}
+	}
+}
+
+func TestMessageComplexityQuadratic(t *testing.T) {
+	// One broadcast costs exactly n SENDs + n ECHO broadcasts + n READY
+	// broadcasts = n + 2n² messages when everyone is correct.
+	for _, n := range []int{4, 7, 10} {
+		c := newCluster(t, n, quorum.MaxByzantine(n), types.Processes(n))
+		c.enqueue(c.correct[1].Broadcast(types.Tag{Seq: 1}, "m"))
+		c.pump()
+		want := n + 2*n*n
+		if c.sent != want {
+			t.Errorf("n=%d: %d messages, want %d", n, c.sent, want)
+		}
+	}
+}
+
+func TestValidityWithSilentByzantine(t *testing.T) {
+	// f Byzantine processes stay silent; a correct sender's broadcast must
+	// still deliver everywhere (thresholds reachable by correct alone).
+	n, f := 7, 2
+	correct := types.Processes(n)[:n-f]
+	c := newCluster(t, n, f, correct)
+	c.enqueue(c.correct[1].Broadcast(types.Tag{Seq: 1}, "m"))
+	c.pump()
+	for _, p := range correct {
+		if len(c.delivered[p]) != 1 {
+			t.Fatalf("%v delivered %d bodies, want 1", p, len(c.delivered[p]))
+		}
+	}
+}
+
+func TestEquivocatingSenderCannotSplit(t *testing.T) {
+	// Byzantine p4 sends body A to p1, p2 and body B to p3, then echoes and
+	// readies both bodies to everyone. Correct processes must not deliver
+	// different bodies.
+	n, f := 4, 1
+	byz := types.ProcessID(4)
+	correct := types.Processes(3)
+	c := newCluster(t, n, f, correct)
+
+	idA := types.InstanceID{Sender: byz, Tag: types.Tag{Seq: 1}}
+	send := func(to types.ProcessID, phase types.Kind, body string) types.Message {
+		return types.Message{From: byz, To: to, Payload: &types.RBCPayload{Phase: phase, ID: idA, Body: body}}
+	}
+	c.enqueue([]types.Message{
+		send(1, types.KindRBCSend, "A"),
+		send(2, types.KindRBCSend, "A"),
+		send(3, types.KindRBCSend, "B"),
+	})
+	for _, p := range correct {
+		c.enqueue([]types.Message{
+			send(p, types.KindRBCEcho, "A"),
+			send(p, types.KindRBCEcho, "B"),
+			send(p, types.KindRBCReady, "A"),
+			send(p, types.KindRBCReady, "B"),
+		})
+	}
+	c.pump()
+	if bodies := c.uniqueBodies(); len(bodies) > 1 {
+		t.Fatalf("agreement broken: delivered bodies %v", bodies)
+	}
+}
+
+func TestEquivocationSymmetricSplitDeliversNothingOrOne(t *testing.T) {
+	// n=7, f=2: two Byzantine processes try a 3/2 split among the 5 correct.
+	n := 7
+	byz := []types.ProcessID{6, 7}
+	correct := types.Processes(5)
+	c := newCluster(t, n, 2, correct)
+	id := types.InstanceID{Sender: 6, Tag: types.Tag{Seq: 9}}
+	for i, p := range correct {
+		body := "A"
+		if i >= 3 {
+			body = "B"
+		}
+		c.enqueue([]types.Message{{From: 6, To: p, Payload: &types.RBCPayload{Phase: types.KindRBCSend, ID: id, Body: body}}})
+	}
+	// Both Byzantine processes echo both bodies to everyone.
+	for _, b := range byz {
+		for _, p := range correct {
+			for _, body := range []string{"A", "B"} {
+				c.enqueue([]types.Message{{From: b, To: p, Payload: &types.RBCPayload{Phase: types.KindRBCEcho, ID: id, Body: body}}})
+			}
+		}
+	}
+	c.pump()
+	if bodies := c.uniqueBodies(); len(bodies) > 1 {
+		t.Fatalf("agreement broken: %v", bodies)
+	}
+}
+
+func TestSendFromNonSenderIgnored(t *testing.T) {
+	c := newCluster(t, 4, 1, types.Processes(4))
+	id := types.InstanceID{Sender: 2, Tag: types.Tag{Seq: 1}}
+	// p3 claims to relay p2's SEND: must be ignored (only p2 may SEND for
+	// its own instance).
+	c.enqueue([]types.Message{{From: 3, To: 1, Payload: &types.RBCPayload{Phase: types.KindRBCSend, ID: id, Body: "x"}}})
+	c.pump()
+	if c.sent != 1 {
+		t.Fatalf("spoofed SEND triggered traffic: %d messages", c.sent)
+	}
+	if len(c.delivered[1]) != 0 {
+		t.Fatal("spoofed SEND caused a delivery")
+	}
+}
+
+func TestDuplicateEchoesCountOnce(t *testing.T) {
+	n, f := 4, 1
+	c := newCluster(t, n, f, types.Processes(n)[:1]) // only p1 correct, just counting
+	b := c.correct[1]
+	id := types.InstanceID{Sender: 2, Tag: types.Tag{Seq: 1}}
+	var msgs []types.Message
+	for i := 0; i < 10; i++ { // p3 echoes the same body ten times
+		out, _ := b.Handle(3, &types.RBCPayload{Phase: types.KindRBCEcho, ID: id, Body: "m"})
+		msgs = append(msgs, out...)
+	}
+	if len(msgs) != 0 {
+		t.Fatalf("duplicate echoes from one process reached the echo threshold (%d)", c.spec.Echo())
+	}
+}
+
+func TestReadyAmplificationTotality(t *testing.T) {
+	// A process that saw no SEND and no ECHO must still deliver from READYs
+	// alone: f+1 READYs make it send its own READY; 2f+1 make it deliver.
+	n, f := 4, 1
+	c := newCluster(t, n, f, types.Processes(n)[:1])
+	b := c.correct[1]
+	id := types.InstanceID{Sender: 4, Tag: types.Tag{Seq: 2}}
+
+	out, ds := b.Handle(2, &types.RBCPayload{Phase: types.KindRBCReady, ID: id, Body: "m"})
+	if len(out) != 0 || len(ds) != 0 {
+		t.Fatal("one READY must not trigger anything")
+	}
+	out, ds = b.Handle(3, &types.RBCPayload{Phase: types.KindRBCReady, ID: id, Body: "m"})
+	if len(out) != n { // f+1 = 2 readies: p1 broadcasts its own READY
+		t.Fatalf("expected READY broadcast after f+1 readies, got %d messages", len(out))
+	}
+	if len(ds) != 0 {
+		t.Fatal("2 readies must not deliver yet")
+	}
+	// p1's own READY comes back to it via the network; simulate that.
+	_, ds = b.Handle(1, &types.RBCPayload{Phase: types.KindRBCReady, ID: id, Body: "m"})
+	if len(ds) != 1 || ds[0].Body != "m" {
+		t.Fatalf("expected delivery at 2f+1 readies, got %v", ds)
+	}
+	// Further readies must not deliver again (integrity).
+	_, ds = b.Handle(4, &types.RBCPayload{Phase: types.KindRBCReady, ID: id, Body: "m"})
+	if len(ds) != 0 {
+		t.Fatal("delivered twice")
+	}
+}
+
+func TestOnlyOneReadyPerInstance(t *testing.T) {
+	// Once a process READYs body A, f+1 readies for body B must not make it
+	// send a second READY (the per-instance ready is single-shot; this is
+	// what makes two ready quorums for different bodies intersect in correct
+	// processes).
+	n, f := 4, 1
+	c := newCluster(t, n, f, types.Processes(n)[:1])
+	b := c.correct[1]
+	id := types.InstanceID{Sender: 4, Tag: types.Tag{Seq: 3}}
+	_ = f
+
+	b.Handle(2, &types.RBCPayload{Phase: types.KindRBCReady, ID: id, Body: "A"})
+	out, _ := b.Handle(3, &types.RBCPayload{Phase: types.KindRBCReady, ID: id, Body: "A"})
+	if len(out) == 0 {
+		t.Fatal("expected READY(A)")
+	}
+	b.Handle(2, &types.RBCPayload{Phase: types.KindRBCReady, ID: id, Body: "B"})
+	out, _ = b.Handle(3, &types.RBCPayload{Phase: types.KindRBCReady, ID: id, Body: "B"})
+	if len(out) != 0 {
+		t.Fatal("process sent a second READY for a different body")
+	}
+}
+
+func TestSelfBroadcastDelivers(t *testing.T) {
+	// A single-process system (n=1, f=0) must deliver its own broadcast:
+	// degenerate but exercises the self-path thresholds.
+	c := newCluster(t, 1, 0, types.Processes(1))
+	c.enqueue(c.correct[1].Broadcast(types.Tag{Seq: 1}, "solo"))
+	c.pump()
+	if len(c.delivered[1]) != 1 || c.delivered[1][0].Body != "solo" {
+		t.Fatalf("solo delivery failed: %v", c.delivered[1])
+	}
+}
+
+func TestIndependentInstances(t *testing.T) {
+	// Two tags from the same sender and the same tag from two senders are
+	// four independent instances.
+	c := newCluster(t, 4, 1, types.Processes(4))
+	c.enqueue(c.correct[1].Broadcast(types.Tag{Seq: 1}, "a"))
+	c.enqueue(c.correct[1].Broadcast(types.Tag{Seq: 2}, "b"))
+	c.enqueue(c.correct[2].Broadcast(types.Tag{Seq: 1}, "c"))
+	c.enqueue(c.correct[2].Broadcast(types.Tag{Round: 1, Step: types.Step1}, "d"))
+	c.pump()
+	for p := range c.correct {
+		if len(c.delivered[p]) != 4 {
+			t.Fatalf("%v delivered %d, want 4: %v", p, len(c.delivered[p]), c.delivered[p])
+		}
+		got := map[string]bool{}
+		for _, d := range c.delivered[p] {
+			got[d.Body] = true
+		}
+		for _, want := range []string{"a", "b", "c", "d"} {
+			if !got[want] {
+				t.Fatalf("%v missing body %q", p, want)
+			}
+		}
+	}
+	if c.correct[1].Instances() != 4 {
+		t.Errorf("Instances() = %d, want 4", c.correct[1].Instances())
+	}
+}
+
+func TestHandleGarbage(t *testing.T) {
+	c := newCluster(t, 4, 1, types.Processes(4)[:1])
+	b := c.correct[1]
+	if out, ds := b.Handle(2, nil); out != nil || ds != nil {
+		t.Error("nil payload must be inert")
+	}
+	bad := &types.RBCPayload{Phase: types.KindDecide, ID: types.InstanceID{Sender: 2}}
+	if out, ds := b.Handle(2, bad); out != nil || ds != nil {
+		t.Error("non-RBC phase must be inert")
+	}
+}
+
+func TestDeliveryString(t *testing.T) {
+	d := Delivery{ID: types.InstanceID{Sender: 2, Tag: types.Tag{Seq: 5}}, Body: "x"}
+	if !strings.Contains(d.String(), "p2@seq5") {
+		t.Errorf("String() = %q", d.String())
+	}
+}
+
+func TestAtBoundaryNEquals3F(t *testing.T) {
+	// n = 3f (one fault too many assumed tolerable): safety must still hold
+	// for a silent-Byzantine run, but liveness is lost — with f silent, the
+	// echo threshold ⌈(n+f+1)/2⌉ exceeds the number of correct processes...
+	// verify no delivery and no panic.
+	n, f := 6, 2
+	correct := types.Processes(4)
+	c := newCluster(t, n, f, correct)
+	c.enqueue(c.correct[1].Broadcast(types.Tag{Seq: 1}, "m"))
+	c.pump()
+	// Echo threshold is ⌈9/2⌉ = 5 > 4 correct: nobody delivers.
+	for _, p := range correct {
+		if len(c.delivered[p]) != 0 {
+			t.Fatalf("%v delivered despite unreachable threshold", p)
+		}
+	}
+}

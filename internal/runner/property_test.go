@@ -1,0 +1,78 @@
+package runner
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestRBCPropertyRandomized fuzzes reliable broadcast over random system
+// sizes, fault counts, schedules, and sender behaviour: the four RBC
+// properties must hold on every run.
+func TestRBCPropertyRandomized(t *testing.T) {
+	prop := func(seed int64, nRaw, byzRaw uint8, equivocate bool) bool {
+		n := 4 + int(nRaw)%10 // 4..13
+		f := (n - 1) / 3
+		byz := int(byzRaw) % (f + 1)
+		if equivocate && byz == 0 {
+			equivocate = false
+		}
+		res, err := RunRBC(RBCConfig{
+			N: n, F: f, Byzantine: byz,
+			SenderEquivocates: equivocate,
+			Seed:              seed,
+		})
+		if err != nil {
+			t.Logf("config error: %v", err)
+			return false
+		}
+		if len(res.Violations) > 0 {
+			t.Logf("n=%d f=%d byz=%d equiv=%v seed=%d: %v", n, f, byz, equivocate, seed, res.Violations)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConsensusPropertyRandomized fuzzes full consensus over random sizes,
+// coins, adversaries, and schedulers at optimal resilience: no run may
+// violate safety, and every run must terminate.
+func TestConsensusPropertyRandomized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized sweep")
+	}
+	coins := []CoinKind{CoinLocal, CoinCommon, CoinIdeal}
+	advs := []Adversary{AdvNone, AdvSilent, AdvEquivocator, AdvLiar, AdvDecideForger, AdvSplitBrain}
+	scheds := []SchedulerKind{SchedUniform, SchedFIFO, SchedRushByz, SchedPartition}
+	inputs := []Inputs{InputUnanimous0, InputUnanimous1, InputSplit, InputRandom}
+
+	prop := func(seed int64, nRaw, coinRaw, advRaw, schedRaw, inRaw uint8) bool {
+		n := 4 + int(nRaw)%7 // 4..10
+		f := (n - 1) / 3
+		cfg := Config{
+			N: n, F: f, Byzantine: -1,
+			Protocol:  ProtocolBracha,
+			Coin:      coins[int(coinRaw)%len(coins)],
+			Adversary: advs[int(advRaw)%len(advs)],
+			Scheduler: scheds[int(schedRaw)%len(scheds)],
+			Inputs:    inputs[int(inRaw)%len(inputs)],
+			Seed:      seed,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Logf("run error: %v (cfg %+v)", err, cfg)
+			return false
+		}
+		if len(res.Violations) > 0 || !res.AllDecided || res.Exhausted {
+			t.Logf("cfg %+v: violations=%v decided=%v exhausted=%v",
+				cfg, res.Violations, res.AllDecided, res.Exhausted)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,480 @@
+// Package runner is the experiment harness: it assembles a cluster (correct
+// nodes of either protocol, Byzantine adversaries, a scheduler, a coin),
+// runs it on the simulator to quiescence, applies the invariant checkers,
+// and reports metrics. Every test sweep, benchmark, and cmd/bench experiment
+// goes through Run, so "0 violations" always means machine-checked.
+package runner
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/baseline"
+	"repro/internal/check"
+	"repro/internal/coin"
+	"repro/internal/core"
+	"repro/internal/quorum"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// Protocol selects the consensus implementation.
+type Protocol int
+
+// Protocols.
+const (
+	ProtocolBracha Protocol = iota + 1 // the paper's protocol (n > 3f)
+	ProtocolBenOr                      // the 1983 baseline (n > 5f)
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolBracha:
+		return "bracha"
+	case ProtocolBenOr:
+		return "benor"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// CoinKind selects the randomization source.
+type CoinKind int
+
+// Coin kinds.
+const (
+	CoinLocal  CoinKind = iota + 1 // private per-process flips (Ben-Or style)
+	CoinCommon                     // Rabin-style dealer coin
+	CoinIdeal                      // test-only shared coin, no messages
+)
+
+// String implements fmt.Stringer.
+func (c CoinKind) String() string {
+	switch c {
+	case CoinLocal:
+		return "local"
+	case CoinCommon:
+		return "common"
+	case CoinIdeal:
+		return "ideal"
+	default:
+		return fmt.Sprintf("CoinKind(%d)", int(c))
+	}
+}
+
+// Adversary selects the Byzantine behaviour of the faulty processes.
+type Adversary int
+
+// Adversary kinds.
+const (
+	AdvNone         Adversary = iota + 1 // no faulty processes at all
+	AdvSilent                            // crash at time zero
+	AdvEquivocator                       // RBC equivocation + double echo/ready
+	AdvLiar                              // protocol-shaped value flipping
+	AdvDecideForger                      // forged DECIDE gadget messages
+	AdvSplitBrain                        // per-partition personalities (E7)
+	AdvCrashMidway                       // correct participation, then mid-protocol crash
+)
+
+// String implements fmt.Stringer.
+func (a Adversary) String() string {
+	switch a {
+	case AdvNone:
+		return "none"
+	case AdvSilent:
+		return "silent"
+	case AdvEquivocator:
+		return "equivocator"
+	case AdvLiar:
+		return "liar"
+	case AdvDecideForger:
+		return "decide-forger"
+	case AdvSplitBrain:
+		return "split-brain"
+	case AdvCrashMidway:
+		return "crash-midway"
+	default:
+		return fmt.Sprintf("Adversary(%d)", int(a))
+	}
+}
+
+// SchedulerKind selects message scheduling.
+type SchedulerKind int
+
+// Scheduler kinds.
+const (
+	SchedUniform   SchedulerKind = iota + 1 // uniform random delays (fair async)
+	SchedFIFO                               // uniform + per-link FIFO
+	SchedRushByz                            // uniform, Byzantine traffic rushed
+	SchedPartition                          // uniform, cross-partition traffic delayed
+)
+
+// String implements fmt.Stringer.
+func (s SchedulerKind) String() string {
+	switch s {
+	case SchedUniform:
+		return "uniform"
+	case SchedFIFO:
+		return "fifo"
+	case SchedRushByz:
+		return "rush-byz"
+	case SchedPartition:
+		return "partition"
+	default:
+		return fmt.Sprintf("SchedulerKind(%d)", int(s))
+	}
+}
+
+// Inputs selects the proposal pattern of the correct processes.
+type Inputs int
+
+// Input patterns.
+const (
+	InputUnanimous0 Inputs = iota + 1
+	InputUnanimous1
+	InputSplit  // alternating 0, 1, 0, 1, ...
+	InputRandom // seeded random bits
+)
+
+// String implements fmt.Stringer.
+func (i Inputs) String() string {
+	switch i {
+	case InputUnanimous0:
+		return "unanimous-0"
+	case InputUnanimous1:
+		return "unanimous-1"
+	case InputSplit:
+		return "split"
+	case InputRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("Inputs(%d)", int(i))
+	}
+}
+
+// Config describes one experiment run.
+type Config struct {
+	N int // total processes
+	F int // assumed fault bound (thresholds derive from this)
+	// Byzantine is the actual number of faulty processes; -1 means "equal
+	// to F". Setting it above F reproduces the tightness experiment.
+	Byzantine int
+
+	Protocol  Protocol
+	Coin      CoinKind
+	Adversary Adversary
+	Scheduler SchedulerKind
+	Inputs    Inputs
+
+	Seed          int64
+	MaxDeliveries int  // 0 = sim default
+	MaxRounds     int  // 0 = protocol default
+	Trace         bool // record events (slower, for debugging)
+
+	DisableValidation   bool // ablation A1 (Bracha only)
+	DisableDecideGadget bool // ablation A2
+}
+
+// Result is what one run produced.
+type Result struct {
+	Config     Config
+	Violations []check.Violation
+	Decisions  map[types.ProcessID]types.Value
+	// Rounds maps each decided correct process to its decision round.
+	Rounds map[types.ProcessID]int
+	// MeanRounds averages Rounds over decided processes (0 if none).
+	MeanRounds float64
+	// MaxRound is the largest decision round (0 if none decided).
+	MaxRound int
+	// AllDecided reports whether every correct process decided.
+	AllDecided bool
+	// Messages / Deliveries / EndTime / Exhausted come from the simulator.
+	Messages   int
+	Deliveries int
+	EndTime    sim.Time
+	Exhausted  bool
+	// Recorder holds the trace when Config.Trace was set.
+	Recorder *trace.Recorder
+}
+
+// node is the common read surface of both protocol implementations.
+type node interface {
+	sim.Node
+	Decided() (types.Value, bool)
+	DecidedRound() int
+	Proposal() types.Value
+}
+
+// Config errors.
+var (
+	ErrBadConfig = errors.New("runner: invalid config")
+)
+
+// Run executes one configured experiment.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Byzantine < 0 {
+		cfg.Byzantine = cfg.F
+	}
+	spec, err := quorum.New(cfg.N, cfg.F)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	if cfg.Byzantine >= cfg.N {
+		return nil, fmt.Errorf("%w: %d byzantine of %d processes", ErrBadConfig, cfg.Byzantine, cfg.N)
+	}
+	if cfg.Adversary == AdvNone {
+		cfg.Byzantine = 0
+	}
+	if cfg.Byzantine == 0 {
+		cfg.Adversary = AdvNone
+	}
+	if cfg.Protocol == ProtocolBenOr && cfg.DisableValidation {
+		return nil, fmt.Errorf("%w: Ben-Or has no validation to disable", ErrBadConfig)
+	}
+
+	peers := types.Processes(cfg.N)
+	correct := peers[:cfg.N-cfg.Byzantine]
+	byz := peers[cfg.N-cfg.Byzantine:]
+	groupA, groupB := splitGroups(correct)
+
+	var rec *trace.Recorder
+	if cfg.Trace {
+		rec = trace.New(0)
+	}
+	net, err := sim.New(sim.Config{
+		Scheduler:     buildScheduler(cfg, byz, groupA, groupB),
+		Seed:          cfg.Seed,
+		MaxDeliveries: cfg.MaxDeliveries,
+		Recorder:      rec,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var dealer *coin.Dealer
+	if cfg.Coin == CoinCommon {
+		dealer = coin.NewDealer(spec, cfg.Seed+1)
+	}
+	coinFor := func(p types.ProcessID) (coin.Coin, error) {
+		switch cfg.Coin {
+		case CoinLocal:
+			return coin.NewLocal(cfg.Seed + 1000*int64(p)), nil
+		case CoinCommon:
+			return coin.NewCommon(p, peers, dealer), nil
+		case CoinIdeal:
+			return coin.NewIdeal(cfg.Seed + 2), nil
+		default:
+			return nil, fmt.Errorf("%w: coin %v", ErrBadConfig, cfg.Coin)
+		}
+	}
+
+	nodes := make([]node, 0, len(correct))
+	for i, p := range correct {
+		c, err := coinFor(p)
+		if err != nil {
+			return nil, err
+		}
+		nd, err := buildCorrect(cfg, spec, p, peers, c, proposalFor(cfg, i, p), rec)
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, nd)
+		if err := net.Add(nd); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range byz {
+		adv, err := buildAdversary(cfg, spec, p, peers, groupA, groupB)
+		if err != nil {
+			return nil, err
+		}
+		if adv == nil {
+			continue // silent processes need no node at all
+		}
+		if err := net.Add(adv); err != nil {
+			return nil, err
+		}
+	}
+
+	stop := func() bool {
+		for _, nd := range nodes {
+			if cfg.DisableDecideGadget {
+				if _, ok := nd.Decided(); !ok {
+					return false
+				}
+			} else if !nd.Done() {
+				return false
+			}
+		}
+		return true
+	}
+	stats, err := net.Run(stop)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Config:     cfg,
+		Decisions:  make(map[types.ProcessID]types.Value, len(nodes)),
+		Rounds:     make(map[types.ProcessID]int, len(nodes)),
+		Messages:   stats.Sent,
+		Deliveries: stats.Delivered,
+		EndTime:    stats.End,
+		Exhausted:  stats.Exhausted,
+		Recorder:   rec,
+		AllDecided: true,
+	}
+	obs := check.ConsensusObservation{
+		Proposals: make(map[types.ProcessID]types.Value, len(nodes)),
+		Decisions: make(map[types.ProcessID][]types.Value, len(nodes)),
+		Quiesced:  true,
+	}
+	var roundSum int
+	for _, nd := range nodes {
+		id := nd.ID()
+		obs.Correct = append(obs.Correct, id)
+		obs.Proposals[id] = nd.Proposal()
+		if v, ok := nd.Decided(); ok {
+			obs.Decisions[id] = []types.Value{v}
+			res.Decisions[id] = v
+			r := nd.DecidedRound()
+			res.Rounds[id] = r
+			roundSum += r
+			if r > res.MaxRound {
+				res.MaxRound = r
+			}
+		} else {
+			res.AllDecided = false
+		}
+	}
+	if len(res.Rounds) > 0 {
+		res.MeanRounds = float64(roundSum) / float64(len(res.Rounds))
+	}
+	res.Violations = check.Consensus(obs)
+	return res, nil
+}
+
+// proposalFor derives the i-th correct process's input.
+func proposalFor(cfg Config, i int, p types.ProcessID) types.Value {
+	switch cfg.Inputs {
+	case InputUnanimous1:
+		return types.One
+	case InputSplit:
+		return types.Value(i % 2)
+	case InputRandom:
+		return types.Value(mixBits(cfg.Seed, int64(p)) & 1)
+	default: // InputUnanimous0 and zero value
+		return types.Zero
+	}
+}
+
+// mixBits is a small deterministic mixer for input assignment.
+func mixBits(seed, p int64) int64 {
+	x := uint64(seed)*0x9E3779B97F4A7C15 + uint64(p)*0xBF58476D1CE4E5B9
+	x ^= x >> 29
+	x *= 0x94D049BB133111EB
+	x ^= x >> 32
+	return int64(x & 0x7FFFFFFFFFFFFFFF)
+}
+
+// splitGroups halves the correct processes (for SplitBrain and partition
+// scheduling).
+func splitGroups(correct []types.ProcessID) (a, b []types.ProcessID) {
+	half := (len(correct) + 1) / 2
+	return correct[:half], correct[half:]
+}
+
+// buildCorrect constructs a correct node of the configured protocol.
+func buildCorrect(cfg Config, spec quorum.Spec, p types.ProcessID, peers []types.ProcessID,
+	c coin.Coin, proposal types.Value, rec *trace.Recorder) (node, error) {
+	switch cfg.Protocol {
+	case ProtocolBracha:
+		return core.New(core.Config{
+			Me: p, Peers: peers, Spec: spec, Coin: c, Proposal: proposal,
+			Recorder:            rec,
+			DisableValidation:   cfg.DisableValidation,
+			DisableDecideGadget: cfg.DisableDecideGadget,
+			MaxRounds:           cfg.MaxRounds,
+		})
+	case ProtocolBenOr:
+		return baseline.New(baseline.Config{
+			Me: p, Peers: peers, Spec: spec, Coin: c, Proposal: proposal,
+			Recorder:            rec,
+			DisableDecideGadget: cfg.DisableDecideGadget,
+			MaxRounds:           cfg.MaxRounds,
+		})
+	default:
+		return nil, fmt.Errorf("%w: protocol %v", ErrBadConfig, cfg.Protocol)
+	}
+}
+
+// buildAdversary constructs one Byzantine node (nil for silent: absence is
+// the behaviour).
+func buildAdversary(cfg Config, spec quorum.Spec, p types.ProcessID, peers []types.ProcessID,
+	groupA, groupB []types.ProcessID) (sim.Node, error) {
+	switch cfg.Adversary {
+	case AdvSilent:
+		return nil, nil
+	case AdvEquivocator:
+		if cfg.Protocol == ProtocolBenOr {
+			return adversary.NewPlainEquivocator(p, peers), nil
+		}
+		return &adversary.Equivocator{Me: p, Peers: peers}, nil
+	case AdvLiar:
+		if cfg.Protocol == ProtocolBenOr {
+			return adversary.NewPlainEquivocator(p, peers), nil
+		}
+		return adversary.NewLiar(core.Config{
+			Me: p, Peers: peers, Spec: spec,
+			Coin:     coin.NewLocal(cfg.Seed + 7777*int64(p)),
+			Proposal: types.Zero,
+		})
+	case AdvDecideForger:
+		return &adversary.DecideForger{Me: p, Peers: peers, V: types.Value(int(p) % 2)}, nil
+	case AdvSplitBrain:
+		return adversary.NewSplitBrain(p, peers, spec, groupA, groupB, cfg.Seed+3)
+	case AdvCrashMidway:
+		if cfg.Protocol == ProtocolBenOr {
+			return nil, nil // Ben-Or baseline: model as silent
+		}
+		// Crash somewhere inside the first round's traffic, varying by
+		// seed and process so colluders die at different points.
+		budget := 10 + int((cfg.Seed+int64(p)*7)%40)
+		return adversary.NewCrashAfter(core.Config{
+			Me: p, Peers: peers, Spec: spec,
+			Coin:     coin.NewLocal(cfg.Seed + 991*int64(p)),
+			Proposal: types.Value(int(p) % 2),
+		}, budget)
+	default:
+		return nil, fmt.Errorf("%w: adversary %v", ErrBadConfig, cfg.Adversary)
+	}
+}
+
+// buildScheduler assembles the configured scheduler.
+func buildScheduler(cfg Config, byz, groupA, groupB []types.ProcessID) sim.Scheduler {
+	base := sim.Scheduler(sim.UniformDelay{Min: 1, Max: 20})
+	switch cfg.Scheduler {
+	case SchedFIFO:
+		return sim.NewFIFODelay(1, 20)
+	case SchedRushByz:
+		return sim.Compose{Base: base, Rules: []sim.Rule{sim.RushFrom(byz...)}}
+	case SchedPartition:
+		var links [][2]types.ProcessID
+		for _, a := range groupA {
+			for _, b := range groupB {
+				links = append(links, [2]types.ProcessID{a, b}, [2]types.ProcessID{b, a})
+			}
+		}
+		rule := sim.DelayLinks(500, links...)
+		rules := []sim.Rule{rule}
+		if len(byz) > 0 {
+			rules = append(rules, sim.RushFrom(byz...))
+		}
+		return sim.Compose{Base: base, Rules: rules}
+	default: // SchedUniform and zero value
+		return base
+	}
+}

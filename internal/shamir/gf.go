@@ -1,0 +1,12 @@
+package shamir
+
+import "repro/internal/gf256"
+
+// Thin aliases so the sharing logic reads algebraically while delegating all
+// field arithmetic to internal/gf256.
+
+func gfAdd(a, b byte) byte { return gf256.Add(a, b) }
+func gfMul(a, b byte) byte { return gf256.Mul(a, b) }
+func gfDiv(a, b byte) byte { return gf256.Div(a, b) }
+
+func evalPoly(coeffs []byte, x byte) byte { return gf256.EvalPoly(coeffs, x) }

@@ -1,0 +1,135 @@
+// Package shamir implements Shamir secret sharing over GF(2^8), the
+// mechanism the Rabin-style common-coin dealer uses to predistribute one
+// unpredictable bit per round (internal/coin).
+//
+// A secret of L bytes is shared byte-wise: for each byte, the dealer samples
+// a uniformly random polynomial of degree `threshold−1` whose constant term
+// is the secret byte, and hands process i the evaluation at x = i. Any
+// `threshold` shares reconstruct the secret by Lagrange interpolation at 0;
+// any fewer reveal nothing (every candidate secret remains exactly as
+// likely), which is the coin's unpredictability property.
+package shamir
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Share is one participant's fragment of a shared secret. X is the non-zero
+// evaluation point (the participant index), Y the byte-wise evaluations.
+type Share struct {
+	X byte
+	Y []byte
+}
+
+// Clone returns a deep copy of the share.
+func (s Share) Clone() Share {
+	y := make([]byte, len(s.Y))
+	copy(y, s.Y)
+	return Share{X: s.X, Y: y}
+}
+
+// String implements fmt.Stringer.
+func (s Share) String() string { return fmt.Sprintf("share(x=%d, %d bytes)", s.X, len(s.Y)) }
+
+// Split and Reconstruct errors.
+var (
+	ErrBadThreshold  = errors.New("shamir: threshold out of range")
+	ErrTooManyShares = errors.New("shamir: at most 255 shares over GF(2^8)")
+	ErrEmptySecret   = errors.New("shamir: empty secret")
+	ErrTooFewShares  = errors.New("shamir: not enough shares")
+	ErrBadShares     = errors.New("shamir: malformed shares")
+)
+
+// Split shares secret into n shares such that any `threshold` of them
+// reconstruct it and fewer reveal nothing. It requires
+// 1 ≤ threshold ≤ n ≤ 255 and a non-empty secret. rng supplies the
+// polynomial coefficients; a deterministic rng gives deterministic shares
+// (used for reproducible experiments).
+func Split(secret []byte, n, threshold int, rng *rand.Rand) ([]Share, error) {
+	switch {
+	case len(secret) == 0:
+		return nil, ErrEmptySecret
+	case n > 255:
+		return nil, fmt.Errorf("%w: n = %d", ErrTooManyShares, n)
+	case threshold < 1 || threshold > n:
+		return nil, fmt.Errorf("%w: threshold = %d with n = %d", ErrBadThreshold, threshold, n)
+	}
+	shares := make([]Share, n)
+	for i := range shares {
+		shares[i] = Share{X: byte(i + 1), Y: make([]byte, len(secret))}
+	}
+	coeffs := make([]byte, threshold)
+	for b, sb := range secret {
+		coeffs[0] = sb
+		for c := 1; c < threshold; c++ {
+			coeffs[c] = byte(rng.Intn(256))
+		}
+		for i := range shares {
+			shares[i].Y[b] = evalPoly(coeffs, shares[i].X)
+		}
+	}
+	return shares, nil
+}
+
+// Reconstruct recovers the secret from at least `threshold` shares. Extra
+// shares beyond the first `threshold` are ignored (they are redundant for a
+// correct dealing; verifying consistency is the caller's job via share
+// authentication — see internal/coin). Shares must have distinct non-zero X
+// and equal-length Y.
+func Reconstruct(shares []Share, threshold int) ([]byte, error) {
+	if threshold < 1 {
+		return nil, fmt.Errorf("%w: threshold = %d", ErrBadThreshold, threshold)
+	}
+	if len(shares) < threshold {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrTooFewShares, len(shares), threshold)
+	}
+	use := shares[:threshold]
+	width := len(use[0].Y)
+	if width == 0 {
+		return nil, ErrBadShares
+	}
+	xs := make([]byte, threshold)
+	seen := make(map[byte]bool, threshold)
+	for i, s := range use {
+		if s.X == 0 || seen[s.X] || len(s.Y) != width {
+			return nil, fmt.Errorf("%w: share %d (x=%d)", ErrBadShares, i, s.X)
+		}
+		seen[s.X] = true
+		xs[i] = s.X
+	}
+	// Precompute the Lagrange basis at 0 once; it is shared by all bytes.
+	basis, err := lagrangeBasisAtZero(xs)
+	if err != nil {
+		return nil, err
+	}
+	secret := make([]byte, width)
+	for b := 0; b < width; b++ {
+		var acc byte
+		for i := range use {
+			acc = gfAdd(acc, gfMul(use[i].Y[b], basis[i]))
+		}
+		secret[b] = acc
+	}
+	return secret, nil
+}
+
+func lagrangeBasisAtZero(xs []byte) ([]byte, error) {
+	basis := make([]byte, len(xs))
+	for i := range xs {
+		num, den := byte(1), byte(1)
+		for j := range xs {
+			if j == i {
+				continue
+			}
+			num = gfMul(num, xs[j])
+			den = gfMul(den, gfAdd(xs[j], xs[i]))
+		}
+		if den == 0 {
+			return nil, ErrBadShares
+		}
+		basis[i] = gfDiv(num, den)
+	}
+	return basis, nil
+}

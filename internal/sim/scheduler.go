@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/types"
+)
+
+// UniformDelay delivers each message after an independent uniform random
+// delay in [Min, Max]. It models a fair asynchronous network: arbitrary
+// per-message delays, hence arbitrary reordering, but eventual delivery.
+type UniformDelay struct {
+	Min, Max Time
+}
+
+// Deliver implements Scheduler.
+func (s UniformDelay) Deliver(_ types.Message, now Time, _ uint64, rng *rand.Rand) Time {
+	lo, hi := s.Min, s.Max
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	return now + lo + Time(rng.Int63n(int64(hi-lo)+1))
+}
+
+// FIFODelay is UniformDelay constrained to per-link FIFO order: a message on
+// link (from, to) is never delivered before an earlier message on the same
+// link. This is the "FIFO authenticated links" variant that descendants of
+// the paper often assume; Bracha's protocol needs only eventual delivery, and
+// experiment A3 compares the two.
+type FIFODelay struct {
+	Min, Max Time
+
+	mu   sync.Mutex
+	last map[link]Time
+}
+
+type link struct{ from, to types.ProcessID }
+
+// NewFIFODelay returns a FIFO scheduler with the given delay range.
+func NewFIFODelay(min, max Time) *FIFODelay {
+	return &FIFODelay{Min: min, Max: max, last: make(map[link]Time)}
+}
+
+// Deliver implements Scheduler.
+func (s *FIFODelay) Deliver(m types.Message, now Time, seq uint64, rng *rand.Rand) Time {
+	at := UniformDelay{Min: s.Min, Max: s.Max}.Deliver(m, now, seq, rng)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := link{from: m.From, to: m.To}
+	if prev, ok := s.last[l]; ok && at <= prev {
+		at = prev + 1
+	}
+	s.last[l] = at
+	return at
+}
+
+// Rule post-processes a base scheduler's decision for one message. Returning
+// Drop discards the message; any other value replaces the delivery time.
+type Rule func(m types.Message, at Time, now Time) Time
+
+// Compose wraps a base scheduler with rules applied in order. It is how
+// adversarial schedules are built from reusable pieces (delay these links,
+// rush those senders, drop that traffic).
+type Compose struct {
+	Base  Scheduler
+	Rules []Rule
+}
+
+// Deliver implements Scheduler.
+func (c Compose) Deliver(m types.Message, now Time, seq uint64, rng *rand.Rand) Time {
+	at := c.Base.Deliver(m, now, seq, rng)
+	for _, r := range c.Rules {
+		if at == Drop {
+			return Drop
+		}
+		at = r(m, at, now)
+	}
+	return at
+}
+
+// DelayLinks returns a Rule adding extra delay to every message on the given
+// links — the adversary's basic tool for holding back traffic between chosen
+// correct processes.
+func DelayLinks(extra Time, links ...[2]types.ProcessID) Rule {
+	set := make(map[link]bool, len(links))
+	for _, l := range links {
+		set[link{from: l[0], to: l[1]}] = true
+	}
+	return func(m types.Message, at, _ Time) Time {
+		if set[link{from: m.From, to: m.To}] {
+			return at + extra
+		}
+		return at
+	}
+}
+
+// RushFrom returns a Rule delivering every message sent by the given
+// processes immediately (at the current time): the classic "rushing
+// adversary" whose messages always arrive first.
+func RushFrom(ps ...types.ProcessID) Rule {
+	set := make(map[types.ProcessID]bool, len(ps))
+	for _, p := range ps {
+		set[p] = true
+	}
+	return func(m types.Message, at, now Time) Time {
+		if set[m.From] {
+			return now
+		}
+		return at
+	}
+}
+
+// DropLinks returns a Rule dropping all traffic on the given links. Dropping
+// correct-to-correct traffic violates the asynchronous model's eventual
+// delivery; use only in failure-injection tests (the point is to watch the
+// checkers catch the resulting liveness loss).
+func DropLinks(links ...[2]types.ProcessID) Rule {
+	set := make(map[link]bool, len(links))
+	for _, l := range links {
+		set[link{from: l[0], to: l[1]}] = true
+	}
+	return func(m types.Message, at, _ Time) Time {
+		if set[link{from: m.From, to: m.To}] {
+			return Drop
+		}
+		return at
+	}
+}
+
+// DropFrom returns a Rule dropping every message sent by the given processes
+// (simulates a crash of those senders at time zero when applied from the
+// start).
+func DropFrom(ps ...types.ProcessID) Rule {
+	set := make(map[types.ProcessID]bool, len(ps))
+	for _, p := range ps {
+		set[p] = true
+	}
+	return func(m types.Message, at, _ Time) Time {
+		if set[m.From] {
+			return Drop
+		}
+		return at
+	}
+}
+
+// Immediate delivers everything with zero delay in send order — useful for
+// unit tests that want synchronous, predictable executions.
+type Immediate struct{}
+
+// Deliver implements Scheduler.
+func (Immediate) Deliver(_ types.Message, now Time, _ uint64, _ *rand.Rand) Time { return now }

@@ -1,0 +1,234 @@
+// Package sim is the asynchronous network the paper assumes: a
+// discrete-event message-passing simulator in which delivery order is fully
+// controlled by a pluggable Scheduler. Time is abstract (int64 ticks); the
+// only guarantee the default schedulers provide is the model's — every
+// message between correct processes is eventually delivered, in any order.
+//
+// Protocol nodes are passive deterministic state machines (see Node): the
+// simulator feeds them one message at a time and queues whatever they emit.
+// All randomness flows from the run's seed, so any execution — including the
+// adversarially scheduled ones — replays exactly.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// Time is abstract simulation time.
+type Time int64
+
+// Drop is the sentinel a Scheduler returns to drop a message entirely.
+// Dropping correct-to-correct traffic leaves the asynchronous model (which
+// promises eventual delivery); it exists for failure-injection tests.
+const Drop Time = -1
+
+// Node is a deterministic protocol state machine. Implementations must not
+// spawn goroutines, read clocks, or use global randomness: all inputs arrive
+// via Start and Deliver, and all outputs are returned messages.
+type Node interface {
+	// ID returns the process identifier; it must be constant.
+	ID() types.ProcessID
+	// Start is called once before any delivery and returns the node's
+	// initial messages.
+	Start() []types.Message
+	// Deliver hands the node one message addressed to it and returns the
+	// messages this triggers.
+	Deliver(m types.Message) []types.Message
+	// Done reports that the node needs no further input (it halted).
+	// The network stops delivering to done nodes.
+	Done() bool
+}
+
+// Scheduler decides when (at what abstract time) a message sent at `now` is
+// delivered, or Drop to discard it. seq is a unique, monotonically increasing
+// per-send number schedulers may use for deterministic tie-breaking; rng is
+// the run's seeded randomness.
+type Scheduler interface {
+	Deliver(m types.Message, now Time, seq uint64, rng *rand.Rand) Time
+}
+
+// Config configures a Network.
+type Config struct {
+	// Scheduler orders deliveries; required.
+	Scheduler Scheduler
+	// Seed feeds the run's private RNG.
+	Seed int64
+	// MaxDeliveries bounds the run (0 means DefaultMaxDeliveries). Runs
+	// that exhaust it report Exhausted — for consensus runs that is a
+	// liveness failure, which experiment E7 relies on detecting.
+	MaxDeliveries int
+	// Recorder, when enabled, receives SEND/DELIVER/DROP events.
+	Recorder *trace.Recorder
+}
+
+// DefaultMaxDeliveries is the per-run event budget when none is given.
+const DefaultMaxDeliveries = 2_000_000
+
+// Stats summarizes a run.
+type Stats struct {
+	Sent      int  // messages handed to the network
+	Delivered int  // messages delivered to nodes
+	Dropped   int  // messages dropped (scheduler Drop or spoof rejection)
+	Spoofed   int  // messages rejected because From != emitting node
+	End       Time // time of the last delivery
+	Exhausted bool // the delivery budget ran out before quiescence
+}
+
+// Network is the simulator instance. Not safe for concurrent use: a run is a
+// single-threaded deterministic event loop.
+type Network struct {
+	cfg   Config
+	rng   *rand.Rand
+	nodes map[types.ProcessID]Node
+	order []types.ProcessID // Start order (insertion order, for determinism)
+
+	queue eventQueue
+	seq   uint64
+	now   Time
+	stats Stats
+
+	started bool
+}
+
+// ErrNoScheduler is returned by New when Config.Scheduler is nil.
+var ErrNoScheduler = errors.New("sim: config requires a scheduler")
+
+// ErrDuplicateNode is returned by Add when a process ID is registered twice.
+var ErrDuplicateNode = errors.New("sim: duplicate node")
+
+// New creates an empty network.
+func New(cfg Config) (*Network, error) {
+	if cfg.Scheduler == nil {
+		return nil, ErrNoScheduler
+	}
+	if cfg.MaxDeliveries <= 0 {
+		cfg.MaxDeliveries = DefaultMaxDeliveries
+	}
+	return &Network{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		nodes: make(map[types.ProcessID]Node),
+	}, nil
+}
+
+// Add registers a node. All nodes must be added before Run.
+func (n *Network) Add(node Node) error {
+	if n.started {
+		return errors.New("sim: cannot add nodes after Run")
+	}
+	id := node.ID()
+	if _, dup := n.nodes[id]; dup {
+		return fmt.Errorf("%w: %v", ErrDuplicateNode, id)
+	}
+	n.nodes[id] = node
+	n.order = append(n.order, id)
+	return nil
+}
+
+// Rand exposes the run's RNG so co-operating components (adversarial
+// schedulers) share the same deterministic randomness stream.
+func (n *Network) Rand() *rand.Rand { return n.rng }
+
+// Run pumps the event loop until quiescence (empty queue), until stop
+// returns true (checked after every delivery; nil means never), or until the
+// delivery budget is exhausted. It returns the run's statistics and may be
+// called only once.
+func (n *Network) Run(stop func() bool) (Stats, error) {
+	if n.started {
+		return Stats{}, errors.New("sim: Run called twice")
+	}
+	n.started = true
+	for _, id := range n.order {
+		n.send(n.nodes[id], n.nodes[id].Start())
+	}
+	for n.queue.Len() > 0 {
+		if n.stats.Delivered >= n.cfg.MaxDeliveries {
+			n.stats.Exhausted = true
+			break
+		}
+		ev := heap.Pop(&n.queue).(event)
+		n.now = ev.at
+		dst, ok := n.nodes[ev.msg.To]
+		if !ok || dst.Done() {
+			// Unknown destination or halted node: the message evaporates.
+			n.stats.Dropped++
+			n.record(trace.Event{Time: int64(n.now), Kind: trace.KindDrop, P: ev.msg.To, Msg: ev.msg, Note: "destination done or unknown"})
+			continue
+		}
+		n.stats.Delivered++
+		n.stats.End = n.now
+		n.record(trace.Event{Time: int64(n.now), Kind: trace.KindDeliver, P: ev.msg.To, Msg: ev.msg})
+		n.send(dst, dst.Deliver(ev.msg))
+		if stop != nil && stop() {
+			break
+		}
+	}
+	return n.stats, nil
+}
+
+// send queues the messages emitted by node, enforcing authenticated links:
+// a message whose From is not the emitting node is rejected (and counted),
+// exactly as an authenticated channel would reject a forged frame.
+func (n *Network) send(node Node, msgs []types.Message) {
+	for _, m := range msgs {
+		if m.From != node.ID() {
+			n.stats.Spoofed++
+			n.stats.Dropped++
+			n.record(trace.Event{Time: int64(n.now), Kind: trace.KindDrop, P: node.ID(), Msg: m, Note: "spoofed sender"})
+			continue
+		}
+		n.seq++
+		at := n.cfg.Scheduler.Deliver(m, n.now, n.seq, n.rng)
+		n.stats.Sent++
+		n.record(trace.Event{Time: int64(n.now), Kind: trace.KindSend, P: node.ID(), Msg: m})
+		if at < n.now {
+			if at == Drop {
+				n.stats.Dropped++
+				n.record(trace.Event{Time: int64(n.now), Kind: trace.KindDrop, P: node.ID(), Msg: m, Note: "scheduler drop"})
+				continue
+			}
+			at = n.now // schedulers cannot deliver into the past
+		}
+		heap.Push(&n.queue, event{at: at, seq: n.seq, msg: m})
+	}
+}
+
+func (n *Network) record(e trace.Event) {
+	if n.cfg.Recorder.Enabled() {
+		n.cfg.Recorder.Record(e)
+	}
+}
+
+// event is a queued delivery.
+type event struct {
+	at  Time
+	seq uint64
+	msg types.Message
+}
+
+// eventQueue is a min-heap on (at, seq) — deterministic given deterministic
+// scheduling decisions.
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}

@@ -1,0 +1,303 @@
+// Package smr builds state machine replication — a totally ordered,
+// Byzantine-fault-tolerant command log — from the paper's primitives. It is
+// the library form of the reduction shown in examples/replicatedlog:
+//
+//	slot s: the rotation's proposer disseminates its next command with
+//	        Bracha reliable broadcast (so the payload cannot equivocate);
+//	        every replica, once it holds the candidate, runs binary
+//	        consensus instance s on committing it; a 1-decision appends the
+//	        candidate to the log and applies it to the deterministic state
+//	        machine.
+//
+// Agreement of the log follows from RBC agreement (same payload) plus
+// binary agreement (same commit decision) per slot, and induction over
+// slots. Proposers with nothing to say propose an explicit no-op so the log
+// always advances.
+//
+// Liveness requires every proposer in the rotation to be live: a purely
+// asynchronous system cannot distinguish a crashed proposer from a slow one
+// (that is FLP talking), so skipping dead proposers' slots needs either
+// timeouts (partial synchrony) or the asynchronous-common-subset
+// construction (internal/acs). Configure Rotation with the processes you
+// expect to be live; crashed non-proposers are tolerated up to f as usual.
+package smr
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/coin"
+	"repro/internal/core"
+	"repro/internal/quorum"
+	"repro/internal/rbc"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// dissemNS is the Tag.Seq namespace for candidate dissemination; binary
+// consensus instances use Seq = slot+1 (1-based, slot numbering is 0-based).
+const dissemNS = 1 << 20
+
+// Noop is the explicit empty command a proposer submits when its queue is
+// empty on its turn.
+const Noop = "\x00noop"
+
+// StateMachine is the deterministic application a Replica drives. Apply is
+// called exactly once per committed non-noop command, in log order, with
+// identical sequences at every correct replica.
+type StateMachine interface {
+	Apply(cmd string) error
+}
+
+// Entry is one committed log position.
+type Entry struct {
+	Slot     int
+	Proposer types.ProcessID
+	Command  string
+}
+
+// Config configures a Replica.
+type Config struct {
+	// Me is this process; Peers lists all processes including Me.
+	Me    types.ProcessID
+	Peers []types.ProcessID
+	// Spec is the failure assumption.
+	Spec quorum.Spec
+	// NewCoin builds the coin for one slot's consensus instance. Required.
+	NewCoin func(slot int) coin.Coin
+	// Rotation lists the proposers, round-robin by slot. Every member must
+	// be live for the log to advance. Defaults to Peers.
+	Rotation []types.ProcessID
+	// Machine receives committed commands. Required.
+	Machine StateMachine
+	// MaxSlots stops the replica after that many commits (0 = unbounded).
+	MaxSlots int
+	// Recorder, when enabled, receives protocol events.
+	Recorder *trace.Recorder
+}
+
+// Replica is one state-machine-replication participant. Deterministic
+// state machine (sim.Node); not safe for concurrent use.
+type Replica struct {
+	cfg  Config
+	spec quorum.Spec
+
+	values *rbc.Broadcaster
+
+	slot    int
+	bin     *core.Node
+	cands   map[int]string
+	pending map[int][]types.Message
+	queue   []string
+	waiting map[int]bool // slots whose proposal we already disseminated
+
+	log []Entry
+}
+
+// Config errors.
+var (
+	ErrNoCoinFactory = errors.New("smr: config requires NewCoin")
+	ErrNoMachine     = errors.New("smr: config requires a state machine")
+	ErrBadPeers      = errors.New("smr: peers must include me and match spec size")
+)
+
+// New creates a replica.
+func New(cfg Config) (*Replica, error) {
+	if cfg.NewCoin == nil {
+		return nil, ErrNoCoinFactory
+	}
+	if cfg.Machine == nil {
+		return nil, ErrNoMachine
+	}
+	if len(cfg.Peers) != cfg.Spec.N() {
+		return nil, fmt.Errorf("%w: %d peers for %v", ErrBadPeers, len(cfg.Peers), cfg.Spec)
+	}
+	found := false
+	for _, p := range cfg.Peers {
+		if p == cfg.Me {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("%w: %v not in peers", ErrBadPeers, cfg.Me)
+	}
+	if len(cfg.Rotation) == 0 {
+		cfg.Rotation = cfg.Peers
+	}
+	return &Replica{
+		cfg:     cfg,
+		spec:    cfg.Spec,
+		values:  rbc.New(cfg.Me, cfg.Peers, cfg.Spec),
+		cands:   make(map[int]string),
+		pending: make(map[int][]types.Message),
+		waiting: make(map[int]bool),
+	}, nil
+}
+
+var _ sim.Node = (*Replica)(nil)
+
+// ID implements sim.Node.
+func (r *Replica) ID() types.ProcessID { return r.cfg.Me }
+
+// Done implements sim.Node: true once MaxSlots commits happened.
+func (r *Replica) Done() bool {
+	return r.cfg.MaxSlots > 0 && r.slot >= r.cfg.MaxSlots
+}
+
+// Start implements sim.Node.
+func (r *Replica) Start() []types.Message { return r.propose() }
+
+// Submit enqueues a command for this replica's future proposing turns. It
+// never sends anything itself: dissemination happens when a turn begins (at
+// Start or on slot advance), so Submit may be called before the replica is
+// started — turns that have already begun proposed what they had (possibly
+// a noop) and later commands wait for the next turn.
+func (r *Replica) Submit(cmd string) {
+	r.queue = append(r.queue, cmd)
+}
+
+// Log returns the committed entries so far (copy).
+func (r *Replica) Log() []Entry { return append([]Entry(nil), r.log...) }
+
+// Slot returns the next undecided slot index.
+func (r *Replica) Slot() int { return r.slot }
+
+// proposer returns the proposer of a slot.
+func (r *Replica) proposer(slot int) types.ProcessID {
+	return r.cfg.Rotation[slot%len(r.cfg.Rotation)]
+}
+
+// propose disseminates this replica's candidate for the current slot if it
+// is the proposer and has not disseminated yet.
+func (r *Replica) propose() []types.Message {
+	if r.Done() || r.proposer(r.slot) != r.cfg.Me || r.waiting[r.slot] {
+		return nil
+	}
+	cmd := Noop
+	if len(r.queue) > 0 {
+		cmd = r.queue[0]
+		r.queue = r.queue[1:]
+	}
+	r.waiting[r.slot] = true
+	return r.values.Broadcast(types.Tag{Seq: dissemNS + r.slot}, cmd)
+}
+
+// Deliver implements sim.Node.
+func (r *Replica) Deliver(m types.Message) []types.Message {
+	if r.Done() {
+		return nil
+	}
+	var out []types.Message
+	switch inst, kind := classify(m); kind {
+	case trafficValues:
+		p, ok := m.Payload.(*types.RBCPayload)
+		if !ok {
+			break
+		}
+		msgs, deliveries := r.values.Handle(m.From, p)
+		out = append(out, msgs...)
+		for _, d := range deliveries {
+			slot := d.ID.Tag.Seq - dissemNS
+			if slot < 0 || d.ID.Sender != r.proposer(slot) {
+				continue // only the slot's proposer may fill it
+			}
+			if _, dup := r.cands[slot]; !dup {
+				r.cands[slot] = d.Body
+			}
+		}
+	case trafficBinary:
+		switch {
+		case inst == r.slot+1 && r.bin != nil:
+			out = append(out, r.bin.Deliver(m)...)
+		case inst > r.slot && inst <= r.slot+1_000_000:
+			r.pending[inst] = append(r.pending[inst], m)
+		}
+	case trafficCoin:
+		if r.bin != nil {
+			out = append(out, r.bin.Deliver(m)...)
+		}
+	}
+	out = append(out, r.step()...)
+	return out
+}
+
+type trafficKind int
+
+const (
+	trafficValues trafficKind = iota + 1
+	trafficBinary
+	trafficCoin
+)
+
+func classify(m types.Message) (int, trafficKind) {
+	switch p := m.Payload.(type) {
+	case *types.RBCPayload:
+		if p.ID.Tag.Seq >= dissemNS {
+			return 0, trafficValues
+		}
+		return p.ID.Tag.Seq, trafficBinary
+	case *types.DecidePayload:
+		return p.Instance, trafficBinary
+	case *types.CoinSharePayload:
+		return 0, trafficCoin
+	default:
+		return 0, trafficBinary
+	}
+}
+
+// step starts the current slot's consensus once its candidate arrived and
+// finalizes slots as they decide.
+func (r *Replica) step() []types.Message {
+	var out []types.Message
+	for !r.Done() {
+		if r.bin == nil {
+			if _, ok := r.cands[r.slot]; !ok {
+				return out
+			}
+			bin, err := core.New(core.Config{
+				Me: r.cfg.Me, Peers: r.cfg.Peers, Spec: r.spec,
+				Coin:     r.cfg.NewCoin(r.slot),
+				Proposal: types.One, // candidate in hand
+				Instance: r.slot + 1,
+				Recorder: r.cfg.Recorder,
+			})
+			if err != nil {
+				panic(fmt.Sprintf("smr: starting slot %d: %v", r.slot, err))
+			}
+			r.bin = bin
+			out = append(out, bin.Start()...)
+			for _, m := range r.pending[r.slot+1] {
+				out = append(out, bin.Deliver(m)...)
+			}
+			delete(r.pending, r.slot+1)
+		}
+		v, decided := r.bin.Decided()
+		if !decided || !r.bin.Done() {
+			return out
+		}
+		if v == types.One {
+			cmd := r.cands[r.slot]
+			r.log = append(r.log, Entry{Slot: r.slot, Proposer: r.proposer(r.slot), Command: cmd})
+			if cmd != Noop {
+				if err := r.cfg.Machine.Apply(cmd); err != nil {
+					r.record(trace.Event{Kind: trace.KindNote, P: r.cfg.Me,
+						Note: fmt.Sprintf("apply slot %d: %v", r.slot, err)})
+				}
+			}
+		} else {
+			r.log = append(r.log, Entry{Slot: r.slot, Proposer: r.proposer(r.slot), Command: ""})
+		}
+		r.slot++
+		r.bin = nil
+		out = append(out, r.propose()...)
+	}
+	return out
+}
+
+func (r *Replica) record(e trace.Event) {
+	if r.cfg.Recorder.Enabled() {
+		r.cfg.Recorder.Record(e)
+	}
+}

@@ -1,0 +1,189 @@
+// Package trace records structured execution events. The simulator and the
+// protocol nodes emit events into a Recorder; tests and the invariant
+// checkers (internal/check) read them back to verify what actually happened,
+// and cmd/brachasim can dump them for debugging a single run.
+//
+// The zero Recorder is disabled (records nothing, costs two branches), so
+// benchmark runs pay nothing for tracing.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/types"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds.
+const (
+	KindSend    Kind = iota + 1 // a message was handed to the network
+	KindDeliver                 // a message was delivered to a process
+	KindDecide                  // a process decided a value
+	KindHalt                    // a process halted
+	KindRound                   // a process advanced to a round
+	KindCoin                    // a process obtained a coin value for a round
+	KindRBC                     // a reliable-broadcast instance delivered at a process
+	KindDrop                    // the network dropped a message (failure injection / spoof)
+	KindNote                    // free-form annotation
+)
+
+var kindNames = map[Kind]string{
+	KindSend:    "SEND",
+	KindDeliver: "DELIVER",
+	KindDecide:  "DECIDE",
+	KindHalt:    "HALT",
+	KindRound:   "ROUND",
+	KindCoin:    "COIN",
+	KindRBC:     "RBC",
+	KindDrop:    "DROP",
+	KindNote:    "NOTE",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is one recorded occurrence. Fields beyond Kind, Time and P are
+// populated per kind: Msg for SEND/DELIVER/DROP, V for DECIDE/COIN, Round for
+// ROUND/COIN, Note for NOTE and DROP reasons.
+type Event struct {
+	Time  int64
+	Kind  Kind
+	P     types.ProcessID
+	Msg   types.Message
+	Round int
+	V     types.Value
+	Note  string
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%-6d %-8s %v", e.Time, e.Kind, e.P)
+	switch e.Kind {
+	case KindSend, KindDeliver, KindDrop:
+		fmt.Fprintf(&b, " %v", e.Msg)
+	case KindDecide:
+		fmt.Fprintf(&b, " v=%v round=%d", e.V, e.Round)
+	case KindCoin:
+		fmt.Fprintf(&b, " v=%v round=%d", e.V, e.Round)
+	case KindRound:
+		fmt.Fprintf(&b, " round=%d", e.Round)
+	}
+	if e.Note != "" {
+		fmt.Fprintf(&b, " (%s)", e.Note)
+	}
+	return b.String()
+}
+
+// Recorder collects events. It is safe for concurrent use (live transports
+// deliver from multiple goroutines). The zero value is a disabled recorder;
+// use New for an enabled one.
+type Recorder struct {
+	mu      sync.Mutex
+	enabled bool
+	limit   int
+	dropped int
+	events  []Event
+}
+
+// DefaultLimit bounds a Recorder's memory when no explicit limit is given.
+const DefaultLimit = 1 << 20
+
+// New returns an enabled Recorder holding at most limit events (DefaultLimit
+// if limit ≤ 0); further events are counted but not stored.
+func New(limit int) *Recorder {
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	return &Recorder{enabled: true, limit: limit}
+}
+
+// Enabled reports whether r records events. A nil or zero Recorder is
+// disabled.
+func (r *Recorder) Enabled() bool { return r != nil && r.enabled }
+
+// Record stores the event if the recorder is enabled and under its limit.
+func (r *Recorder) Record(e Event) {
+	if !r.Enabled() {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.events) >= r.limit {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Events returns a copy of all stored events in record order.
+func (r *Recorder) Events() []Event {
+	if !r.Enabled() {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Dropped returns how many events exceeded the limit.
+func (r *Recorder) Dropped() int {
+	if !r.Enabled() {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Len returns the number of stored events.
+func (r *Recorder) Len() int {
+	if !r.Enabled() {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Filter returns the stored events matching pred, in order.
+func (r *Recorder) Filter(pred func(Event) bool) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if pred(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByKind returns the stored events of the given kind.
+func (r *Recorder) ByKind(k Kind) []Event {
+	return r.Filter(func(e Event) bool { return e.Kind == k })
+}
+
+// ByProcess returns the stored events for the given process.
+func (r *Recorder) ByProcess(p types.ProcessID) []Event {
+	return r.Filter(func(e Event) bool { return e.P == p })
+}
+
+// Dump renders all stored events, one per line.
+func (r *Recorder) Dump() string {
+	var b strings.Builder
+	for _, e := range r.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

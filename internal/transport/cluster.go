@@ -1,0 +1,180 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// Cluster drives protocol nodes live, one pump goroutine per node, routing
+// messages through in-process mailboxes. It is the goroutines-and-channels
+// deployment of the same state machines the simulator runs — real
+// concurrency, scheduler-order nondeterminism and all.
+type Cluster struct {
+	mu      sync.Mutex
+	nodes   map[types.ProcessID]sim.Node
+	boxes   map[types.ProcessID]*mailbox[types.Message]
+	locks   map[types.ProcessID]*sync.Mutex
+	started bool
+
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+// NewCluster creates an empty live cluster.
+func NewCluster() *Cluster {
+	return &Cluster{
+		nodes: make(map[types.ProcessID]sim.Node),
+		boxes: make(map[types.ProcessID]*mailbox[types.Message]),
+		locks: make(map[types.ProcessID]*sync.Mutex),
+		stop:  make(chan struct{}),
+	}
+}
+
+// Cluster errors.
+var (
+	ErrStarted   = errors.New("transport: cluster already started")
+	ErrDuplicate = errors.New("transport: duplicate node")
+	ErrTimeout   = errors.New("transport: wait timed out")
+)
+
+// Add registers a node before Start.
+func (c *Cluster) Add(node sim.Node) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return ErrStarted
+	}
+	id := node.ID()
+	if _, dup := c.nodes[id]; dup {
+		return fmt.Errorf("%w: %v", ErrDuplicate, id)
+	}
+	c.nodes[id] = node
+	c.boxes[id] = newMailbox[types.Message]()
+	c.locks[id] = &sync.Mutex{}
+	return nil
+}
+
+// Start launches one pump goroutine per node and injects every node's Start
+// messages. Call Stop (or Wait, then Stop) exactly once afterwards.
+func (c *Cluster) Start() error {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return ErrStarted
+	}
+	c.started = true
+	nodes := make([]sim.Node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		nodes = append(nodes, n)
+	}
+	c.mu.Unlock()
+
+	for _, n := range nodes {
+		c.route(n.ID(), n.Start())
+	}
+	for _, n := range nodes {
+		node := n
+		box := c.boxes[node.ID()]
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.pump(node, box)
+		}()
+	}
+	return nil
+}
+
+// pump is one node's event loop: pop, deliver, route outputs. Node state is
+// touched only under the node's lock so Inspect can read it concurrently.
+func (c *Cluster) pump(node sim.Node, box *mailbox[types.Message]) {
+	lock := c.locks[node.ID()]
+	for {
+		select {
+		case <-c.stop:
+			return
+		default:
+		}
+		m, ok := box.pop()
+		if !ok {
+			return
+		}
+		lock.Lock()
+		var out []types.Message
+		if !node.Done() { // drain without delivering, mirroring the simulator
+			out = node.Deliver(m)
+		}
+		lock.Unlock()
+		c.route(node.ID(), out)
+	}
+}
+
+// Inspect runs fn with exclusive access to a node's state — the only safe
+// way to read protocol state (Decided, Round, ...) while the cluster runs.
+func (c *Cluster) Inspect(id types.ProcessID, fn func(sim.Node)) bool {
+	c.mu.Lock()
+	node, ok := c.nodes[id]
+	lock := c.locks[id]
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	lock.Lock()
+	defer lock.Unlock()
+	fn(node)
+	return true
+}
+
+// route distributes a node's output messages, enforcing the authenticated
+// sender exactly like the simulator.
+func (c *Cluster) route(from types.ProcessID, msgs []types.Message) {
+	for _, m := range msgs {
+		if m.From != from {
+			continue // spoof attempt
+		}
+		if box, ok := c.boxes[m.To]; ok {
+			box.push(m)
+		}
+	}
+}
+
+// Wait blocks until pred() holds (checked every poll interval) or the
+// timeout elapses.
+func (c *Cluster) Wait(pred func() bool, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if pred() {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return ErrTimeout
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Stop terminates all pumps and waits for them to exit. Safe to call once.
+func (c *Cluster) Stop() {
+	close(c.stop)
+	c.mu.Lock()
+	for _, box := range c.boxes {
+		box.close()
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+// Queued reports the total number of undelivered messages (diagnostics).
+func (c *Cluster) Queued() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for _, box := range c.boxes {
+		total += box.len()
+	}
+	return total
+}

@@ -1,0 +1,89 @@
+package transport
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// Driver binds one protocol state machine to a TCPNode: inbound messages
+// pump into the node, node outputs go out over TCP. It is the deployment
+// shape of this library — the same sim.Node code, fed by sockets.
+type Driver struct {
+	node sim.Node
+	tr   *TCPNode
+
+	mu   sync.Mutex
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// NewDriver binds node to tr. Call Run to start.
+func NewDriver(node sim.Node, tr *TCPNode) *Driver {
+	return &Driver{node: node, tr: tr}
+}
+
+// Run emits the node's Start messages and pumps inbound traffic until the
+// transport closes. Call at most once; it returns immediately (pumping
+// continues in a goroutine). Use Inspect for state reads and Close to stop.
+func (d *Driver) Run() {
+	d.once.Do(func() {
+		d.mu.Lock()
+		out := d.node.Start()
+		d.mu.Unlock()
+		d.sendAll(out)
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			for m := range d.tr.Incoming() {
+				d.mu.Lock()
+				var out []types.Message
+				if !d.node.Done() {
+					out = d.node.Deliver(m)
+				}
+				d.mu.Unlock()
+				d.sendAll(out)
+			}
+		}()
+	})
+}
+
+// Inspect runs fn with exclusive access to the node's state.
+func (d *Driver) Inspect(fn func(sim.Node)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	fn(d.node)
+}
+
+// WaitUntil polls pred (under the node lock) until it holds or the timeout
+// elapses.
+func (d *Driver) WaitUntil(pred func(sim.Node) bool, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		var ok bool
+		d.Inspect(func(n sim.Node) { ok = pred(n) })
+		if ok {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Close shuts down the transport and waits for the pump to exit.
+func (d *Driver) Close() {
+	_ = d.tr.Close()
+	d.wg.Wait()
+}
+
+func (d *Driver) sendAll(msgs []types.Message) {
+	for _, m := range msgs {
+		// Sends to crashed/unknown peers fail; per the asynchronous model
+		// the protocol never depends on any single peer, so drop and go on.
+		_ = d.tr.Send(m)
+	}
+}

@@ -1,0 +1,70 @@
+// Package transport runs the same protocol state machines that the
+// simulator drives — but live: goroutine-pumped in-process clusters
+// (Cluster) and real TCP endpoints with HMAC-authenticated frames (TCPNode).
+// Nothing in the protocol packages changes between simulated and live
+// execution; that equivalence is itself tested.
+package transport
+
+import "sync"
+
+// mailbox is an unbounded FIFO queue with blocking receive. Protocol
+// traffic is cyclic (a delivery triggers sends back to the sender), so
+// bounded channels could deadlock two pumps against each other; unbounded
+// mailboxes trade memory for progress, matching the asynchronous model's
+// unbounded network.
+type mailbox[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []T
+	closed bool
+}
+
+func newMailbox[T any]() *mailbox[T] {
+	m := &mailbox[T]{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// push enqueues an item; it reports false if the mailbox is closed.
+func (m *mailbox[T]) push(item T) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.items = append(m.items, item)
+	m.cond.Signal()
+	return true
+}
+
+// pop blocks until an item is available or the mailbox closes; ok is false
+// only on close-and-drained.
+func (m *mailbox[T]) pop() (item T, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.items) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	item = m.items[0]
+	m.items = m.items[1:]
+	return item, true
+}
+
+// close wakes all waiters; pending items remain poppable.
+func (m *mailbox[T]) close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.cond.Broadcast()
+}
+
+// len returns the queued item count.
+func (m *mailbox[T]) len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.items)
+}

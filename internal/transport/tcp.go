@@ -1,0 +1,253 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/auth"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Frame format: 4-byte big-endian payload length, the wire-encoded message,
+// then a 32-byte HMAC-SHA256 over the payload under the (sender, receiver)
+// link key. The MAC realizes the paper's authenticated-links assumption over
+// real sockets: a frame whose claimed From does not hold the link key is
+// dropped.
+
+// maxFrame bounds a frame payload; larger length prefixes are treated as
+// protocol errors and close the connection.
+const maxFrame = 1 << 22
+
+// TCPNode is one process's TCP endpoint: it listens for peers, dials lazily
+// on first send, and delivers verified inbound messages on Incoming.
+type TCPNode struct {
+	me      types.ProcessID
+	keyring *auth.Keyring
+
+	listener net.Listener
+	incoming chan types.Message
+
+	mu      sync.Mutex
+	peers   map[types.ProcessID]string
+	conns   map[types.ProcessID]net.Conn
+	inbound []net.Conn // accepted connections, closed on shutdown
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	wg        sync.WaitGroup
+
+	dropped int // frames rejected (bad MAC / malformed); diagnostics
+}
+
+// TCP errors.
+var (
+	ErrClosed      = errors.New("transport: node closed")
+	ErrUnknownPeer = errors.New("transport: unknown peer")
+)
+
+// ListenTCP starts an endpoint for process me on addr ("127.0.0.1:0" picks a
+// free port). All processes of a deployment must share the master secret.
+func ListenTCP(me types.ProcessID, addr string, master []byte) (*TCPNode, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t := &TCPNode{
+		me:       me,
+		keyring:  auth.NewKeyring(master, me),
+		listener: l,
+		incoming: make(chan types.Message, 1024),
+		peers:    make(map[types.ProcessID]string),
+		conns:    make(map[types.ProcessID]net.Conn),
+		closed:   make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address.
+func (t *TCPNode) Addr() string { return t.listener.Addr().String() }
+
+// ID returns this endpoint's process.
+func (t *TCPNode) ID() types.ProcessID { return t.me }
+
+// SetPeers installs the peer address book (required before Send).
+func (t *TCPNode) SetPeers(peers map[types.ProcessID]string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for p, a := range peers {
+		t.peers[p] = a
+	}
+}
+
+// Incoming delivers verified inbound messages. The channel closes when the
+// node is closed.
+func (t *TCPNode) Incoming() <-chan types.Message { return t.incoming }
+
+// Dropped returns how many inbound frames failed verification or parsing.
+func (t *TCPNode) Dropped() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Send transmits one message to m.To; m.From must be this process (the peer
+// verifies the MAC against the claimed sender, so lying here only gets the
+// frame dropped remotely).
+func (t *TCPNode) Send(m types.Message) error {
+	select {
+	case <-t.closed:
+		return ErrClosed
+	default:
+	}
+	if m.To == t.me {
+		// Loopback without touching the network.
+		return t.deliver(m)
+	}
+	payload, err := wire.EncodeMessage(m)
+	if err != nil {
+		return fmt.Errorf("transport: encode: %w", err)
+	}
+	conn, err := t.conn(m.To)
+	if err != nil {
+		return err
+	}
+	mac := t.keyring.Sign(m.To, payload)
+	frame := make([]byte, 4, 4+len(payload)+len(mac))
+	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
+	frame = append(frame, payload...)
+	frame = append(frame, mac...)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, err := conn.Write(frame); err != nil {
+		delete(t.conns, m.To) // force re-dial next time
+		return fmt.Errorf("transport: write to %v: %w", m.To, err)
+	}
+	return nil
+}
+
+// conn returns (dialing if needed) the connection to peer.
+func (t *TCPNode) conn(peer types.ProcessID) (net.Conn, error) {
+	t.mu.Lock()
+	if c, ok := t.conns[peer]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := t.peers[peer]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownPeer, peer)
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %v at %s: %w", peer, addr, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if existing, ok := t.conns[peer]; ok {
+		// Lost the dial race; keep the existing connection.
+		_ = c.Close()
+		return existing, nil
+	}
+	t.conns[peer] = c
+	return c, nil
+}
+
+// Close shuts the endpoint down and waits for its goroutines.
+func (t *TCPNode) Close() error {
+	t.closeOnce.Do(func() {
+		close(t.closed)
+		_ = t.listener.Close()
+		t.mu.Lock()
+		for _, c := range t.conns {
+			_ = c.Close()
+		}
+		// Accepted connections must be closed here too: their read loops
+		// otherwise block until the *peer* closes, and a fleet shutting
+		// down in sequence would deadlock on that ordering.
+		for _, c := range t.inbound {
+			_ = c.Close()
+		}
+		t.mu.Unlock()
+		t.wg.Wait()
+		close(t.incoming)
+	})
+	return nil
+}
+
+func (t *TCPNode) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		t.inbound = append(t.inbound, conn)
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.readLoop(conn)
+		}()
+	}
+}
+
+// readLoop parses and verifies frames from one inbound connection until it
+// errors or the node closes.
+func (t *TCPNode) readLoop(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		size := binary.BigEndian.Uint32(lenBuf[:])
+		if size == 0 || size > maxFrame {
+			return // hostile or corrupt framing: drop the connection
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		mac := make([]byte, auth.MACSize)
+		if _, err := io.ReadFull(conn, mac); err != nil {
+			return
+		}
+		m, err := wire.DecodeMessage(payload)
+		if err != nil {
+			t.countDrop()
+			continue
+		}
+		// Authenticated links: the MAC must verify under the link key of
+		// the *claimed* sender, and the frame must be addressed to us.
+		if m.To != t.me || t.keyring.Check(m.From, payload, mac) != nil {
+			t.countDrop()
+			continue
+		}
+		if err := t.deliver(m); err != nil {
+			return
+		}
+	}
+}
+
+func (t *TCPNode) deliver(m types.Message) error {
+	select {
+	case t.incoming <- m:
+		return nil
+	case <-t.closed:
+		return ErrClosed
+	}
+}
+
+func (t *TCPNode) countDrop() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.dropped++
+}

@@ -1,0 +1,399 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/coin"
+	"repro/internal/core"
+	"repro/internal/quorum"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+func TestMailbox(t *testing.T) {
+	m := newMailbox[int]()
+	if !m.push(1) || !m.push(2) {
+		t.Fatal("push failed on open mailbox")
+	}
+	if m.len() != 2 {
+		t.Fatalf("len = %d", m.len())
+	}
+	if v, ok := m.pop(); !ok || v != 1 {
+		t.Fatalf("pop = %d, %v", v, ok)
+	}
+	m.close()
+	if m.push(3) {
+		t.Fatal("push succeeded on closed mailbox")
+	}
+	if v, ok := m.pop(); !ok || v != 2 {
+		t.Fatalf("drained pop = %d, %v", v, ok)
+	}
+	if _, ok := m.pop(); ok {
+		t.Fatal("pop on closed+empty returned ok")
+	}
+}
+
+func TestMailboxBlockingPop(t *testing.T) {
+	m := newMailbox[int]()
+	done := make(chan int, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, _ := m.pop()
+		done <- v
+	}()
+	time.Sleep(5 * time.Millisecond)
+	m.push(42)
+	select {
+	case v := <-done:
+		if v != 42 {
+			t.Fatalf("got %d", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("pop never woke")
+	}
+	wg.Wait()
+}
+
+// buildNodes constructs a correct consensus cluster for live transports.
+func buildNodes(t *testing.T, n, f int, proposals []types.Value, seed int64) []*core.Node {
+	t.Helper()
+	spec := quorum.MustNew(n, f)
+	peers := types.Processes(n)
+	dealer := coin.NewDealer(spec, seed)
+	nodes := make([]*core.Node, n)
+	for i, p := range peers {
+		nd, err := core.New(core.Config{
+			Me: p, Peers: peers, Spec: spec,
+			Coin:     coin.NewCommon(p, peers, dealer),
+			Proposal: proposals[i],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = nd
+	}
+	return nodes
+}
+
+func TestClusterLiveConsensus(t *testing.T) {
+	nodes := buildNodes(t, 4, 1, []types.Value{0, 1, 1, 0}, 5)
+	c := NewCluster()
+	for _, nd := range nodes {
+		if err := c.Add(nd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	allDone := func() bool {
+		done := true
+		for _, nd := range nodes {
+			c.Inspect(nd.ID(), func(n sim.Node) {
+				if !n.Done() {
+					done = false
+				}
+			})
+		}
+		return done
+	}
+	if err := c.Wait(allDone, 10*time.Second); err != nil {
+		t.Fatalf("live cluster did not finish: %v", err)
+	}
+	var first types.Value
+	for i, nd := range nodes {
+		c.Inspect(nd.ID(), func(n sim.Node) {
+			v, ok := n.(*core.Node).Decided()
+			if !ok {
+				t.Errorf("%v undecided", n.ID())
+				return
+			}
+			if i == 0 {
+				first = v
+			} else if v != first {
+				t.Errorf("agreement broken live: %v vs %v", v, first)
+			}
+		})
+	}
+}
+
+func TestClusterGuards(t *testing.T) {
+	c := NewCluster()
+	nodes := buildNodes(t, 4, 1, []types.Value{0, 0, 0, 0}, 1)
+	if err := c.Add(nodes[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(nodes[0]); err == nil {
+		t.Fatal("duplicate Add accepted")
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if err := c.Start(); err == nil {
+		t.Fatal("second Start accepted")
+	}
+	if err := c.Add(nodes[1]); err == nil {
+		t.Fatal("Add after Start accepted")
+	}
+	if ok := c.Inspect(99, func(sim.Node) {}); ok {
+		t.Fatal("Inspect of unknown node returned true")
+	}
+	if err := c.Wait(func() bool { return false }, 10*time.Millisecond); err == nil {
+		t.Fatal("Wait with false predicate must time out")
+	}
+}
+
+func TestTCPConsensusLoopback(t *testing.T) {
+	master := []byte("integration-secret")
+	nodes := buildNodes(t, 4, 1, []types.Value{1, 0, 1, 0}, 9)
+
+	endpoints := make([]*TCPNode, len(nodes))
+	addrs := make(map[types.ProcessID]string, len(nodes))
+	for i, nd := range nodes {
+		ep, err := ListenTCP(nd.ID(), "127.0.0.1:0", master)
+		if err != nil {
+			t.Fatal(err)
+		}
+		endpoints[i] = ep
+		addrs[nd.ID()] = ep.Addr()
+	}
+	drivers := make([]*Driver, len(nodes))
+	for i, nd := range nodes {
+		endpoints[i].SetPeers(addrs)
+		drivers[i] = NewDriver(nd, endpoints[i])
+	}
+	for _, d := range drivers {
+		d.Run()
+	}
+	defer func() {
+		for _, d := range drivers {
+			d.Close()
+		}
+	}()
+
+	var first types.Value
+	for i, d := range drivers {
+		ok := d.WaitUntil(func(n sim.Node) bool { return n.Done() }, 15*time.Second)
+		if !ok {
+			t.Fatalf("driver %d did not finish", i)
+		}
+		d.Inspect(func(n sim.Node) {
+			v, decided := n.(*core.Node).Decided()
+			if !decided {
+				t.Fatalf("node %v undecided", n.ID())
+			}
+			if i == 0 {
+				first = v
+			} else if v != first {
+				t.Fatalf("TCP agreement broken: %v vs %v", v, first)
+			}
+		})
+	}
+}
+
+func TestTCPRejectsForgedFrames(t *testing.T) {
+	master := []byte("secret-a")
+	a, err := ListenTCP(1, "127.0.0.1:0", master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	// The forger holds a different master secret: its MACs must not verify.
+	forger, err := ListenTCP(2, "127.0.0.1:0", []byte("other-secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = forger.Close() }()
+	forger.SetPeers(map[types.ProcessID]string{1: a.Addr()})
+
+	msg := types.Message{From: 2, To: 1, Payload: &types.DecidePayload{V: types.One}}
+	if err := forger.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(2 * time.Second)
+	for a.Dropped() == 0 {
+		select {
+		case m := <-a.Incoming():
+			t.Fatalf("forged frame delivered: %v", m)
+		case <-deadline:
+			t.Fatal("forged frame neither delivered nor counted as dropped")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestTCPGenuineDelivery(t *testing.T) {
+	master := []byte("shared")
+	a, err := ListenTCP(1, "127.0.0.1:0", master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	b, err := ListenTCP(2, "127.0.0.1:0", master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = b.Close() }()
+	b.SetPeers(map[types.ProcessID]string{1: a.Addr()})
+
+	want := types.Message{From: 2, To: 1, Payload: &types.DecidePayload{V: types.One}}
+	if err := b.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-a.Incoming():
+		if got.From != 2 || got.To != 1 {
+			t.Fatalf("got %v", got)
+		}
+		p, ok := got.Payload.(*types.DecidePayload)
+		if !ok || p.V != types.One {
+			t.Fatalf("payload = %v", got.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("genuine frame not delivered")
+	}
+}
+
+func TestTCPSendErrors(t *testing.T) {
+	a, err := ListenTCP(1, "127.0.0.1:0", []byte("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(types.Message{From: 1, To: 9, Payload: &types.DecidePayload{}}); err == nil {
+		t.Error("send to unknown peer succeeded")
+	}
+	if a.ID() != 1 {
+		t.Errorf("ID = %v", a.ID())
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(types.Message{From: 1, To: 1, Payload: &types.DecidePayload{}}); err == nil {
+		t.Error("send on closed node succeeded")
+	}
+	_ = a.Close() // double close must be safe
+}
+
+func TestClusterLiveConsensusUnderLiar(t *testing.T) {
+	// The same liar adversary that the simulator matrix covers, over real
+	// goroutines: live scheduling nondeterminism must not change the
+	// verdicts (agreement + validity + termination).
+	spec := quorum.MustNew(4, 1)
+	peers := types.Processes(4)
+	dealer := coin.NewDealer(spec, 21)
+	c := NewCluster()
+	correct := make([]*core.Node, 0, 3)
+	for i, p := range peers[:3] {
+		nd, err := core.New(core.Config{
+			Me: p, Peers: peers, Spec: spec,
+			Coin:     coin.NewCommon(p, peers, dealer),
+			Proposal: types.Value(i % 2),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		correct = append(correct, nd)
+		if err := c.Add(nd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	liar, err := adversary.NewLiar(core.Config{
+		Me: 4, Peers: peers, Spec: spec,
+		Coin:     coin.NewCommon(4, peers, dealer),
+		Proposal: types.Zero,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(liar); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	allDone := func() bool {
+		done := true
+		for _, nd := range correct {
+			c.Inspect(nd.ID(), func(n sim.Node) {
+				if !n.Done() {
+					done = false
+				}
+			})
+		}
+		return done
+	}
+	if err := c.Wait(allDone, 15*time.Second); err != nil {
+		t.Fatalf("live cluster under liar did not finish: %v", err)
+	}
+	var first types.Value
+	for i, nd := range correct {
+		c.Inspect(nd.ID(), func(n sim.Node) {
+			v, ok := n.(*core.Node).Decided()
+			if !ok {
+				t.Errorf("%v undecided", n.ID())
+				return
+			}
+			if i == 0 {
+				first = v
+			} else if v != first {
+				t.Errorf("live agreement broken under liar: %v vs %v", v, first)
+			}
+		})
+	}
+}
+
+func TestTCPManyMessages(t *testing.T) {
+	// Stress the framing: several hundred messages in both directions on
+	// one pair of endpoints, none lost, none corrupted.
+	master := []byte("stress")
+	a, err := ListenTCP(1, "127.0.0.1:0", master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	b, err := ListenTCP(2, "127.0.0.1:0", master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = b.Close() }()
+	a.SetPeers(map[types.ProcessID]string{2: b.Addr()})
+	b.SetPeers(map[types.ProcessID]string{1: a.Addr()})
+
+	const burst = 300
+	go func() {
+		for i := 0; i < burst; i++ {
+			_ = b.Send(types.Message{From: 2, To: 1, Payload: &types.PlainPayload{Round: i + 1, Step: types.Step1, V: types.One}})
+		}
+	}()
+	seen := make(map[int]bool, burst)
+	deadline := time.After(10 * time.Second)
+	for len(seen) < burst {
+		select {
+		case m := <-a.Incoming():
+			p, ok := m.Payload.(*types.PlainPayload)
+			if !ok || m.From != 2 {
+				t.Fatalf("unexpected message %v", m)
+			}
+			if seen[p.Round] {
+				t.Fatalf("duplicate round %d", p.Round)
+			}
+			seen[p.Round] = true
+		case <-deadline:
+			t.Fatalf("received %d/%d messages", len(seen), burst)
+		}
+	}
+	if a.Dropped() != 0 {
+		t.Errorf("dropped %d frames under honest traffic", a.Dropped())
+	}
+}

@@ -1,0 +1,275 @@
+// Package types defines the shared vocabulary of the repository: process
+// identifiers, binary consensus values, and the payload taxonomy for every
+// message exchanged by the protocols (Bracha reliable broadcast, Bracha
+// randomized consensus, the Rabin-style common coin, the decide-amplification
+// gadget, and the Ben-Or baseline).
+//
+// It is a leaf package: nothing here imports any other package in this module,
+// so every protocol and substrate can depend on it without cycles.
+package types
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ProcessID identifies a process in the system. Processes are numbered
+// 1..n; the zero value is reserved and never a valid process.
+type ProcessID int
+
+// NoProcess is the zero ProcessID, used to mean "no process" (for example as
+// the destination of a broadcast before fan-out).
+const NoProcess ProcessID = 0
+
+// String implements fmt.Stringer.
+func (p ProcessID) String() string { return "p" + strconv.Itoa(int(p)) }
+
+// Valid reports whether p is a plausible process identifier (positive).
+func (p ProcessID) Valid() bool { return p > 0 }
+
+// Value is a binary consensus value, 0 or 1. Bracha's PODC-84 protocol is a
+// binary consensus protocol; multi-valued consensus is built on top of it by
+// applications (see examples/replicatedlog).
+type Value uint8
+
+// The two binary values.
+const (
+	Zero Value = 0
+	One  Value = 1
+)
+
+// Valid reports whether v is one of the two binary values.
+func (v Value) Valid() bool { return v == Zero || v == One }
+
+// Not returns the other binary value.
+func (v Value) Not() Value {
+	if v == Zero {
+		return One
+	}
+	return Zero
+}
+
+// String implements fmt.Stringer.
+func (v Value) String() string { return strconv.Itoa(int(v)) }
+
+// Step identifies one of the three steps of a Bracha consensus round.
+type Step int
+
+// The three steps of a round, as in the paper.
+const (
+	Step1 Step = 1 // broadcast value, adopt majority
+	Step2 Step = 2 // broadcast value, propose D(v) on > n/2
+	Step3 Step = 3 // broadcast value, decide on 2f+1 D(v), adopt on f+1, else coin
+)
+
+// Valid reports whether s is one of the three protocol steps.
+func (s Step) Valid() bool { return s >= Step1 && s <= Step3 }
+
+// String implements fmt.Stringer.
+func (s Step) String() string { return "S" + strconv.Itoa(int(s)) }
+
+// Kind discriminates the concrete payload carried by a Message.
+type Kind uint8
+
+// Payload kinds. The RBC kinds wrap the three phases of Bracha reliable
+// broadcast; the remaining kinds are top-level protocol messages.
+const (
+	KindRBCSend   Kind = iota + 1 // initial broadcast by the RBC sender
+	KindRBCEcho                   // echo of a witnessed send
+	KindRBCReady                  // ready amplification
+	KindCoinShare                 // Rabin common-coin share
+	KindDecide                    // decide-amplification gadget
+	KindPlain                     // unvalidated point-to-point (Ben-Or baseline)
+)
+
+var kindNames = map[Kind]string{
+	KindRBCSend:   "RBC-SEND",
+	KindRBCEcho:   "RBC-ECHO",
+	KindRBCReady:  "RBC-READY",
+	KindCoinShare: "COIN",
+	KindDecide:    "DECIDE",
+	KindPlain:     "PLAIN",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Valid reports whether k is a known payload kind.
+func (k Kind) Valid() bool { return k >= KindRBCSend && k <= KindPlain }
+
+// Payload is implemented by every protocol message payload.
+type Payload interface {
+	// Kind returns the payload discriminator.
+	Kind() Kind
+}
+
+// Tag identifies the application-level slot an RBC instance serves. For the
+// consensus protocol a tag is a (round, step) pair; standalone reliable
+// broadcast streams use Seq with Round = Step = 0.
+type Tag struct {
+	Round int
+	Step  Step
+	Seq   int
+}
+
+// String implements fmt.Stringer.
+func (t Tag) String() string {
+	if t.Round == 0 && t.Step == 0 {
+		return "seq" + strconv.Itoa(t.Seq)
+	}
+	return fmt.Sprintf("r%d/%s", t.Round, t.Step)
+}
+
+// InstanceID uniquely identifies one reliable-broadcast instance: the
+// original broadcaster plus the application tag it is broadcasting for.
+type InstanceID struct {
+	Sender ProcessID
+	Tag    Tag
+}
+
+// String implements fmt.Stringer.
+func (id InstanceID) String() string {
+	return fmt.Sprintf("%s@%s", id.Sender, id.Tag)
+}
+
+// RBCPayload is a reliable-broadcast protocol message. Phase is one of the
+// three RBC kinds. Body is the opaque broadcast content (for consensus, a
+// wire-encoded StepMessage); it is a string so instances can key maps by it.
+type RBCPayload struct {
+	Phase Kind
+	ID    InstanceID
+	Body  string
+}
+
+// Kind implements Payload.
+func (p *RBCPayload) Kind() Kind { return p.Phase }
+
+// String implements fmt.Stringer.
+func (p *RBCPayload) String() string {
+	return fmt.Sprintf("%s[%s|%q]", p.Phase, p.ID, p.Body)
+}
+
+// CoinSharePayload carries one process's share of the common coin for a
+// round. Share and MAC are opaque to everything except internal/coin, which
+// encodes and verifies them against the dealer's setup.
+type CoinSharePayload struct {
+	Round int
+	Share string
+	MAC   string
+}
+
+// Kind implements Payload.
+func (p *CoinSharePayload) Kind() Kind { return KindCoinShare }
+
+// String implements fmt.Stringer.
+func (p *CoinSharePayload) String() string {
+	return fmt.Sprintf("COIN[r%d]", p.Round)
+}
+
+// DecidePayload is the decide-amplification gadget message: "I have decided
+// V" (or "I relay a quorum of decisions for V"). Instance namespaces the
+// gadget when multiple consensus instances share a network (for example the
+// slots of a replicated log); single-instance deployments leave it 0.
+type DecidePayload struct {
+	V        Value
+	Instance int
+}
+
+// Kind implements Payload.
+func (p *DecidePayload) Kind() Kind { return KindDecide }
+
+// String implements fmt.Stringer.
+func (p *DecidePayload) String() string {
+	if p.Instance != 0 {
+		return fmt.Sprintf("DECIDE[%s#%d]", p.V, p.Instance)
+	}
+	return "DECIDE[" + p.V.String() + "]"
+}
+
+// PlainPayload is an unvalidated point-to-point protocol message, used by the
+// Ben-Or (1983) baseline which predates both reliable broadcast and message
+// validation. D marks a decision proposal; Q marks Ben-Or's "?" message (no
+// supermajority witnessed in phase 1).
+type PlainPayload struct {
+	Round int
+	Step  Step
+	V     Value
+	D     bool
+	Q     bool
+}
+
+// Kind implements Payload.
+func (p *PlainPayload) Kind() Kind { return KindPlain }
+
+// String implements fmt.Stringer.
+func (p *PlainPayload) String() string {
+	suffix := ""
+	if p.D {
+		suffix = "*D"
+	}
+	if p.Q {
+		suffix = "*?"
+	}
+	return fmt.Sprintf("PLAIN[r%d/%s v=%s%s]", p.Round, p.Step, p.V, suffix)
+}
+
+// Message is a point-to-point message between two processes. From is
+// authenticated by the transport layer (the simulator by construction, TCP by
+// HMAC): a Byzantine process cannot impersonate another process, exactly the
+// "authenticated links" assumption of the paper.
+type Message struct {
+	From    ProcessID
+	To      ProcessID
+	Payload Payload
+}
+
+// String implements fmt.Stringer.
+func (m Message) String() string {
+	return fmt.Sprintf("%s->%s %v", m.From, m.To, m.Payload)
+}
+
+// StepMessage is the logical content a consensus node reliably broadcasts at
+// each step of a round: its current value, optionally marked as a decision
+// proposal D(v) (step 3 only). It is encoded to the RBC body by internal/wire.
+type StepMessage struct {
+	Round int
+	Step  Step
+	V     Value
+	D     bool
+}
+
+// String implements fmt.Stringer.
+func (s StepMessage) String() string {
+	d := ""
+	if s.D {
+		d = "D"
+	}
+	return fmt.Sprintf("r%d/%s %s(%s)", s.Round, s.Step, d, s.V)
+}
+
+// Broadcast expands a payload into one message per destination process,
+// preserving order of dests. It is the fan-out helper used by every protocol;
+// the sender must include itself in dests if it should receive its own
+// message (all protocols here do, matching the paper's "send to all"
+// semantics).
+func Broadcast(from ProcessID, dests []ProcessID, p Payload) []Message {
+	out := make([]Message, 0, len(dests))
+	for _, d := range dests {
+		out = append(out, Message{From: from, To: d, Payload: p})
+	}
+	return out
+}
+
+// Processes returns the process identifiers 1..n.
+func Processes(n int) []ProcessID {
+	ps := make([]ProcessID, n)
+	for i := range ps {
+		ps[i] = ProcessID(i + 1)
+	}
+	return ps
+}

@@ -1,0 +1,213 @@
+package validate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/quorum"
+	"repro/internal/types"
+)
+
+// This file cross-checks the validator's O(1) feasibility arithmetic
+// against a brute-force oracle that literally enumerates every
+// (n−f)-subset of the justified messages and applies the protocol's
+// transition function — the definition straight from the paper. Any
+// divergence between the closed-form predicates and the enumeration is a
+// soundness or completeness bug in the validator.
+
+// oracleMsg mirrors a tallied message for enumeration.
+type oracleMsg struct {
+	v types.Value
+	d bool
+}
+
+// enumerate reports whether some q-subset of msgs satisfies pred.
+func enumerate(msgs []oracleMsg, q int, pred func(sub []oracleMsg) bool) bool {
+	n := len(msgs)
+	if q > n {
+		return false
+	}
+	idx := make([]int, q)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		sub := make([]oracleMsg, q)
+		for i, j := range idx {
+			sub[i] = msgs[j]
+		}
+		if pred(sub) {
+			return true
+		}
+		// Next combination.
+		i := q - 1
+		for i >= 0 && idx[i] == n-q+i {
+			i--
+		}
+		if i < 0 {
+			return false
+		}
+		idx[i]++
+		for j := i + 1; j < q; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+func count(sub []oracleMsg, v types.Value, dOnly bool) int {
+	c := 0
+	for _, m := range sub {
+		if m.v == v && (!dOnly || m.d) && (dOnly || !m.d) {
+			c++
+		}
+	}
+	return c
+}
+
+// oracleMajority: majority with ties to 0, exactly the protocol rule.
+func oracleMajority(sub []oracleMsg) types.Value {
+	ones := 0
+	for _, m := range sub {
+		if m.v == types.One {
+			ones++
+		}
+	}
+	if 2*ones > len(sub) {
+		return types.One
+	}
+	return types.Zero
+}
+
+// buildOracleTally converts plain value counts into message lists.
+func plainMsgs(c0, c1 int) []oracleMsg {
+	out := make([]oracleMsg, 0, c0+c1)
+	for i := 0; i < c0; i++ {
+		out = append(out, oracleMsg{v: types.Zero})
+	}
+	for i := 0; i < c1; i++ {
+		out = append(out, oracleMsg{v: types.One})
+	}
+	return out
+}
+
+func step3Msgs(p0, p1, d0, d1 int) []oracleMsg {
+	out := plainMsgs(p0, p1)
+	for i := 0; i < d0; i++ {
+		out = append(out, oracleMsg{v: types.Zero, d: true})
+	}
+	for i := 0; i < d1; i++ {
+		out = append(out, oracleMsg{v: types.One, d: true})
+	}
+	return out
+}
+
+// TestOracleStep2Majority exhaustively compares canMajority with subset
+// enumeration for every step-1 tally up to n messages, for several system
+// sizes.
+func TestOracleStep2Majority(t *testing.T) {
+	for _, sys := range []struct{ n, f int }{{4, 1}, {5, 1}, {7, 2}, {6, 1}} {
+		spec := quorum.MustNew(sys.n, sys.f)
+		q := spec.Quorum()
+		for c0 := 0; c0 <= sys.n; c0++ {
+			for c1 := 0; c0+c1 <= sys.n; c1++ {
+				tl := &tally{step1: [2]int{c0, c1}}
+				msgs := plainMsgs(c0, c1)
+				for _, v := range []types.Value{types.Zero, types.One} {
+					got := tl.canMajority(v, q)
+					want := enumerate(msgs, q, func(sub []oracleMsg) bool {
+						return oracleMajority(sub) == v
+					})
+					if got != want {
+						t.Fatalf("n=%d f=%d c=[%d,%d] v=%v: canMajority=%v oracle=%v",
+							sys.n, sys.f, c0, c1, v, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOracleStep3Proposal compares canSuperMajority and canNoSuperMajority
+// with enumeration over every step-2 tally.
+func TestOracleStep3Proposal(t *testing.T) {
+	for _, sys := range []struct{ n, f int }{{4, 1}, {5, 1}, {7, 2}} {
+		spec := quorum.MustNew(sys.n, sys.f)
+		q, sm := spec.Quorum(), spec.SuperMajority()
+		for c0 := 0; c0 <= sys.n; c0++ {
+			for c1 := 0; c0+c1 <= sys.n; c1++ {
+				tl := &tally{step2: [2]int{c0, c1}}
+				msgs := plainMsgs(c0, c1)
+				for _, v := range []types.Value{types.Zero, types.One} {
+					got := tl.canSuperMajority(v, q, sm)
+					want := enumerate(msgs, q, func(sub []oracleMsg) bool {
+						return count(sub, v, false) >= sm
+					})
+					if got != want {
+						t.Fatalf("n=%d c=[%d,%d] v=%v: canSuperMajority=%v oracle=%v",
+							sys.n, c0, c1, v, got, want)
+					}
+				}
+				got := tl.canNoSuperMajority(q, sm)
+				want := enumerate(msgs, q, func(sub []oracleMsg) bool {
+					return count(sub, types.Zero, false) < sm && count(sub, types.One, false) < sm
+				})
+				if got != want {
+					t.Fatalf("n=%d c=[%d,%d]: canNoSuperMajority=%v oracle=%v",
+						sys.n, c0, c1, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestOracleNextRound compares canAdopt and canCoin with enumeration over
+// randomly sampled step-3 tallies (the 4-dimensional space is too large to
+// exhaust; sampling plus the exhaustive small corners below covers it).
+func TestOracleNextRound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, sys := range []struct{ n, f int }{{4, 1}, {7, 2}} {
+		spec := quorum.MustNew(sys.n, sys.f)
+		q, adopt, f := spec.Quorum(), spec.Adopt(), spec.F()
+		checkTally := func(p0, p1, d0, d1 int) {
+			tl := &tally{step3Plain: [2]int{p0, p1}, step3D: [2]int{d0, d1}}
+			msgs := step3Msgs(p0, p1, d0, d1)
+			for _, v := range []types.Value{types.Zero, types.One} {
+				got := tl.canAdopt(v, q, adopt)
+				want := enumerate(msgs, q, func(sub []oracleMsg) bool {
+					return count(sub, v, true) >= adopt
+				})
+				if got != want {
+					t.Fatalf("n=%d tally p=[%d,%d] d=[%d,%d] v=%v: canAdopt=%v oracle=%v",
+						sys.n, p0, p1, d0, d1, v, got, want)
+				}
+			}
+			got := tl.canCoin(q, f)
+			want := enumerate(msgs, q, func(sub []oracleMsg) bool {
+				return count(sub, types.Zero, true) < adopt && count(sub, types.One, true) < adopt
+			})
+			if got != want {
+				t.Fatalf("n=%d tally p=[%d,%d] d=[%d,%d]: canCoin=%v oracle=%v",
+					sys.n, p0, p1, d0, d1, got, want)
+			}
+		}
+		// Exhaust the small corners (all tallies up to 4 messages total).
+		for p0 := 0; p0 <= 4; p0++ {
+			for p1 := 0; p0+p1 <= 4; p1++ {
+				for d0 := 0; p0+p1+d0 <= 4; d0++ {
+					for d1 := 0; p0+p1+d0+d1 <= 4; d1++ {
+						checkTally(p0, p1, d0, d1)
+					}
+				}
+			}
+		}
+		// Random sample of larger tallies up to n messages.
+		for i := 0; i < 400; i++ {
+			total := q + rng.Intn(sys.n-q+1)
+			p0 := rng.Intn(total + 1)
+			p1 := rng.Intn(total - p0 + 1)
+			d0 := rng.Intn(total - p0 - p1 + 1)
+			d1 := total - p0 - p1 - d0
+			checkTally(p0, p1, d0, d1)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// FuzzDecodePayload: arbitrary bytes must never panic, and anything that
+// decodes must re-encode to an equivalent payload (decode∘encode = id on
+// the valid image).
+func FuzzDecodePayload(f *testing.F) {
+	for _, p := range []types.Payload{
+		&types.DecidePayload{V: types.One, Instance: 3},
+		&types.CoinSharePayload{Round: 2, Share: "s", MAC: "m"},
+		&types.RBCPayload{Phase: types.KindRBCSend, ID: types.InstanceID{Sender: 1, Tag: types.Tag{Round: 1, Step: types.Step1}}, Body: "b"},
+		&types.PlainPayload{Round: 1, Step: types.Step2, V: types.Zero, D: true},
+	} {
+		buf, err := EncodePayload(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x00, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodePayload(data)
+		if err != nil {
+			return // malformed input is fine; panics are not
+		}
+		re, err := EncodePayload(p)
+		if err != nil {
+			t.Fatalf("decoded payload failed to re-encode: %#v: %v", p, err)
+		}
+		back, err := DecodePayload(re)
+		if err != nil {
+			t.Fatalf("re-encoded payload failed to decode: %v", err)
+		}
+		buf1, _ := EncodePayload(back)
+		if !bytes.Equal(re, buf1) {
+			t.Fatalf("encoding not stable: %x vs %x", re, buf1)
+		}
+	})
+}
+
+// FuzzDecodeStep: step bodies are fully Byzantine-controlled; the decoder
+// must never panic and must only accept well-formed steps.
+func FuzzDecodeStep(f *testing.F) {
+	for _, s := range []types.StepMessage{
+		{Round: 1, Step: types.Step1, V: types.Zero},
+		{Round: 7, Step: types.Step3, V: types.One, D: true},
+	} {
+		body, err := EncodeStep(s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(body)
+	}
+	f.Add("")
+	f.Add("\x00\x00\x00\x00")
+
+	f.Fuzz(func(t *testing.T, body string) {
+		s, err := DecodeStep(body)
+		if err != nil {
+			return
+		}
+		if s.Round < 1 || !s.Step.Valid() || !s.V.Valid() || (s.D && s.Step != types.Step3) {
+			t.Fatalf("decoder accepted malformed step %+v from %q", s, body)
+		}
+		re, err := EncodeStep(s)
+		if err != nil {
+			t.Fatalf("accepted step failed to re-encode: %v", err)
+		}
+		if re != body {
+			t.Fatalf("encoding not canonical: %q vs %q", re, body)
+		}
+	})
+}
+
+// FuzzDecodeMessage: full message frames from the network.
+func FuzzDecodeMessage(f *testing.F) {
+	m := types.Message{From: 1, To: 2, Payload: &types.DecidePayload{V: types.One}}
+	buf, err := EncodeMessage(m)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeMessage(data)
+		if err != nil {
+			return
+		}
+		if _, err := EncodeMessage(m); err != nil {
+			t.Fatalf("decoded message failed to re-encode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,313 @@
+// Package wire is the hand-rolled binary codec for every protocol payload.
+// It serves two needs: the TCP transport frames (internal/transport) and the
+// canonical encoding of consensus step messages into reliable-broadcast
+// bodies (internal/core), where a compact, deterministic, comparable byte
+// string is required.
+//
+// The format is a one-byte kind discriminator followed by the payload's
+// fields as varints (signed fields zig-zag encoded) and length-prefixed byte
+// strings. Decoding is strict: unknown kinds, truncated input, invalid enum
+// values, and trailing garbage are all errors, so a Byzantine process cannot
+// smuggle out-of-model values past the codec.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Decoding errors.
+var (
+	ErrTruncated   = errors.New("wire: truncated input")
+	ErrUnknownKind = errors.New("wire: unknown payload kind")
+	ErrBadValue    = errors.New("wire: field out of range")
+	ErrTrailing    = errors.New("wire: trailing bytes after payload")
+	ErrTooLarge    = errors.New("wire: length prefix exceeds limit")
+)
+
+// MaxBodyLen bounds any length-prefixed field. It caps allocation from
+// hostile length prefixes long before io limits would.
+const MaxBodyLen = 1 << 20
+
+// EncodePayload serializes any protocol payload.
+func EncodePayload(p types.Payload) ([]byte, error) {
+	switch v := p.(type) {
+	case *types.RBCPayload:
+		if v.Phase != types.KindRBCSend && v.Phase != types.KindRBCEcho && v.Phase != types.KindRBCReady {
+			return nil, fmt.Errorf("%w: RBC phase %v", ErrBadValue, v.Phase)
+		}
+		buf := []byte{byte(v.Phase)}
+		buf = appendInt(buf, int(v.ID.Sender))
+		buf = appendInt(buf, v.ID.Tag.Round)
+		buf = appendInt(buf, int(v.ID.Tag.Step))
+		buf = appendInt(buf, v.ID.Tag.Seq)
+		buf = appendBytes(buf, []byte(v.Body))
+		return buf, nil
+	case *types.CoinSharePayload:
+		buf := []byte{byte(types.KindCoinShare)}
+		buf = appendInt(buf, v.Round)
+		buf = appendBytes(buf, []byte(v.Share))
+		buf = appendBytes(buf, []byte(v.MAC))
+		return buf, nil
+	case *types.DecidePayload:
+		if !v.V.Valid() {
+			return nil, fmt.Errorf("%w: decide value %d", ErrBadValue, v.V)
+		}
+		buf := []byte{byte(types.KindDecide), byte(v.V)}
+		return appendInt(buf, v.Instance), nil
+	case *types.PlainPayload:
+		if !v.V.Valid() {
+			return nil, fmt.Errorf("%w: plain value %d", ErrBadValue, v.V)
+		}
+		buf := []byte{byte(types.KindPlain)}
+		buf = appendInt(buf, v.Round)
+		buf = appendInt(buf, int(v.Step))
+		buf = append(buf, byte(v.V), flags(v.D, v.Q))
+		return buf, nil
+	case nil:
+		return nil, fmt.Errorf("%w: nil payload", ErrBadValue)
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnknownKind, p)
+	}
+}
+
+// DecodePayload parses a payload produced by EncodePayload. It rejects
+// trailing bytes.
+func DecodePayload(buf []byte) (types.Payload, error) {
+	p, rest, err := decodePayload(buf)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, ErrTrailing
+	}
+	return p, nil
+}
+
+func decodePayload(buf []byte) (types.Payload, []byte, error) {
+	if len(buf) == 0 {
+		return nil, nil, ErrTruncated
+	}
+	kind := types.Kind(buf[0])
+	buf = buf[1:]
+	switch kind {
+	case types.KindRBCSend, types.KindRBCEcho, types.KindRBCReady:
+		sender, buf, err := readInt(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		round, buf, err := readInt(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		step, buf, err := readInt(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		seq, buf, err := readInt(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		body, buf, err := readBytes(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		p := &types.RBCPayload{
+			Phase: kind,
+			ID: types.InstanceID{
+				Sender: types.ProcessID(sender),
+				Tag:    types.Tag{Round: round, Step: types.Step(step), Seq: seq},
+			},
+			Body: string(body),
+		}
+		return p, buf, nil
+	case types.KindCoinShare:
+		round, buf, err := readInt(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		share, buf, err := readBytes(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		mac, buf, err := readBytes(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &types.CoinSharePayload{Round: round, Share: string(share), MAC: string(mac)}, buf, nil
+	case types.KindDecide:
+		if len(buf) < 1 {
+			return nil, nil, ErrTruncated
+		}
+		v := types.Value(buf[0])
+		if !v.Valid() {
+			return nil, nil, fmt.Errorf("%w: decide value %d", ErrBadValue, v)
+		}
+		instance, buf, err := readInt(buf[1:])
+		if err != nil {
+			return nil, nil, err
+		}
+		return &types.DecidePayload{V: v, Instance: instance}, buf, nil
+	case types.KindPlain:
+		round, buf, err := readInt(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		step, buf, err := readInt(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(buf) < 2 {
+			return nil, nil, ErrTruncated
+		}
+		v := types.Value(buf[0])
+		if !v.Valid() {
+			return nil, nil, fmt.Errorf("%w: plain value %d", ErrBadValue, v)
+		}
+		d, q, err := parseFlags(buf[1])
+		if err != nil {
+			return nil, nil, err
+		}
+		p := &types.PlainPayload{Round: round, Step: types.Step(step), V: v, D: d, Q: q}
+		return p, buf[2:], nil
+	default:
+		return nil, nil, fmt.Errorf("%w: %d", ErrUnknownKind, kind)
+	}
+}
+
+// EncodeMessage serializes a full point-to-point message (for transports).
+func EncodeMessage(m types.Message) ([]byte, error) {
+	payload, err := EncodePayload(m.Payload)
+	if err != nil {
+		return nil, err
+	}
+	buf := appendInt(nil, int(m.From))
+	buf = appendInt(buf, int(m.To))
+	return append(buf, payload...), nil
+}
+
+// DecodeMessage parses a message produced by EncodeMessage.
+func DecodeMessage(buf []byte) (types.Message, error) {
+	from, buf, err := readInt(buf)
+	if err != nil {
+		return types.Message{}, err
+	}
+	to, buf, err := readInt(buf)
+	if err != nil {
+		return types.Message{}, err
+	}
+	p, rest, err := decodePayload(buf)
+	if err != nil {
+		return types.Message{}, err
+	}
+	if len(rest) != 0 {
+		return types.Message{}, ErrTrailing
+	}
+	return types.Message{From: types.ProcessID(from), To: types.ProcessID(to), Payload: p}, nil
+}
+
+// EncodeStep canonically encodes a consensus step message for use as a
+// reliable-broadcast body. The encoding is injective, so body equality
+// (string comparison in the RBC instance) coincides with logical equality.
+func EncodeStep(s types.StepMessage) (string, error) {
+	if !s.Step.Valid() {
+		return "", fmt.Errorf("%w: step %d", ErrBadValue, s.Step)
+	}
+	if !s.V.Valid() {
+		return "", fmt.Errorf("%w: step value %d", ErrBadValue, s.V)
+	}
+	if s.Round < 1 {
+		return "", fmt.Errorf("%w: round %d", ErrBadValue, s.Round)
+	}
+	if s.D && s.Step != types.Step3 {
+		return "", fmt.Errorf("%w: decision proposal in step %v", ErrBadValue, s.Step)
+	}
+	buf := appendInt(nil, s.Round)
+	buf = append(buf, byte(s.Step), byte(s.V), flags(s.D, false))
+	return string(buf), nil
+}
+
+// DecodeStep parses an EncodeStep body. Byzantine senders control RBC
+// bodies, so all fields are validated.
+func DecodeStep(body string) (types.StepMessage, error) {
+	round, rest, err := readInt([]byte(body))
+	if err != nil {
+		return types.StepMessage{}, err
+	}
+	if len(rest) != 3 {
+		return types.StepMessage{}, ErrTruncated
+	}
+	s := types.StepMessage{Round: round, Step: types.Step(rest[0]), V: types.Value(rest[1])}
+	if round < 1 || !s.Step.Valid() || !s.V.Valid() {
+		return types.StepMessage{}, fmt.Errorf("%w: step body %q", ErrBadValue, body)
+	}
+	d, q, err := parseFlags(rest[2])
+	if err != nil || q || (d && s.Step != types.Step3) {
+		return types.StepMessage{}, fmt.Errorf("%w: step flags %q", ErrBadValue, body)
+	}
+	s.D = d
+	// Canonicality: varints admit padded encodings of the same value, which
+	// would let two distinct body strings carry the same logical step and
+	// undermine the body-equality reasoning of reliable broadcast. Accept
+	// only the exact bytes EncodeStep produces.
+	canonical, err := EncodeStep(s)
+	if err != nil || canonical != body {
+		return types.StepMessage{}, fmt.Errorf("%w: non-canonical step body %q", ErrBadValue, body)
+	}
+	return s, nil
+}
+
+func flags(d, q bool) byte {
+	var b byte
+	if d {
+		b |= 1
+	}
+	if q {
+		b |= 2
+	}
+	return b
+}
+
+func parseFlags(b byte) (d, q bool, err error) {
+	if b > 3 {
+		return false, false, fmt.Errorf("%w: flags %#x", ErrBadValue, b)
+	}
+	return b&1 != 0, b&2 != 0, nil
+}
+
+func appendInt(buf []byte, v int) []byte {
+	return binary.AppendVarint(buf, int64(v))
+}
+
+func readInt(buf []byte) (int, []byte, error) {
+	v, n := binary.Varint(buf)
+	if n <= 0 {
+		return 0, nil, ErrTruncated
+	}
+	return int(v), buf[n:], nil
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+func readBytes(buf []byte) ([]byte, []byte, error) {
+	l, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, nil, ErrTruncated
+	}
+	if l > MaxBodyLen {
+		return nil, nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, l)
+	}
+	buf = buf[n:]
+	if uint64(len(buf)) < l {
+		return nil, nil, ErrTruncated
+	}
+	out := make([]byte, l)
+	copy(out, buf[:l])
+	return out, buf[l:], nil
+}

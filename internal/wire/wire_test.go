@@ -1,0 +1,271 @@
+package wire
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func allPayloads() []types.Payload {
+	return []types.Payload{
+		&types.RBCPayload{
+			Phase: types.KindRBCSend,
+			ID:    types.InstanceID{Sender: 3, Tag: types.Tag{Round: 2, Step: types.Step1}},
+			Body:  "hello",
+		},
+		&types.RBCPayload{
+			Phase: types.KindRBCEcho,
+			ID:    types.InstanceID{Sender: 1, Tag: types.Tag{Seq: 42}},
+			Body:  "",
+		},
+		&types.RBCPayload{
+			Phase: types.KindRBCReady,
+			ID:    types.InstanceID{Sender: 250, Tag: types.Tag{Round: 100, Step: types.Step3}},
+			Body:  string([]byte{0, 1, 2, 255}),
+		},
+		&types.CoinSharePayload{Round: 9, Share: "sh", MAC: "mac-bytes"},
+		&types.CoinSharePayload{Round: 0, Share: "", MAC: ""},
+		&types.DecidePayload{V: types.Zero},
+		&types.DecidePayload{V: types.One},
+		&types.PlainPayload{Round: 4, Step: types.Step2, V: types.One, D: true},
+		&types.PlainPayload{Round: 1, Step: types.Step1, V: types.Zero, Q: true},
+		&types.PlainPayload{Round: 7, Step: types.Step3, V: types.One},
+	}
+}
+
+func TestPayloadRoundTrip(t *testing.T) {
+	for _, p := range allPayloads() {
+		t.Run(p.Kind().String(), func(t *testing.T) {
+			buf, err := EncodePayload(p)
+			if err != nil {
+				t.Fatalf("EncodePayload: %v", err)
+			}
+			got, err := DecodePayload(buf)
+			if err != nil {
+				t.Fatalf("DecodePayload: %v", err)
+			}
+			if !reflect.DeepEqual(got, p) {
+				t.Errorf("round trip mismatch:\n got %#v\nwant %#v", got, p)
+			}
+		})
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	for _, p := range allPayloads() {
+		m := types.Message{From: 5, To: 11, Payload: p}
+		buf, err := EncodeMessage(m)
+		if err != nil {
+			t.Fatalf("EncodeMessage: %v", err)
+		}
+		got, err := DecodeMessage(buf)
+		if err != nil {
+			t.Fatalf("DecodeMessage: %v", err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("round trip mismatch:\n got %#v\nwant %#v", got, m)
+		}
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	tests := []struct {
+		name string
+		p    types.Payload
+		want error
+	}{
+		{"nil payload", nil, ErrBadValue},
+		{"bad RBC phase", &types.RBCPayload{Phase: types.KindDecide}, ErrBadValue},
+		{"bad decide value", &types.DecidePayload{V: 7}, ErrBadValue},
+		{"bad plain value", &types.PlainPayload{V: 9}, ErrBadValue},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := EncodePayload(tt.p); !errors.Is(err, tt.want) {
+				t.Errorf("error = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	good, err := EncodePayload(&types.DecidePayload{V: types.One})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		buf  []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"unknown kind", []byte{0xEE}, ErrUnknownKind},
+		{"truncated decide", []byte{byte(types.KindDecide)}, ErrTruncated},
+		{"bad decide value", []byte{byte(types.KindDecide), 9}, ErrBadValue},
+		{"trailing bytes", append(append([]byte{}, good...), 0x00), ErrTrailing},
+		{"truncated rbc", []byte{byte(types.KindRBCSend), 2}, ErrTruncated},
+		{"truncated coin", []byte{byte(types.KindCoinShare)}, ErrTruncated},
+		{"truncated plain", []byte{byte(types.KindPlain), 2, 2, 0}, ErrTruncated},
+		{"bad plain flags", []byte{byte(types.KindPlain), 2, 2, 0, 9}, ErrBadValue},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := DecodePayload(tt.buf); !errors.Is(err, tt.want) {
+				t.Errorf("error = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsHostileLength(t *testing.T) {
+	// RBC send with an absurd body length prefix but no body.
+	buf := []byte{byte(types.KindRBCSend)}
+	buf = appendInt(buf, 1) // sender
+	buf = appendInt(buf, 1) // round
+	buf = appendInt(buf, 1) // step
+	buf = appendInt(buf, 0) // seq
+	buf = append(buf, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F)
+	if _, err := DecodePayload(buf); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("error = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestStepRoundTrip(t *testing.T) {
+	tests := []types.StepMessage{
+		{Round: 1, Step: types.Step1, V: types.Zero},
+		{Round: 1, Step: types.Step2, V: types.One},
+		{Round: 3, Step: types.Step3, V: types.One, D: true},
+		{Round: 1000000, Step: types.Step3, V: types.Zero, D: true},
+	}
+	for _, s := range tests {
+		body, err := EncodeStep(s)
+		if err != nil {
+			t.Fatalf("EncodeStep(%v): %v", s, err)
+		}
+		got, err := DecodeStep(body)
+		if err != nil {
+			t.Fatalf("DecodeStep(%q): %v", body, err)
+		}
+		if got != s {
+			t.Errorf("round trip: got %v, want %v", got, s)
+		}
+	}
+}
+
+func TestEncodeStepRejectsInvalid(t *testing.T) {
+	tests := []struct {
+		name string
+		s    types.StepMessage
+	}{
+		{"round zero", types.StepMessage{Round: 0, Step: types.Step1, V: types.Zero}},
+		{"bad step", types.StepMessage{Round: 1, Step: 5, V: types.Zero}},
+		{"bad value", types.StepMessage{Round: 1, Step: types.Step1, V: 3}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := EncodeStep(tt.s); !errors.Is(err, ErrBadValue) {
+				t.Errorf("error = %v, want ErrBadValue", err)
+			}
+		})
+	}
+}
+
+func TestDecodeStepRejectsMalformed(t *testing.T) {
+	tests := []struct {
+		name string
+		body string
+	}{
+		{"empty", ""},
+		{"short", "\x02"},
+		{"bad step", string([]byte{2, 9, 0, 0})},
+		{"bad value", string([]byte{2, 1, 9, 0})},
+		{"bad flags", string([]byte{2, 1, 0, 2})},
+		{"round zero", string([]byte{0, 1, 0, 0})},
+		{"negative round", string([]byte{1, 1, 0, 0})}, // varint 1 decodes as -1 zig-zag
+		{"trailing", string([]byte{2, 1, 0, 0, 0})},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := DecodeStep(tt.body); err == nil {
+				t.Errorf("DecodeStep(%q) accepted malformed input", tt.body)
+			}
+		})
+	}
+}
+
+// TestStepEncodingInjective: distinct step messages must map to distinct
+// bodies (the RBC echo-counting keys on body equality).
+func TestStepEncodingInjective(t *testing.T) {
+	seen := map[string]types.StepMessage{}
+	for round := 1; round <= 50; round++ {
+		for _, step := range []types.Step{types.Step1, types.Step2, types.Step3} {
+			for _, v := range []types.Value{types.Zero, types.One} {
+				for _, d := range []bool{false, true} {
+					if d && step != types.Step3 {
+						continue // not encodable: D exists only in step 3
+					}
+					s := types.StepMessage{Round: round, Step: step, V: v, D: d}
+					body, err := EncodeStep(s)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if prev, dup := seen[body]; dup {
+						t.Fatalf("collision: %v and %v both encode to %q", prev, s, body)
+					}
+					seen[body] = s
+				}
+			}
+		}
+	}
+}
+
+// TestPayloadPropertyRoundTrip fuzzes RBC payloads through the codec.
+func TestPayloadPropertyRoundTrip(t *testing.T) {
+	prop := func(sender uint16, round, seq int32, stepRaw uint8, body []byte, phaseRaw uint8) bool {
+		phases := []types.Kind{types.KindRBCSend, types.KindRBCEcho, types.KindRBCReady}
+		if len(body) > 1024 {
+			body = body[:1024]
+		}
+		p := &types.RBCPayload{
+			Phase: phases[int(phaseRaw)%3],
+			ID: types.InstanceID{
+				Sender: types.ProcessID(sender),
+				Tag: types.Tag{
+					Round: int(round),
+					Step:  types.Step(stepRaw),
+					Seq:   int(seq),
+				},
+			},
+			Body: string(body),
+		}
+		buf, err := EncodePayload(p)
+		if err != nil {
+			return false
+		}
+		got, err := DecodePayload(buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, p)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeNeverPanics feeds random bytes to the decoder.
+func TestDecodeNeverPanics(t *testing.T) {
+	prop := func(buf []byte) bool {
+		// Any outcome is fine except a panic, which quick would surface.
+		_, _ = DecodePayload(buf)
+		_, _ = DecodeMessage(buf)
+		_, _ = DecodeStep(string(buf))
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
