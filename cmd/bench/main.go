@@ -1,17 +1,23 @@
 // Command bench regenerates every table and figure of the evaluation
 // (EXPERIMENTS.md): E1–E8 plus the ablations A1–A3. Output is aligned text
-// tables by default, CSV with -csv.
+// tables by default, CSV with -csv, JSON with -json. Independent runs are
+// fanned across a worker pool (runner.Sweep); -workers 1 forces the old
+// serial behaviour and, by the sweep engine's determinism contract, produces
+// the identical numbers.
 //
 // Examples:
 //
-//	bench                  # everything, full size (minutes)
+//	bench                  # everything, full size, all cores
 //	bench -quick           # everything, smoke size (seconds)
 //	bench -experiment E6   # one experiment
 //	bench -runs 100        # more repetitions per configuration
+//	bench -workers 1       # serial (same numbers, slower)
 //	bench -csv > out.csv   # machine-readable output
+//	bench -quick -json > BENCH_seed.json   # committed baseline snapshot
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -31,16 +37,21 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		id    = fs.String("experiment", "", "run a single experiment (E1..E8, A1..A3); empty = all")
-		runs  = fs.Int("runs", 0, "repetitions per configuration (0 = default)")
-		seed  = fs.Int64("seed", 1, "base seed")
-		quick = fs.Bool("quick", false, "shrink sweeps for a fast smoke run")
-		csv   = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		id      = fs.String("experiment", "", "run a single experiment (E1..E8, A1..A3); empty = all")
+		runs    = fs.Int("runs", 0, "repetitions per configuration (0 = default)")
+		seed    = fs.Int64("seed", 1, "base seed")
+		quick   = fs.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		csv     = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut = fs.Bool("json", false, "emit JSON instead of aligned tables")
+		workers = fs.Int("workers", 0, "sweep worker goroutines (0 = all cores, 1 = serial; results identical)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := experiments.Options{Runs: *runs, Seed: *seed, Quick: *quick}
+	if *jsonOut && *csv {
+		return fmt.Errorf("-json and -csv are mutually exclusive")
+	}
+	opts := experiments.Options{Runs: *runs, Seed: *seed, Quick: *quick, Workers: *workers}
 
 	var list []experiments.Experiment
 	if *id != "" {
@@ -53,17 +64,39 @@ func run(args []string, out io.Writer) error {
 		list = experiments.All()
 	}
 
+	// jsonTable is the stable machine-readable form of one experiment,
+	// recorded by BENCH_seed.json as the repository's baseline snapshot.
+	type jsonTable struct {
+		ID      string     `json:"id"`
+		Title   string     `json:"title"`
+		Table   string     `json:"table"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}
+	var jsonTables []jsonTable
+
 	for _, e := range list {
 		start := time.Now()
 		tbl, err := e.Run(opts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		if *csv {
+		switch {
+		case *jsonOut:
+			jsonTables = append(jsonTables, jsonTable{
+				ID: e.ID, Title: e.Title, Table: tbl.Title,
+				Headers: tbl.Headers, Rows: tbl.Rows(),
+			})
+		case *csv:
 			fmt.Fprintf(out, "# %s: %s\n%s\n", e.ID, e.Title, tbl.CSV())
-		} else {
+		default:
 			fmt.Fprintf(out, "%s\n(%s in %v)\n\n", tbl.Render(), e.ID, time.Since(start).Round(time.Millisecond))
 		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(jsonTables)
 	}
 	return nil
 }

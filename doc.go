@@ -10,4 +10,14 @@
 // Start at internal/core (the consensus protocol), internal/rbc (reliable
 // broadcast), and internal/runner (the experiment harness); the examples/
 // directory shows the public API in use.
+//
+// Performance architecture: the per-run delivery loop is allocation-free
+// (concrete-typed 4-ary event heap, dense node table, recycled output
+// slices, append-style wire codec — see internal/sim and internal/wire),
+// and independent (config, seed) runs fan out across all cores through
+// runner.Sweep. Both optimizations lean on one invariant, documented in
+// internal/sim: a run is a pure function of (nodes, scheduler, seed), so
+// executions replay byte for byte and sweep results are merged by input
+// index, bitwise independent of worker count. The replay-equality tests in
+// internal/runner enforce the invariant against golden trace hashes.
 package repro

@@ -110,6 +110,11 @@ type Node struct {
 	decideVotes map[types.ProcessID]types.Value
 	halted      bool
 
+	// out is the recycled output buffer (see sim.Recycler): once the
+	// simulator returns a delivered slice, later Deliver calls append into
+	// its backing array instead of allocating. Nil until first recycled.
+	out []types.Message
+
 	stats Stats
 }
 
@@ -164,7 +169,10 @@ func New(cfg Config) (*Node, error) {
 	}, nil
 }
 
-var _ sim.Node = (*Node)(nil)
+var (
+	_ sim.Node     = (*Node)(nil)
+	_ sim.Recycler = (*Node)(nil)
+)
 
 // ID implements sim.Node.
 func (n *Node) ID() types.ProcessID { return n.cfg.Me }
@@ -172,9 +180,27 @@ func (n *Node) ID() types.ProcessID { return n.cfg.Me }
 // Done implements sim.Node: true once the node halted via the decide gadget.
 func (n *Node) Done() bool { return n.halted }
 
+// Recycle implements sim.Recycler: the simulator hands back a slice it has
+// fully consumed, and the node keeps the largest backing array for reuse.
+// Drivers that never call Recycle simply leave the node allocating, as the
+// seed implementation always did.
+func (n *Node) Recycle(msgs []types.Message) {
+	if cap(msgs) > cap(n.out) {
+		n.out = msgs[:0]
+	}
+}
+
+// takeOut claims the recycled output buffer (empty, possibly with capacity).
+// Ownership transfers to the returned slice until the next Recycle.
+func (n *Node) takeOut() []types.Message {
+	out := n.out
+	n.out = nil
+	return out
+}
+
 // Start implements sim.Node: enter round 1 and broadcast the proposal.
 func (n *Node) Start() []types.Message {
-	return n.enterRound(1)
+	return n.enterRound(n.takeOut(), 1)
 }
 
 // Deliver implements sim.Node.
@@ -184,13 +210,13 @@ func (n *Node) Deliver(m types.Message) []types.Message {
 	}
 	switch p := m.Payload.(type) {
 	case *types.RBCPayload:
-		out := n.onRBC(m.From, p)
-		return append(out, n.advance()...)
+		out := n.onRBC(n.takeOut(), m.From, p)
+		return n.advance(out)
 	case *types.CoinSharePayload:
 		n.cfg.Coin.HandleShare(m.From, p)
-		return n.advance()
+		return n.advance(n.takeOut())
 	case *types.DecidePayload:
-		return n.onDecideVote(m.From, p)
+		return n.onDecideVote(n.takeOut(), m.From, p)
 	default:
 		return nil
 	}
@@ -214,8 +240,8 @@ func (n *Node) Stats() Stats { return n.stats }
 // onRBC feeds a reliable-broadcast payload through the broadcaster, then
 // records every resulting delivery with the validator and appends newly
 // justified messages to the quorum waits.
-func (n *Node) onRBC(from types.ProcessID, p *types.RBCPayload) []types.Message {
-	out, deliveries := n.bcast.Handle(from, p)
+func (n *Node) onRBC(out []types.Message, from types.ProcessID, p *types.RBCPayload) []types.Message {
+	out, deliveries := n.bcast.AppendHandle(out, from, p)
 	for _, d := range deliveries {
 		sm, err := wire.DecodeStep(d.Body)
 		if err != nil {
@@ -237,9 +263,9 @@ func (n *Node) onRBC(from types.ProcessID, p *types.RBCPayload) []types.Message 
 	return out
 }
 
-// advance applies every enabled transition until the node blocks on a wait.
-func (n *Node) advance() []types.Message {
-	var out []types.Message
+// advance applies every enabled transition until the node blocks on a wait,
+// appending emitted messages to out.
+func (n *Node) advance(out []types.Message) []types.Message {
 	for !n.halted && !n.stalled {
 		if n.waitingCoin {
 			s, ok := n.cfg.Coin.Value(n.round)
@@ -250,7 +276,7 @@ func (n *Node) advance() []types.Message {
 			n.stats.CoinsUsed++
 			n.record(trace.Event{Kind: trace.KindCoin, P: n.cfg.Me, Round: n.round, V: s})
 			n.value = s
-			out = append(out, n.enterRound(n.round+1)...)
+			out = n.enterRound(out, n.round+1)
 			continue
 		}
 		window, ok := n.quorumWindow()
@@ -262,7 +288,7 @@ func (n *Node) advance() []types.Message {
 		case types.Step1:
 			n.value = majority(window)
 			n.step = types.Step2
-			out = append(out, n.broadcastStep()...)
+			out = n.broadcastStep(out)
 		case types.Step2:
 			if v, ok := superMajority(window, n.spec.SuperMajority()); ok {
 				n.value = v
@@ -271,9 +297,9 @@ func (n *Node) advance() []types.Message {
 				n.dFlag = false
 			}
 			n.step = types.Step3
-			out = append(out, n.broadcastStep()...)
+			out = n.broadcastStep(out)
 		case types.Step3:
-			out = append(out, n.finishStep3(window)...)
+			out = n.finishStep3(out, window)
 		}
 	}
 	return out
@@ -292,8 +318,7 @@ func (n *Node) quorumWindow() ([]validate.Accepted, bool) {
 
 // finishStep3 applies the decide/adopt/coin rule over the window and either
 // moves to the next round or blocks on the coin.
-func (n *Node) finishStep3(window []validate.Accepted) []types.Message {
-	var out []types.Message
+func (n *Node) finishStep3(out []types.Message, window []validate.Accepted) []types.Message {
 	// Release the round's coin unconditionally: with the common coin,
 	// reconstruction needs f+1 correct shares, and only processes that
 	// finished step 3 may contribute — so everyone must, whether or not
@@ -317,13 +342,13 @@ func (n *Node) finishStep3(window []validate.Accepted) []types.Message {
 	}
 	switch {
 	case dCount[v] >= n.spec.Decide():
-		out = append(out, n.decide(v)...)
+		out = n.decide(out, v)
 		n.value = v
-		out = append(out, n.enterRound(n.round+1)...)
+		out = n.enterRound(out, n.round+1)
 	case dCount[v] >= n.spec.Adopt():
 		n.stats.Adopted++
 		n.value = v
-		out = append(out, n.enterRound(n.round+1)...)
+		out = n.enterRound(out, n.round+1)
 	default:
 		n.waitingCoin = true // advance() resumes when the coin lands
 	}
@@ -331,34 +356,34 @@ func (n *Node) finishStep3(window []validate.Accepted) []types.Message {
 }
 
 // enterRound moves to the given round and broadcasts its step-1 message.
-func (n *Node) enterRound(r int) []types.Message {
+func (n *Node) enterRound(out []types.Message, r int) []types.Message {
 	if r > n.cfg.MaxRounds {
 		n.stalled = true
 		n.record(trace.Event{Kind: trace.KindNote, P: n.cfg.Me, Round: r, Note: "max rounds reached; stalling"})
-		return nil
+		return out
 	}
 	n.round = r
 	n.step = types.Step1
 	n.dFlag = false
 	n.stats.RoundsStarted++
 	n.record(trace.Event{Kind: trace.KindRound, P: n.cfg.Me, Round: r})
-	return n.broadcastStep()
+	return n.broadcastStep(out)
 }
 
 // broadcastStep reliably broadcasts the node's current (round, step, value).
-func (n *Node) broadcastStep() []types.Message {
+func (n *Node) broadcastStep(out []types.Message) []types.Message {
 	sm := types.StepMessage{Round: n.round, Step: n.step, V: n.value, D: n.dFlag && n.step == types.Step3}
 	body, err := wire.EncodeStep(sm)
 	if err != nil {
 		// All fields are internally generated and valid by construction.
 		panic(fmt.Sprintf("core: encoding own step message %v: %v", sm, err))
 	}
-	return n.bcast.Broadcast(types.Tag{Round: n.round, Step: n.step, Seq: n.cfg.Instance}, body)
+	return n.bcast.AppendBroadcast(out, types.Tag{Round: n.round, Step: n.step, Seq: n.cfg.Instance}, body)
 }
 
 // decide records the decision and, unless disabled, launches the DECIDE
 // amplification.
-func (n *Node) decide(v types.Value) []types.Message {
+func (n *Node) decide(out []types.Message, v types.Value) []types.Message {
 	if !n.decided {
 		n.decided = true
 		n.decision = v
@@ -366,33 +391,32 @@ func (n *Node) decide(v types.Value) []types.Message {
 		n.record(trace.Event{Kind: trace.KindDecide, P: n.cfg.Me, Round: n.round, V: v})
 	}
 	if n.cfg.DisableDecideGadget || n.sentDecide {
-		return nil
+		return out
 	}
 	n.sentDecide = true
-	return types.Broadcast(n.cfg.Me, n.cfg.Peers, &types.DecidePayload{V: v, Instance: n.cfg.Instance})
+	return types.AppendBroadcast(out, n.cfg.Me, n.cfg.Peers, &types.DecidePayload{V: v, Instance: n.cfg.Instance})
 }
 
 // onDecideVote handles the DECIDE amplification: relay at f+1 matching
 // votes, decide-and-halt at 2f+1. One vote per sender counts (Byzantine
 // senders cannot stuff the count, and with at most f of them they can never
 // reach f+1 alone).
-func (n *Node) onDecideVote(from types.ProcessID, p *types.DecidePayload) []types.Message {
+func (n *Node) onDecideVote(out []types.Message, from types.ProcessID, p *types.DecidePayload) []types.Message {
 	if p == nil || !p.V.Valid() || p.Instance != n.cfg.Instance {
-		return nil
+		return out
 	}
 	if _, dup := n.decideVotes[from]; dup {
-		return nil
+		return out
 	}
 	n.decideVotes[from] = p.V
 	var count [2]int
 	for _, v := range n.decideVotes {
 		count[v]++
 	}
-	var out []types.Message
 	v := p.V
 	if count[v] >= n.spec.Adopt() && !n.sentDecide && !n.cfg.DisableDecideGadget {
 		n.sentDecide = true
-		out = append(out, types.Broadcast(n.cfg.Me, n.cfg.Peers, &types.DecidePayload{V: v, Instance: n.cfg.Instance})...)
+		out = types.AppendBroadcast(out, n.cfg.Me, n.cfg.Peers, &types.DecidePayload{V: v, Instance: n.cfg.Instance})
 	}
 	if count[v] >= n.spec.Decide() {
 		if !n.decided {

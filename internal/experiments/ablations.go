@@ -19,18 +19,18 @@ func A1Validation(o Options) (*metrics.Table, error) {
 	for _, disable := range []bool{false, true} {
 		ok := 0
 		var rounds, msgs metrics.Sample
-		for i := 0; i < o.Runs; i++ {
-			res, err := runner.Run(runner.Config{
-				N: 4, F: 1, Byzantine: -1,
-				Protocol: runner.ProtocolBracha, Coin: runner.CoinCommon,
-				Adversary: runner.AdvLiar, Scheduler: runner.SchedRushByz,
-				Inputs: runner.InputUnanimous1, Seed: o.Seed + int64(i),
-				DisableValidation: disable,
-				MaxRounds:         40, MaxDeliveries: 400_000,
-			})
-			if err != nil {
-				return nil, err
-			}
+		results, err := o.sweepSeeds(runner.Config{
+			N: 4, F: 1, Byzantine: -1,
+			Protocol: runner.ProtocolBracha, Coin: runner.CoinCommon,
+			Adversary: runner.AdvLiar, Scheduler: runner.SchedRushByz,
+			Inputs:            runner.InputUnanimous1,
+			DisableValidation: disable,
+			MaxRounds:         40, MaxDeliveries: 400_000,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, res := range results {
 			if len(res.Violations) == 0 && res.AllDecided {
 				ok++
 				rounds.Add(res.MeanRounds)
@@ -59,18 +59,18 @@ func A2Gadget(o Options) (*metrics.Table, error) {
 	for _, disable := range []bool{false, true} {
 		ok, halted := 0, 0
 		var rounds metrics.Sample
-		for i := 0; i < o.Runs; i++ {
-			res, err := runner.Run(runner.Config{
-				N: 7, F: 2, Byzantine: -1,
-				Protocol: runner.ProtocolBracha, Coin: runner.CoinCommon,
-				Adversary: runner.AdvSilent, Scheduler: runner.SchedUniform,
-				Inputs: runner.InputSplit, Seed: o.Seed + int64(i),
-				DisableDecideGadget: disable,
-				MaxDeliveries:       400_000,
-			})
-			if err != nil {
-				return nil, err
-			}
+		results, err := o.sweepSeeds(runner.Config{
+			N: 7, F: 2, Byzantine: -1,
+			Protocol: runner.ProtocolBracha, Coin: runner.CoinCommon,
+			Adversary: runner.AdvSilent, Scheduler: runner.SchedUniform,
+			Inputs:              runner.InputSplit,
+			DisableDecideGadget: disable,
+			MaxDeliveries:       400_000,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, res := range results {
 			if len(res.Violations) == 0 && res.AllDecided {
 				ok++
 				rounds.Add(res.MeanRounds)
@@ -105,23 +105,26 @@ func A4Broadcast(o Options) (*metrics.Table, error) {
 	for _, mode := range []runner.BroadcastMode{runner.ModeReliable, runner.ModeConsistent} {
 		var msgs metrics.Sample
 		honestViolations, totalityViolations := 0, 0
+		var cfgs []runner.RBCConfig
 		for i := 0; i < o.Runs; i++ {
-			res, err := runner.RunRBC(runner.RBCConfig{
-				N: 7, F: 2, Byzantine: 0, Mode: mode, Seed: o.Seed + int64(i),
-			})
-			if err != nil {
-				return nil, err
+			cfgs = append(cfgs,
+				runner.RBCConfig{N: 7, F: 2, Byzantine: 0, Mode: mode, Seed: o.Seed + int64(i)},
+				runner.RBCConfig{
+					N: 7, F: 2, Byzantine: 2, Mode: mode,
+					SenderPartial: true, Seed: o.Seed + int64(i),
+				})
+		}
+		results, err := o.sweepRBC(cfgs)
+		if err != nil {
+			return nil, err
+		}
+		for i, res := range results {
+			if cfgs[i].SenderPartial {
+				totalityViolations += len(res.Violations)
+			} else {
+				msgs.AddInt(res.Messages)
+				honestViolations += len(res.Violations)
 			}
-			msgs.AddInt(res.Messages)
-			honestViolations += len(res.Violations)
-			res, err = runner.RunRBC(runner.RBCConfig{
-				N: 7, F: 2, Byzantine: 2, Mode: mode,
-				SenderPartial: true, Seed: o.Seed + int64(i),
-			})
-			if err != nil {
-				return nil, err
-			}
-			totalityViolations += len(res.Violations)
 		}
 		t.AddRowf(mode.String(), msgs.Summary().Mean, honestViolations, totalityViolations)
 	}
@@ -140,17 +143,17 @@ func A3Scheduler(o Options) (*metrics.Table, error) {
 		for _, ck := range []runner.CoinKind{runner.CoinLocal, runner.CoinCommon} {
 			ok := 0
 			var rounds metrics.Sample
-			for i := 0; i < o.Runs; i++ {
-				res, err := runner.Run(runner.Config{
-					N: 7, F: 2, Byzantine: -1,
-					Protocol: runner.ProtocolBracha, Coin: ck,
-					Adversary: runner.AdvLiar, Scheduler: sched,
-					Inputs: runner.InputSplit, Seed: o.Seed + int64(i),
-					MaxDeliveries: 400_000,
-				})
-				if err != nil {
-					return nil, err
-				}
+			results, err := o.sweepSeeds(runner.Config{
+				N: 7, F: 2, Byzantine: -1,
+				Protocol: runner.ProtocolBracha, Coin: ck,
+				Adversary: runner.AdvLiar, Scheduler: sched,
+				Inputs:        runner.InputSplit,
+				MaxDeliveries: 400_000,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, res := range results {
 				if len(res.Violations) == 0 && res.AllDecided {
 					ok++
 					rounds.Add(res.MeanRounds)

@@ -26,6 +26,10 @@ type Options struct {
 	Seed int64
 	// Quick shrinks sweeps for smoke tests.
 	Quick bool
+	// Workers bounds the sweep worker pool (0 = GOMAXPROCS, 1 = serial).
+	// Results are identical for every value: runs are independent and
+	// runner.Sweep merges them by index, never by completion order.
+	Workers int
 }
 
 // Defaults fills unset options.
@@ -38,6 +42,21 @@ func Defaults(o Options) Options {
 		}
 	}
 	return o
+}
+
+// sweepSeeds runs cfg once per repetition with seeds Seed, Seed+1, ... —
+// the standard repetition pattern of every experiment.
+func (o Options) sweepSeeds(cfg runner.Config) ([]*runner.Result, error) {
+	seeds := make([]int64, o.Runs)
+	for i := range seeds {
+		seeds[i] = o.Seed + int64(i)
+	}
+	return runner.SweepSeeds(cfg, seeds, o.Workers)
+}
+
+// sweepRBC is sweep for broadcast experiments.
+func (o Options) sweepRBC(cfgs []runner.RBCConfig) ([]*runner.RBCResult, error) {
+	return runner.SweepRBC(cfgs, o.Workers)
 }
 
 func (o Options) sizes() []int {
@@ -63,24 +82,27 @@ func E1RBCMessages(o Options) (*metrics.Table, error) {
 		f := quorum.MaxByzantine(n)
 		var honest, attacked metrics.Sample
 		violations := 0
+		var cfgs []runner.RBCConfig
 		for i := 0; i < o.Runs; i++ {
 			seed := o.Seed + int64(i)
-			res, err := runner.RunRBC(runner.RBCConfig{N: n, F: f, Byzantine: 0, Seed: seed})
-			if err != nil {
-				return nil, err
-			}
-			honest.AddInt(res.Messages)
-			violations += len(res.Violations)
+			cfgs = append(cfgs, runner.RBCConfig{N: n, F: f, Byzantine: 0, Seed: seed})
 			if f > 0 {
-				res, err = runner.RunRBC(runner.RBCConfig{
+				cfgs = append(cfgs, runner.RBCConfig{
 					N: n, F: f, Byzantine: f, SenderEquivocates: true, Seed: seed,
 				})
-				if err != nil {
-					return nil, err
-				}
-				attacked.AddInt(res.Messages)
-				violations += len(res.Violations)
 			}
+		}
+		results, err := o.sweepRBC(cfgs)
+		if err != nil {
+			return nil, err
+		}
+		for i, res := range results {
+			if cfgs[i].SenderEquivocates {
+				attacked.AddInt(res.Messages)
+			} else {
+				honest.AddInt(res.Messages)
+			}
+			violations += len(res.Violations)
 		}
 		attackedMean := "-"
 		if attacked.Len() > 0 {
@@ -113,16 +135,16 @@ func E2Resilience(o Options) (*metrics.Table, error) {
 		for _, adv := range adversaries {
 			for _, sched := range schedulers {
 				terminated, violations := 0, 0
-				for i := 0; i < o.Runs; i++ {
-					res, err := runner.Run(runner.Config{
-						N: n, F: f, Byzantine: -1,
-						Protocol: runner.ProtocolBracha, Coin: runner.CoinCommon,
-						Adversary: adv, Scheduler: sched,
-						Inputs: runner.InputSplit, Seed: o.Seed + int64(i),
-					})
-					if err != nil {
-						return nil, err
-					}
+				results, err := o.sweepSeeds(runner.Config{
+					N: n, F: f, Byzantine: -1,
+					Protocol: runner.ProtocolBracha, Coin: runner.CoinCommon,
+					Adversary: adv, Scheduler: sched,
+					Inputs: runner.InputSplit,
+				})
+				if err != nil {
+					return nil, err
+				}
+				for _, res := range results {
 					if res.AllDecided {
 						terminated++
 					}
@@ -177,17 +199,16 @@ func coinRounds(o Options, ck runner.CoinKind, title string) (*metrics.Table, er
 		for _, n := range o.sizes() {
 			f := quorum.MaxByzantine(n)
 			var rounds metrics.Sample
-			for i := 0; i < o.Runs; i++ {
-				res, err := runner.Run(runner.Config{
-					N: n, F: f, Byzantine: -1,
-					Protocol: runner.ProtocolBracha, Coin: ck,
-					Adversary: w.adversary, Scheduler: w.scheduler,
-					Inputs: w.inputs, Seed: o.Seed + int64(i),
-					MaxDeliveries: 1_000_000,
-				})
-				if err != nil {
-					return nil, err
-				}
+			results, err := o.sweepSeeds(runner.Config{
+				N: n, F: f, Byzantine: -1,
+				Protocol: runner.ProtocolBracha, Coin: ck,
+				Adversary: w.adversary, Scheduler: w.scheduler,
+				Inputs: w.inputs, MaxDeliveries: 1_000_000,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, res := range results {
 				if res.AllDecided {
 					rounds.Add(res.MeanRounds)
 				}
@@ -210,16 +231,16 @@ func E5MessageComplexity(o Options) (*metrics.Table, error) {
 	for _, n := range o.sizes() {
 		f := quorum.MaxByzantine(n)
 		var msgs, rounds, simTime metrics.Sample
-		for i := 0; i < o.Runs; i++ {
-			res, err := runner.Run(runner.Config{
-				N: n, F: f, Byzantine: -1,
-				Protocol: runner.ProtocolBracha, Coin: runner.CoinCommon,
-				Adversary: runner.AdvSilent, Scheduler: runner.SchedUniform,
-				Inputs: runner.InputSplit, Seed: o.Seed + int64(i),
-			})
-			if err != nil {
-				return nil, err
-			}
+		results, err := o.sweepSeeds(runner.Config{
+			N: n, F: f, Byzantine: -1,
+			Protocol: runner.ProtocolBracha, Coin: runner.CoinCommon,
+			Adversary: runner.AdvSilent, Scheduler: runner.SchedUniform,
+			Inputs: runner.InputSplit,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, res := range results {
 			msgs.AddInt(res.Messages)
 			simTime.Add(float64(res.EndTime))
 			if res.AllDecided {
@@ -254,34 +275,36 @@ func E6Crossover(o Options) (*metrics.Table, error) {
 		}
 		var benorOK, brachaOK int
 		var benorRounds, brachaRounds metrics.Sample
-		for i := 0; i < o.Runs; i++ {
-			adv := runner.AdvEquivocator
-			if f == 0 {
-				adv = runner.AdvNone
-			}
-			benor, err := runner.Run(runner.Config{
-				N: n, F: f, Byzantine: -1,
-				Protocol: runner.ProtocolBenOr, Coin: runner.CoinCommon,
-				Adversary: adv, Scheduler: runner.SchedRushByz,
-				Inputs: runner.InputSplit, Seed: o.Seed + int64(i),
-				MaxRounds: 80, MaxDeliveries: 400_000,
-			})
-			if err != nil {
-				return nil, err
-			}
+		adv := runner.AdvEquivocator
+		if f == 0 {
+			adv = runner.AdvNone
+		}
+		benorResults, err := o.sweepSeeds(runner.Config{
+			N: n, F: f, Byzantine: -1,
+			Protocol: runner.ProtocolBenOr, Coin: runner.CoinCommon,
+			Adversary: adv, Scheduler: runner.SchedRushByz,
+			Inputs:    runner.InputSplit,
+			MaxRounds: 80, MaxDeliveries: 400_000,
+		})
+		if err != nil {
+			return nil, err
+		}
+		brachaResults, err := o.sweepSeeds(runner.Config{
+			N: n, F: f, Byzantine: -1,
+			Protocol: runner.ProtocolBracha, Coin: runner.CoinCommon,
+			Adversary: adv, Scheduler: runner.SchedRushByz,
+			Inputs: runner.InputSplit,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, benor := range benorResults {
 			if len(benor.Violations) == 0 && benor.AllDecided {
 				benorOK++
 				benorRounds.Add(benor.MeanRounds)
 			}
-			bracha, err := runner.Run(runner.Config{
-				N: n, F: f, Byzantine: -1,
-				Protocol: runner.ProtocolBracha, Coin: runner.CoinCommon,
-				Adversary: adv, Scheduler: runner.SchedRushByz,
-				Inputs: runner.InputSplit, Seed: o.Seed + int64(i),
-			})
-			if err != nil {
-				return nil, err
-			}
+		}
+		for _, bracha := range brachaResults {
 			if len(bracha.Violations) == 0 && bracha.AllDecided {
 				brachaOK++
 				brachaRounds.Add(bracha.MeanRounds)
@@ -311,17 +334,17 @@ func E7Tightness(o Options) (*metrics.Table, error) {
 		f := quorum.MaxByzantine(n)
 		for _, actual := range []int{f, f + 1} {
 			broken, agreements, nonterm := 0, 0, 0
-			for i := 0; i < o.Runs; i++ {
-				res, err := runner.Run(runner.Config{
-					N: n, F: f, Byzantine: actual,
-					Protocol: runner.ProtocolBracha, Coin: runner.CoinCommon,
-					Adversary: runner.AdvSplitBrain, Scheduler: runner.SchedRushByz,
-					Inputs: runner.InputSplit, Seed: o.Seed + int64(i),
-					MaxRounds: 50, MaxDeliveries: 400_000,
-				})
-				if err != nil {
-					return nil, err
-				}
+			results, err := o.sweepSeeds(runner.Config{
+				N: n, F: f, Byzantine: actual,
+				Protocol: runner.ProtocolBracha, Coin: runner.CoinCommon,
+				Adversary: runner.AdvSplitBrain, Scheduler: runner.SchedRushByz,
+				Inputs:    runner.InputSplit,
+				MaxRounds: 50, MaxDeliveries: 400_000,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, res := range results {
 				bad := false
 				for _, v := range res.Violations {
 					bad = true
@@ -360,16 +383,20 @@ func E8Throughput(o Options) (*metrics.Table, error) {
 		f := quorum.MaxByzantine(n)
 		var msgs, rounds, simTime metrics.Sample
 		decided := 0
-		for k := 0; k < instances; k++ {
-			res, err := runner.Run(runner.Config{
-				N: n, F: f, Byzantine: -1,
-				Protocol: runner.ProtocolBracha, Coin: runner.CoinCommon,
-				Adversary: runner.AdvSilent, Scheduler: runner.SchedUniform,
-				Inputs: runner.InputRandom, Seed: o.Seed + int64(k)*131,
-			})
-			if err != nil {
-				return nil, err
-			}
+		seeds := make([]int64, instances)
+		for k := range seeds {
+			seeds[k] = o.Seed + int64(k)*131
+		}
+		results, err := runner.SweepSeeds(runner.Config{
+			N: n, F: f, Byzantine: -1,
+			Protocol: runner.ProtocolBracha, Coin: runner.CoinCommon,
+			Adversary: runner.AdvSilent, Scheduler: runner.SchedUniform,
+			Inputs: runner.InputRandom,
+		}, seeds, o.Workers)
+		if err != nil {
+			return nil, err
+		}
+		for _, res := range results {
 			if res.AllDecided {
 				decided++
 				msgs.AddInt(res.Messages)

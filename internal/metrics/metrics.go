@@ -127,6 +127,15 @@ func (t *Table) AddRowf(values ...any) {
 // NumRows returns the number of data rows.
 func (t *Table) NumRows() int { return len(t.rows) }
 
+// Rows returns a copy of the data rows (for machine-readable output).
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append([]string(nil), r...)
+	}
+	return out
+}
+
 // Render returns the aligned text form.
 func (t *Table) Render() string {
 	cols := len(t.Headers)

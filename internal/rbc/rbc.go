@@ -52,119 +52,182 @@ type Broadcaster struct {
 	peers     []types.ProcessID
 	spec      quorum.Spec
 	instances map[types.InstanceID]*instance
+	// peerIdx maps a peer to its dense bitset index; words is the bitset
+	// length every tally uses. Together they turn the per-(body, sender)
+	// bookkeeping of the counting path into a bit test, replacing the
+	// seed's map[string]map[ProcessID]bool nesting.
+	peerIdx map[types.ProcessID]int32
+	words   int
 }
 
 // New creates a Broadcaster for process me among peers (which must include
 // me, matching the paper's "send to all" that includes the sender).
 func New(me types.ProcessID, peers []types.ProcessID, spec quorum.Spec) *Broadcaster {
+	idx := make(map[types.ProcessID]int32, len(peers))
+	for i, p := range peers {
+		if _, dup := idx[p]; !dup {
+			idx[p] = int32(i)
+		}
+	}
 	return &Broadcaster{
 		me:        me,
 		peers:     append([]types.ProcessID(nil), peers...),
 		spec:      spec,
 		instances: make(map[types.InstanceID]*instance),
+		peerIdx:   idx,
+		words:     (len(peers) + 63) / 64,
 	}
 }
 
-// instance is the per-(sender, tag) state.
+// tally counts the distinct peers supporting one body of one instance: a
+// bitset over peer indices plus the popcount. Counting a vote is a bit
+// test, not a map operation.
+type tally struct {
+	body  string
+	seen  []uint64
+	count int
+}
+
+// instance is the per-(sender, tag) state. The echo and ready tallies are
+// small slices scanned linearly by body: a correct sender yields exactly
+// one body, an equivocating sender a handful, and each distinct body costs
+// its attacker an RBC-phase message per appearance anyway.
 type instance struct {
 	echoedBody *string // body this process echoed (at most one, ever)
 	readyBody  *string // body this process sent READY for (at most one)
 	delivered  bool
-	echoes     map[string]map[types.ProcessID]bool
-	readies    map[string]map[types.ProcessID]bool
+	echoes     []tally
+	readies    []tally
 }
 
 func (b *Broadcaster) inst(id types.InstanceID) *instance {
 	in, ok := b.instances[id]
 	if !ok {
-		in = &instance{
-			echoes:  make(map[string]map[types.ProcessID]bool),
-			readies: make(map[string]map[types.ProcessID]bool),
-		}
+		in = &instance{}
 		b.instances[id] = in
 	}
 	return in
+}
+
+// mark records peer index pi as supporting body in the given tally list and
+// returns the body's updated supporter count.
+func (b *Broadcaster) mark(list *[]tally, body string, pi int32) int {
+	var t *tally
+	for i := range *list {
+		if (*list)[i].body == body {
+			t = &(*list)[i]
+			break
+		}
+	}
+	if t == nil {
+		*list = append(*list, tally{body: body, seen: make([]uint64, b.words)})
+		t = &(*list)[len(*list)-1]
+	}
+	w, bit := pi>>6, uint64(1)<<(pi&63)
+	if t.seen[w]&bit == 0 {
+		t.seen[w] |= bit
+		t.count++
+	}
+	return t.count
+}
+
+// supporters returns the current supporter count for body (0 if unseen).
+func supporters(list []tally, body string) int {
+	for i := range list {
+		if list[i].body == body {
+			return list[i].count
+		}
+	}
+	return 0
 }
 
 // Broadcast starts an instance with this process as sender: it emits the
 // SEND to every peer (including itself; the echo happens on receipt, so a
 // process's own broadcast follows the same path as everyone else's).
 func (b *Broadcaster) Broadcast(tag types.Tag, body string) []types.Message {
+	return b.AppendBroadcast(nil, tag, body)
+}
+
+// AppendBroadcast is Broadcast appending into a caller-provided slice.
+func (b *Broadcaster) AppendBroadcast(out []types.Message, tag types.Tag, body string) []types.Message {
 	id := types.InstanceID{Sender: b.me, Tag: tag}
 	p := &types.RBCPayload{Phase: types.KindRBCSend, ID: id, Body: body}
-	return types.Broadcast(b.me, b.peers, p)
+	return types.AppendBroadcast(out, b.me, b.peers, p)
 }
 
 // Handle processes one incoming RBC payload from `from` and returns the
 // protocol messages plus any deliveries it triggers. Malformed payloads
 // (wrong phase kinds, SENDs not from the claimed sender) are ignored.
 func (b *Broadcaster) Handle(from types.ProcessID, p *types.RBCPayload) ([]types.Message, []Delivery) {
+	return b.AppendHandle(nil, from, p)
+}
+
+// AppendHandle is Handle appending protocol messages into a caller-provided
+// slice — the allocation-free path for nodes that reuse an output buffer.
+func (b *Broadcaster) AppendHandle(out []types.Message, from types.ProcessID, p *types.RBCPayload) ([]types.Message, []Delivery) {
 	if p == nil {
-		return nil, nil
+		return out, nil
 	}
 	switch p.Phase {
 	case types.KindRBCSend:
 		// Authenticated links: a SEND for instance (s, tag) counts only if
 		// it actually came from s.
 		if from != p.ID.Sender {
-			return nil, nil
+			return out, nil
 		}
-		return b.onSend(p), nil
+		return b.onSend(out, p), nil
 	case types.KindRBCEcho:
-		return b.onEcho(from, p)
+		return b.onEcho(out, from, p)
 	case types.KindRBCReady:
-		return b.onReady(from, p)
+		return b.onReady(out, from, p)
 	default:
-		return nil, nil
+		return out, nil
 	}
 }
 
-func (b *Broadcaster) onSend(p *types.RBCPayload) []types.Message {
+func (b *Broadcaster) onSend(out []types.Message, p *types.RBCPayload) []types.Message {
 	in := b.inst(p.ID)
 	if in.echoedBody != nil {
-		return nil // already echoed a body for this instance (first SEND wins)
+		return out // already echoed a body for this instance (first SEND wins)
 	}
 	body := p.Body
 	in.echoedBody = &body
 	echo := &types.RBCPayload{Phase: types.KindRBCEcho, ID: p.ID, Body: body}
-	return types.Broadcast(b.me, b.peers, echo)
+	return types.AppendBroadcast(out, b.me, b.peers, echo)
 }
 
-func (b *Broadcaster) onEcho(from types.ProcessID, p *types.RBCPayload) ([]types.Message, []Delivery) {
-	in := b.inst(p.ID)
-	set := in.echoes[p.Body]
-	if set == nil {
-		set = make(map[types.ProcessID]bool)
-		in.echoes[p.Body] = set
+func (b *Broadcaster) onEcho(out []types.Message, from types.ProcessID, p *types.RBCPayload) ([]types.Message, []Delivery) {
+	pi, ok := b.peerIdx[from]
+	if !ok {
+		return out, nil // only peers hold votes toward the quorums
 	}
-	set[from] = true
-	return b.maybeReadyAndDeliver(in, p.ID, p.Body)
+	in := b.inst(p.ID)
+	echoes := b.mark(&in.echoes, p.Body, pi)
+	return b.maybeReadyAndDeliver(out, in, p.ID, p.Body, echoes, supporters(in.readies, p.Body))
 }
 
-func (b *Broadcaster) onReady(from types.ProcessID, p *types.RBCPayload) ([]types.Message, []Delivery) {
-	in := b.inst(p.ID)
-	set := in.readies[p.Body]
-	if set == nil {
-		set = make(map[types.ProcessID]bool)
-		in.readies[p.Body] = set
+func (b *Broadcaster) onReady(out []types.Message, from types.ProcessID, p *types.RBCPayload) ([]types.Message, []Delivery) {
+	pi, ok := b.peerIdx[from]
+	if !ok {
+		return out, nil // only peers hold votes toward the quorums
 	}
-	set[from] = true
-	return b.maybeReadyAndDeliver(in, p.ID, p.Body)
+	in := b.inst(p.ID)
+	readies := b.mark(&in.readies, p.Body, pi)
+	return b.maybeReadyAndDeliver(out, in, p.ID, p.Body, supporters(in.echoes, p.Body), readies)
 }
 
 // maybeReadyAndDeliver applies the two threshold rules for body after any
-// counter change.
-func (b *Broadcaster) maybeReadyAndDeliver(in *instance, id types.InstanceID, body string) ([]types.Message, []Delivery) {
-	var out []types.Message
-	if in.readyBody == nil &&
-		(len(in.echoes[body]) >= b.spec.Echo() || len(in.readies[body]) >= b.spec.Adopt()) {
+// counter change, given body's current echo and ready supporter counts.
+func (b *Broadcaster) maybeReadyAndDeliver(out []types.Message, in *instance, id types.InstanceID,
+	body string, echoes, readies int) ([]types.Message, []Delivery) {
+	if in.readyBody == nil && (echoes >= b.spec.Echo() || readies >= b.spec.Adopt()) {
 		bodyCopy := body
 		in.readyBody = &bodyCopy
 		ready := &types.RBCPayload{Phase: types.KindRBCReady, ID: id, Body: body}
-		out = types.Broadcast(b.me, b.peers, ready)
+		out = types.AppendBroadcast(out, b.me, b.peers, ready)
 	}
 	var deliveries []Delivery
-	if !in.delivered && len(in.readies[body]) >= b.spec.Decide() {
+	if !in.delivered && readies >= b.spec.Decide() {
 		in.delivered = true
 		deliveries = append(deliveries, Delivery{ID: id, Body: body})
 	}

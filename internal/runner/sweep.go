@@ -1,0 +1,109 @@
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Sweep executes every configuration concurrently across a worker pool and
+// returns the results in input order. workers <= 0 means GOMAXPROCS.
+//
+// Each run owns its simulator, RNG, and nodes outright (the sim package's
+// determinism contract), so runs share no mutable state and the output is a
+// pure function of cfgs: results are keyed by input index, never by
+// completion order, making Sweep's output bitwise independent of the worker
+// count, GOMAXPROCS, and goroutine scheduling. If any run fails, the error
+// of the lowest-index failing configuration is returned (again independent
+// of scheduling); results are discarded on error.
+func Sweep(cfgs []Config, workers int) ([]*Result, error) {
+	results := make([]*Result, len(cfgs))
+	err := parallelFor(len(cfgs), workers, func(i int) error {
+		res, err := Run(cfgs[i])
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// SweepSeeds runs one configuration across many seeds — the multi-seed
+// repetition pattern of every experiment — returning per-seed results in
+// seed order.
+func SweepSeeds(cfg Config, seeds []int64, workers int) ([]*Result, error) {
+	cfgs := make([]Config, len(seeds))
+	for i, s := range seeds {
+		cfgs[i] = cfg
+		cfgs[i].Seed = s
+	}
+	return Sweep(cfgs, workers)
+}
+
+// SweepRBC is Sweep for reliable-broadcast experiments (E1, A4).
+func SweepRBC(cfgs []RBCConfig, workers int) ([]*RBCResult, error) {
+	results := make([]*RBCResult, len(cfgs))
+	err := parallelFor(len(cfgs), workers, func(i int) error {
+		res, err := RunRBC(cfgs[i])
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// parallelFor applies fn to every index in [0, n) using a pool of worker
+// goroutines pulling indices from a shared atomic counter. Errors are
+// recorded per index and the lowest-index error wins, so the returned error
+// does not depend on which worker ran what.
+func parallelFor(n, workers int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// TestQueuePopsTotalOrder: the 4-ary heap must pop the unique ascending
+// (at, seq) sequence for any insertion pattern — the property that makes it
+// a drop-in replacement for the seed's container/heap queue (same total
+// order, therefore byte-identical executions).
+func TestQueuePopsTotalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var q eventQueue
+		n := 1 + rng.Intn(300)
+		events := make([]event, n)
+		for i := range events {
+			events[i] = event{at: Time(rng.Intn(40)), seq: uint64(i + 1)}
+		}
+		rng.Shuffle(n, func(i, j int) { events[i], events[j] = events[j], events[i] })
+		// Interleave pushes and pops to stress the reusable backing array.
+		popped := make([]event, 0, n)
+		for _, e := range events {
+			q.push(e)
+			if rng.Intn(4) == 0 && q.Len() > 0 {
+				popped = append(popped, q.pop())
+			}
+		}
+		for q.Len() > 0 {
+			popped = append(popped, q.pop())
+		}
+		if len(popped) != n {
+			t.Fatalf("popped %d of %d events", len(popped), n)
+		}
+		// An interleaved pop may legitimately precede a later push of an
+		// earlier event, but any suffix popped after all pushes must be
+		// sorted; the all-pushed-then-popped tail dominates, so check the
+		// global order on a second, pop-only pass instead.
+		var q2 eventQueue
+		for _, e := range events {
+			q2.push(e)
+		}
+		got := make([]event, 0, n)
+		for q2.Len() > 0 {
+			got = append(got, q2.pop())
+		}
+		want := append([]event(nil), events...)
+		sort.Slice(want, func(i, j int) bool { return want[i].before(want[j]) })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: pop %d = %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestQueueMatchesBoxedHeap cross-checks the 4-ary heap against a replica
+// of the seed's container/heap implementation on identical random input.
+func TestQueueMatchesBoxedHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var q eventQueue
+	var b boxedQueue
+	for i := 0; i < 2000; i++ {
+		e := event{at: Time(rng.Intn(100)), seq: uint64(i + 1)}
+		q.push(e)
+		heap.Push(&b, e)
+	}
+	for q.Len() > 0 {
+		got, want := q.pop(), heap.Pop(&b).(event)
+		if got != want {
+			t.Fatalf("4-ary pop %+v, container/heap pop %+v", got, want)
+		}
+	}
+	if b.Len() != 0 {
+		t.Fatalf("boxed heap still holds %d events", b.Len())
+	}
+}
+
+// TestDenseLookupFallback: IDs beyond the dense table must still resolve
+// through the registration map, and giant IDs must not blow up memory.
+func TestDenseLookupFallback(t *testing.T) {
+	net, err := New(Config{Scheduler: Immediate{}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := types.ProcessID(maxDenseID + 1000)
+	small := types.ProcessID(3)
+	sink := &sinkNode{id: big}
+	if err := net.Add(&oneShotNode{id: small, peer: big}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Add(sink); err != nil {
+		t.Fatal(err)
+	}
+	if len(net.dense) > maxDenseID+1 {
+		t.Fatalf("dense table grew to %d entries for ID %v", len(net.dense), big)
+	}
+	stats, err := net.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.got != 1 || stats.Delivered != 1 {
+		t.Fatalf("sparse-ID node received %d messages (delivered %d), want 1", sink.got, stats.Delivered)
+	}
+}
+
+// oneShotNode sends one message to peer at start.
+type oneShotNode struct {
+	id, peer types.ProcessID
+}
+
+func (p *oneShotNode) ID() types.ProcessID { return p.id }
+func (p *oneShotNode) Start() []types.Message {
+	return []types.Message{{From: p.id, To: p.peer, Payload: &types.DecidePayload{V: types.One}}}
+}
+func (p *oneShotNode) Deliver(types.Message) []types.Message { return nil }
+func (p *oneShotNode) Done() bool                            { return false }
+
+// sinkNode counts deliveries.
+type sinkNode struct {
+	id  types.ProcessID
+	got int
+}
+
+func (s *sinkNode) ID() types.ProcessID                   { return s.id }
+func (s *sinkNode) Start() []types.Message                { return nil }
+func (s *sinkNode) Deliver(types.Message) []types.Message { s.got++; return nil }
+func (s *sinkNode) Done() bool                            { return false }
+
+// boxedQueue replicates the seed implementation's container/heap event
+// queue: the comparison baseline for both the cross-check test above and
+// the allocation microbenchmarks.
+type boxedQueue []event
+
+func (q boxedQueue) Len() int { return len(q) }
+func (q boxedQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q boxedQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *boxedQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *boxedQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// queueBacklog models the delivery loop's queue traffic: a standing
+// backlog with one push+pop per simulated delivery.
+const queueBacklog = 1024
+
+// BenchmarkQueuePushPop measures the concrete-typed 4-ary heap on the
+// delivery hot path (expect 0 allocs/op once the backing array is grown).
+func BenchmarkQueuePushPop(b *testing.B) {
+	var q eventQueue
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < queueBacklog; i++ {
+		q.push(event{at: Time(rng.Intn(1000)), seq: uint64(i)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.push(event{at: Time(rng.Intn(1000)), seq: uint64(queueBacklog + i)})
+		_ = q.pop()
+	}
+}
+
+// BenchmarkQueuePushPopBoxedHeap measures the seed implementation's
+// container/heap queue on the same workload (expect 1-2 allocs/op from
+// interface boxing) — the before/after pair for the ≥50% allocation
+// reduction acceptance criterion.
+func BenchmarkQueuePushPopBoxedHeap(b *testing.B) {
+	var q boxedQueue
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < queueBacklog; i++ {
+		heap.Push(&q, event{at: Time(rng.Intn(1000)), seq: uint64(i)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		heap.Push(&q, event{at: Time(rng.Intn(1000)), seq: uint64(queueBacklog + i)})
+		_ = heap.Pop(&q).(event)
+	}
+}

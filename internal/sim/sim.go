@@ -8,10 +8,22 @@
 // simulator feeds them one message at a time and queues whatever they emit.
 // All randomness flows from the run's seed, so any execution — including the
 // adversarially scheduled ones — replays exactly.
+//
+// # Determinism contract
+//
+// A run is a pure function of (registered nodes, scheduler, seed): the event
+// queue is a strict total order on (delivery time, send sequence), nodes are
+// started in registration order, and the only randomness is the run's seeded
+// RNG. Nothing in a Network reads clocks, goroutine identity, or global
+// state. This contract is what makes executions replayable byte for byte,
+// and it is what runner.Sweep relies on to fan independent runs across
+// worker goroutines: each run owns its Network outright, so runs scheduled
+// on different workers — in any order, at any parallelism — produce
+// identical results. Optimizations to this package must preserve the
+// contract (see the replay-equality tests in internal/runner).
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -43,6 +55,17 @@ type Node interface {
 	// Done reports that the node needs no further input (it halted).
 	// The network stops delivering to done nodes.
 	Done() bool
+}
+
+// Recycler is an optional Node extension for allocation-free runs. After
+// the Network has copied every message of a Start or Deliver result into
+// its queue, it hands the slice back through Recycle; the node may then
+// reuse the backing array for a later result. Nodes that retain references
+// to slices they returned must not implement Recycler. Drivers other than
+// Network (unit tests, transport pumps) are free to never call it — a node
+// must treat Recycle as a pure optimization hint.
+type Recycler interface {
+	Recycle(msgs []types.Message)
 }
 
 // Scheduler decides when (at what abstract time) a message sent at `now` is
@@ -80,13 +103,20 @@ type Stats struct {
 	Exhausted bool // the delivery budget ran out before quiescence
 }
 
+// maxDenseID bounds the dense node table. Process IDs at or below it are
+// resolved by a single slice index on the delivery path; larger (or
+// pathological) IDs fall back to the registration map, so a hostile ID
+// cannot force a giant allocation.
+const maxDenseID = 1 << 16
+
 // Network is the simulator instance. Not safe for concurrent use: a run is a
 // single-threaded deterministic event loop.
 type Network struct {
 	cfg   Config
 	rng   *rand.Rand
-	nodes map[types.ProcessID]Node
-	order []types.ProcessID // Start order (insertion order, for determinism)
+	nodes map[types.ProcessID]Node // registry (duplicate detection, sparse IDs)
+	dense []Node                   // dense[id] fast path for the delivery loop
+	order []types.ProcessID        // Start order (insertion order, for determinism)
 
 	queue eventQueue
 	seq   uint64
@@ -127,8 +157,24 @@ func (n *Network) Add(node Node) error {
 		return fmt.Errorf("%w: %v", ErrDuplicateNode, id)
 	}
 	n.nodes[id] = node
+	if i := int(id); i > 0 && i <= maxDenseID {
+		// Grow by appending so ascending registrations (the 1..n common
+		// case) amortize to O(n) instead of reallocating per Add.
+		for i >= len(n.dense) {
+			n.dense = append(n.dense, nil)
+		}
+		n.dense[i] = node
+	}
 	n.order = append(n.order, id)
 	return nil
+}
+
+// lookup resolves a destination process to its node (nil if unknown).
+func (n *Network) lookup(id types.ProcessID) Node {
+	if i := int(id); i > 0 && i < len(n.dense) {
+		return n.dense[i]
+	}
+	return n.nodes[id]
 }
 
 // Rand exposes the run's RNG so co-operating components (adversarial
@@ -145,17 +191,18 @@ func (n *Network) Run(stop func() bool) (Stats, error) {
 	}
 	n.started = true
 	for _, id := range n.order {
-		n.send(n.nodes[id], n.nodes[id].Start())
+		node := n.nodes[id]
+		n.dispatch(node, node.Start())
 	}
 	for n.queue.Len() > 0 {
 		if n.stats.Delivered >= n.cfg.MaxDeliveries {
 			n.stats.Exhausted = true
 			break
 		}
-		ev := heap.Pop(&n.queue).(event)
+		ev := n.queue.pop()
 		n.now = ev.at
-		dst, ok := n.nodes[ev.msg.To]
-		if !ok || dst.Done() {
+		dst := n.lookup(ev.msg.To)
+		if dst == nil || dst.Done() {
 			// Unknown destination or halted node: the message evaporates.
 			n.stats.Dropped++
 			n.record(trace.Event{Time: int64(n.now), Kind: trace.KindDrop, P: ev.msg.To, Msg: ev.msg, Note: "destination done or unknown"})
@@ -164,12 +211,28 @@ func (n *Network) Run(stop func() bool) (Stats, error) {
 		n.stats.Delivered++
 		n.stats.End = n.now
 		n.record(trace.Event{Time: int64(n.now), Kind: trace.KindDeliver, P: ev.msg.To, Msg: ev.msg})
-		n.send(dst, dst.Deliver(ev.msg))
+		n.dispatch(dst, dst.Deliver(ev.msg))
 		if stop != nil && stop() {
 			break
 		}
 	}
 	return n.stats, nil
+}
+
+// dispatch queues a node's output and, once every message has been copied
+// into the event queue, offers the slice back to the node for reuse. Empty
+// slices are recycled too: most deliveries of a consensus run emit nothing
+// (sub-threshold echoes, unreconstructed coin shares), and dropping the
+// buffer there would force a fresh allocation at the next emitting
+// delivery.
+func (n *Network) dispatch(node Node, msgs []types.Message) {
+	if msgs == nil {
+		return
+	}
+	n.send(node, msgs)
+	if r, ok := node.(Recycler); ok {
+		r.Recycle(msgs)
+	}
 }
 
 // send queues the messages emitted by node, enforcing authenticated links:
@@ -195,7 +258,7 @@ func (n *Network) send(node Node, msgs []types.Message) {
 			}
 			at = n.now // schedulers cannot deliver into the past
 		}
-		heap.Push(&n.queue, event{at: at, seq: n.seq, msg: m})
+		n.queue.push(event{at: at, seq: n.seq, msg: m})
 	}
 }
 
@@ -203,32 +266,4 @@ func (n *Network) record(e trace.Event) {
 	if n.cfg.Recorder.Enabled() {
 		n.cfg.Recorder.Record(e)
 	}
-}
-
-// event is a queued delivery.
-type event struct {
-	at  Time
-	seq uint64
-	msg types.Message
-}
-
-// eventQueue is a min-heap on (at, seq) — deterministic given deterministic
-// scheduling decisions.
-type eventQueue []event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
 }

@@ -258,11 +258,17 @@ func (s StepMessage) String() string {
 // message (all protocols here do, matching the paper's "send to all"
 // semantics).
 func Broadcast(from ProcessID, dests []ProcessID, p Payload) []Message {
-	out := make([]Message, 0, len(dests))
+	return AppendBroadcast(make([]Message, 0, len(dests)), from, dests, p)
+}
+
+// AppendBroadcast is Broadcast appending into a caller-provided slice, the
+// allocation-free fan-out for hot paths that reuse an output buffer (see
+// sim.Recycler).
+func AppendBroadcast(dst []Message, from ProcessID, dests []ProcessID, p Payload) []Message {
 	for _, d := range dests {
-		out = append(out, Message{From: from, To: d, Payload: p})
+		dst = append(dst, Message{From: from, To: d, Payload: p})
 	}
-	return out
+	return dst
 }
 
 // Processes returns the process identifiers 1..n.

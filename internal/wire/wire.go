@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/types"
 )
@@ -32,45 +33,56 @@ var (
 // hostile length prefixes long before io limits would.
 const MaxBodyLen = 1 << 20
 
-// EncodePayload serializes any protocol payload.
+// EncodePayload serializes any protocol payload into a fresh buffer. Hot
+// paths that can reuse a destination should call AppendPayload instead; the
+// two produce byte-identical output.
 func EncodePayload(p types.Payload) ([]byte, error) {
+	return AppendPayload(nil, p)
+}
+
+// AppendPayload serializes a protocol payload by appending its canonical
+// encoding to dst (which may be nil) and returns the extended slice. On
+// error dst is returned unchanged. The bytes appended are exactly what
+// EncodePayload produces — callers may therefore swap one for the other
+// freely, keeping every canonical body stable.
+func AppendPayload(dst []byte, p types.Payload) ([]byte, error) {
 	switch v := p.(type) {
 	case *types.RBCPayload:
 		if v.Phase != types.KindRBCSend && v.Phase != types.KindRBCEcho && v.Phase != types.KindRBCReady {
-			return nil, fmt.Errorf("%w: RBC phase %v", ErrBadValue, v.Phase)
+			return dst, fmt.Errorf("%w: RBC phase %v", ErrBadValue, v.Phase)
 		}
-		buf := []byte{byte(v.Phase)}
+		buf := append(dst, byte(v.Phase))
 		buf = appendInt(buf, int(v.ID.Sender))
 		buf = appendInt(buf, v.ID.Tag.Round)
 		buf = appendInt(buf, int(v.ID.Tag.Step))
 		buf = appendInt(buf, v.ID.Tag.Seq)
-		buf = appendBytes(buf, []byte(v.Body))
+		buf = appendString(buf, v.Body)
 		return buf, nil
 	case *types.CoinSharePayload:
-		buf := []byte{byte(types.KindCoinShare)}
+		buf := append(dst, byte(types.KindCoinShare))
 		buf = appendInt(buf, v.Round)
-		buf = appendBytes(buf, []byte(v.Share))
-		buf = appendBytes(buf, []byte(v.MAC))
+		buf = appendString(buf, v.Share)
+		buf = appendString(buf, v.MAC)
 		return buf, nil
 	case *types.DecidePayload:
 		if !v.V.Valid() {
-			return nil, fmt.Errorf("%w: decide value %d", ErrBadValue, v.V)
+			return dst, fmt.Errorf("%w: decide value %d", ErrBadValue, v.V)
 		}
-		buf := []byte{byte(types.KindDecide), byte(v.V)}
+		buf := append(dst, byte(types.KindDecide), byte(v.V))
 		return appendInt(buf, v.Instance), nil
 	case *types.PlainPayload:
 		if !v.V.Valid() {
-			return nil, fmt.Errorf("%w: plain value %d", ErrBadValue, v.V)
+			return dst, fmt.Errorf("%w: plain value %d", ErrBadValue, v.V)
 		}
-		buf := []byte{byte(types.KindPlain)}
+		buf := append(dst, byte(types.KindPlain))
 		buf = appendInt(buf, v.Round)
 		buf = appendInt(buf, int(v.Step))
 		buf = append(buf, byte(v.V), flags(v.D, v.Q))
 		return buf, nil
 	case nil:
-		return nil, fmt.Errorf("%w: nil payload", ErrBadValue)
+		return dst, fmt.Errorf("%w: nil payload", ErrBadValue)
 	default:
-		return nil, fmt.Errorf("%w: %T", ErrUnknownKind, p)
+		return dst, fmt.Errorf("%w: %T", ErrUnknownKind, p)
 	}
 }
 
@@ -180,13 +192,19 @@ func decodePayload(buf []byte) (types.Payload, []byte, error) {
 
 // EncodeMessage serializes a full point-to-point message (for transports).
 func EncodeMessage(m types.Message) ([]byte, error) {
-	payload, err := EncodePayload(m.Payload)
-	if err != nil {
-		return nil, err
-	}
-	buf := appendInt(nil, int(m.From))
+	return AppendMessage(nil, m)
+}
+
+// AppendMessage appends EncodeMessage's output to dst; on error dst is
+// returned unchanged.
+func AppendMessage(dst []byte, m types.Message) ([]byte, error) {
+	buf := appendInt(dst, int(m.From))
 	buf = appendInt(buf, int(m.To))
-	return append(buf, payload...), nil
+	buf, err := AppendPayload(buf, m.Payload)
+	if err != nil {
+		return dst, err
+	}
+	return buf, nil
 }
 
 // DecodeMessage parses a message produced by EncodeMessage.
@@ -212,22 +230,36 @@ func DecodeMessage(buf []byte) (types.Message, error) {
 // EncodeStep canonically encodes a consensus step message for use as a
 // reliable-broadcast body. The encoding is injective, so body equality
 // (string comparison in the RBC instance) coincides with logical equality.
+// The scratch buffer is pooled: the only allocation per call is the string
+// itself, which the body must own anyway.
 func EncodeStep(s types.StepMessage) (string, error) {
+	bp := GetBuffer()
+	defer PutBuffer(bp)
+	buf, err := AppendStep(*bp, s)
+	if err != nil {
+		return "", err
+	}
+	*bp = buf[:0]
+	return string(buf), nil
+}
+
+// AppendStep appends EncodeStep's canonical bytes to dst; on error dst is
+// returned unchanged.
+func AppendStep(dst []byte, s types.StepMessage) ([]byte, error) {
 	if !s.Step.Valid() {
-		return "", fmt.Errorf("%w: step %d", ErrBadValue, s.Step)
+		return dst, fmt.Errorf("%w: step %d", ErrBadValue, s.Step)
 	}
 	if !s.V.Valid() {
-		return "", fmt.Errorf("%w: step value %d", ErrBadValue, s.V)
+		return dst, fmt.Errorf("%w: step value %d", ErrBadValue, s.V)
 	}
 	if s.Round < 1 {
-		return "", fmt.Errorf("%w: round %d", ErrBadValue, s.Round)
+		return dst, fmt.Errorf("%w: round %d", ErrBadValue, s.Round)
 	}
 	if s.D && s.Step != types.Step3 {
-		return "", fmt.Errorf("%w: decision proposal in step %v", ErrBadValue, s.Step)
+		return dst, fmt.Errorf("%w: decision proposal in step %v", ErrBadValue, s.Step)
 	}
-	buf := appendInt(nil, s.Round)
-	buf = append(buf, byte(s.Step), byte(s.V), flags(s.D, false))
-	return string(buf), nil
+	buf := appendInt(dst, s.Round)
+	return append(buf, byte(s.Step), byte(s.V), flags(s.D, false)), nil
 }
 
 // DecodeStep parses an EncodeStep body. Byzantine senders control RBC
@@ -278,8 +310,40 @@ func parseFlags(b byte) (d, q bool, err error) {
 	return b&1 != 0, b&2 != 0, nil
 }
 
+// bufPool recycles encode scratch buffers. 256 bytes covers every protocol
+// payload of this module (bodies are step encodings of a few bytes; coin
+// shares plus MAC stay under 64 bytes), so steady-state encoding never asks
+// the allocator for buffer space.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 256)
+		return &b
+	},
+}
+
+// GetBuffer borrows an empty scratch buffer from the package pool. Callers
+// append into it (typically via AppendPayload or AppendStep), copy or frame
+// the result, and must return it with PutBuffer.
+func GetBuffer() *[]byte {
+	return bufPool.Get().(*[]byte)
+}
+
+// PutBuffer returns a borrowed buffer to the pool. The caller must not touch
+// the buffer afterwards.
+func PutBuffer(b *[]byte) {
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
 func appendInt(buf []byte, v int) []byte {
 	return binary.AppendVarint(buf, int64(v))
+}
+
+// appendString is appendBytes for string fields, avoiding the []byte(s)
+// conversion allocation on the encode path.
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
 }
 
 func readInt(buf []byte) (int, []byte, error) {
@@ -288,11 +352,6 @@ func readInt(buf []byte) (int, []byte, error) {
 		return 0, nil, ErrTruncated
 	}
 	return int(v), buf[n:], nil
-}
-
-func appendBytes(buf, b []byte) []byte {
-	buf = binary.AppendUvarint(buf, uint64(len(b)))
-	return append(buf, b...)
 }
 
 func readBytes(buf []byte) ([]byte, []byte, error) {
