@@ -1,9 +1,17 @@
 // Command bench regenerates every table and figure of the evaluation
-// (EXPERIMENTS.md): E1–E8 plus the ablations A1–A3. Output is aligned text
+// (EXPERIMENTS.md): E1–E10 plus the ablations A1–A4. Output is aligned text
 // tables by default, CSV with -csv, JSON with -json. Independent runs are
 // fanned across a worker pool (runner.Sweep); -workers 1 forces the old
 // serial behaviour and, by the sweep engine's determinism contract, produces
 // the identical numbers.
+//
+// The -sweep mode runs one adversarial property scenario (see -scenarios)
+// across a half-open seed range through the streaming checkpointable engine:
+// constant memory at any depth, periodic checkpoints with -checkpoint, and
+// resumption with -resume. Interrupting a checkpointed sweep (SIGINT) saves
+// a final checkpoint and exits cleanly; rerunning with -resume continues
+// where it stopped and, by the determinism contract, ends byte-identical to
+// an uninterrupted sweep.
 //
 // Examples:
 //
@@ -14,17 +22,29 @@
 //	bench -workers 1       # serial (same numbers, slower)
 //	bench -csv > out.csv   # machine-readable output
 //	bench -quick -json > BENCH_seed.json   # committed baseline snapshot
+//
+//	bench -scenarios                       # list property scenarios
+//	bench -sweep 1:10001 -n 64 -scenario equivocation-rush \
+//	      -checkpoint ck.json              # 10k-seed frontier sweep
+//	bench -sweep 1:10001 -n 64 -scenario equivocation-rush \
+//	      -checkpoint ck.json -resume      # continue after a kill
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/quorum"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -37,19 +57,61 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		id      = fs.String("experiment", "", "run a single experiment (E1..E8, A1..A3); empty = all")
+		id      = fs.String("experiment", "", "run a single experiment (E1..E10, A1..A4); empty = all")
 		runs    = fs.Int("runs", 0, "repetitions per configuration (0 = default)")
 		seed    = fs.Int64("seed", 1, "base seed")
 		quick   = fs.Bool("quick", false, "shrink sweeps for a fast smoke run")
 		csv     = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonOut = fs.Bool("json", false, "emit JSON instead of aligned tables")
 		workers = fs.Int("workers", 0, "sweep worker goroutines (0 = all cores, 1 = serial; results identical)")
+
+		sweep      = fs.String("sweep", "", "streaming property sweep over seed range seedA:seedB (half-open)")
+		sweepN     = fs.Int("n", 16, "-sweep: system size")
+		sweepF     = fs.Int("f", -1, "-sweep: fault bound (negative = ⌊(n−1)/3⌋, the optimal resilience; 0 = fault-free)")
+		scenario   = fs.String("scenario", "equivocation-rush", "-sweep: adversarial scenario (see -scenarios)")
+		listScen   = fs.Bool("scenarios", false, "list the property scenarios and exit")
+		checkpoint = fs.String("checkpoint", "", "-sweep: checkpoint manifest path (periodic + final saves)")
+		resume     = fs.Bool("resume", false, "-sweep: resume from -checkpoint")
+		every      = fs.Int("every", 0, "-sweep: runs between checkpoint writes (0 = default)")
+		stopAfter  = fs.Int64("stop-after", 0, "-sweep: stop after this many runs this invocation, saving a checkpoint (0 = run to completion)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *jsonOut && *csv {
 		return fmt.Errorf("-json and -csv are mutually exclusive")
+	}
+	if *listScen {
+		return listScenarios(out)
+	}
+	// Reject cross-mode flags instead of silently ignoring them: forgetting
+	// -sweep must not quietly launch the full experiment battery, and sweep
+	// runs must not pretend to honour -seed or -runs.
+	set := map[string]bool{}
+	fs.Visit(func(fl *flag.Flag) { set[fl.Name] = true })
+	if *sweep == "" {
+		for _, name := range []string{"n", "f", "scenario", "checkpoint", "resume", "every", "stop-after"} {
+			if set[name] {
+				return fmt.Errorf("-%s requires -sweep", name)
+			}
+		}
+	} else {
+		for _, name := range []string{"experiment", "runs", "seed", "quick", "csv"} {
+			if set[name] {
+				return fmt.Errorf("-%s does not apply to -sweep", name)
+			}
+		}
+		// Catch this before hours of work are discarded, not after.
+		if *stopAfter > 0 && *checkpoint == "" {
+			return fmt.Errorf("-stop-after requires -checkpoint (stopping without one loses all progress)")
+		}
+	}
+	if *sweep != "" {
+		return runSweep(out, sweepOpts{
+			rangeStr: *sweep, n: *sweepN, f: *sweepF, scenario: *scenario,
+			workers: *workers, checkpoint: *checkpoint, resume: *resume,
+			every: *every, stopAfter: *stopAfter, jsonOut: *jsonOut,
+		})
 	}
 	opts := experiments.Options{Runs: *runs, Seed: *seed, Quick: *quick, Workers: *workers}
 
@@ -99,4 +161,157 @@ func run(args []string, out io.Writer) error {
 		return enc.Encode(jsonTables)
 	}
 	return nil
+}
+
+// listScenarios prints the property-scenario battery.
+func listScenarios(out io.Writer) error {
+	for _, sc := range runner.Scenarios() {
+		kind := "consensus"
+		if sc.RBC {
+			kind = "rbc"
+		}
+		fmt.Fprintf(out, "%-18s %-10s %s\n", sc.Name, kind, sc.Doc)
+	}
+	return nil
+}
+
+// sweepOpts carries the -sweep flag bundle.
+type sweepOpts struct {
+	rangeStr   string
+	n, f       int
+	scenario   string
+	workers    int
+	checkpoint string
+	resume     bool
+	every      int
+	stopAfter  int64
+	jsonOut    bool
+}
+
+// parseSeedRange parses "a:b" into the half-open range [a, b).
+func parseSeedRange(s string) (runner.SeedRange, error) {
+	lo, hi, ok := strings.Cut(s, ":")
+	if !ok {
+		return runner.SeedRange{}, fmt.Errorf("-sweep wants seedA:seedB, got %q", s)
+	}
+	from, err := strconv.ParseInt(lo, 10, 64)
+	if err != nil {
+		return runner.SeedRange{}, fmt.Errorf("-sweep seedA: %w", err)
+	}
+	to, err := strconv.ParseInt(hi, 10, 64)
+	if err != nil {
+		return runner.SeedRange{}, fmt.Errorf("-sweep seedB: %w", err)
+	}
+	r := runner.SeedRange{From: from, To: to}
+	if r.Len() <= 0 {
+		return runner.SeedRange{}, fmt.Errorf("-sweep range %v is empty", r)
+	}
+	return r, nil
+}
+
+// runSweep executes one streaming property sweep.
+func runSweep(out io.Writer, o sweepOpts) error {
+	seeds, err := parseSeedRange(o.rangeStr)
+	if err != nil {
+		return err
+	}
+	sc, err := runner.ScenarioByName(o.scenario)
+	if err != nil {
+		return err
+	}
+	f := o.f
+	if f < 0 {
+		f = quorum.MaxByzantine(o.n)
+	}
+
+	// SIGINT stops at the next completed run, saving a checkpoint; a -stop-
+	// after budget does the same after a fixed number of runs (CI smoke).
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	defer signal.Stop(sigc)
+	remaining := o.stopAfter
+	stop := func() bool {
+		select {
+		case <-sigc:
+			return true
+		default:
+		}
+		if o.stopAfter > 0 {
+			remaining--
+			return remaining <= 0
+		}
+		return false
+	}
+
+	spec := runner.PropertySpec{
+		N: o.n, F: f, Scenario: sc, Seeds: seeds,
+		Workers: o.workers, Checkpoint: o.checkpoint,
+		Every: o.every, Resume: o.resume, Stop: stop,
+		Progress: func(done, total int64) {
+			if done%1000 == 0 {
+				fmt.Fprintf(os.Stderr, "bench: sweep %s n=%d: %d/%d\n", sc.Name, o.n, done, total)
+			}
+		},
+	}
+	agg, err := runner.PropertySweep(spec)
+	stopped := errors.Is(err, runner.ErrStopped)
+	if err != nil && !stopped {
+		return err
+	}
+	if stopped && o.checkpoint == "" {
+		return fmt.Errorf("sweep stopped after %d runs with no -checkpoint; progress lost", agg.Runs)
+	}
+
+	switch {
+	case o.jsonOut:
+		if stopped {
+			// Keep stdout parseable: structured stop record there, the
+			// human notice on stderr.
+			fmt.Fprintf(os.Stderr, "bench: sweep stopped after %d/%d runs; checkpoint saved to %s — rerun with -resume to continue\n",
+				agg.Runs, seeds.Len(), o.checkpoint)
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Scenario   string            `json:"scenario"`
+			N          int               `json:"n"`
+			F          int               `json:"f"`
+			Seeds      runner.SeedRange  `json:"seeds"`
+			Stopped    bool              `json:"stopped,omitempty"`
+			Completed  int64             `json:"completed,omitempty"`
+			Checkpoint string            `json:"checkpoint,omitempty"`
+			Aggregate  *runner.Aggregate `json:"aggregate"`
+		}{sc.Name, o.n, f, seeds, stopped, stoppedAt(stopped, agg), stoppedCk(stopped, o.checkpoint), agg}); err != nil {
+			return err
+		}
+	case stopped:
+		fmt.Fprintf(out, "sweep stopped after %d/%d runs (checks so far: %s); checkpoint saved to %s — rerun with -resume to continue\n",
+			agg.Runs, seeds.Len(), agg.Checks.String(), o.checkpoint)
+	default:
+		title := fmt.Sprintf("sweep %s: n=%d f=%d seeds %v", sc.Name, o.n, f, seeds)
+		fmt.Fprintf(out, "%schecks: %s\n", agg.Table(title).Render(), agg.Checks.String())
+	}
+	// Violations are never waived, whether the sweep completed or was
+	// interrupted mid-way.
+	if !agg.Checks.Clean() {
+		return fmt.Errorf("property violations detected: %s", agg.Checks.String())
+	}
+	return nil
+}
+
+// stoppedAt and stoppedCk populate the stop-record fields only for
+// interrupted sweeps, so omitempty elides them on completion and the JSON of
+// a resumed run stays byte-identical to an uninterrupted one's.
+func stoppedAt(stopped bool, agg *runner.Aggregate) int64 {
+	if !stopped {
+		return 0
+	}
+	return agg.Runs
+}
+
+func stoppedCk(stopped bool, checkpoint string) string {
+	if !stopped {
+		return ""
+	}
+	return checkpoint
 }

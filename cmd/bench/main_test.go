@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -44,5 +46,117 @@ func TestRunBadFlag(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-bogus"}, &sb); err == nil {
 		t.Fatal("bogus flag accepted")
+	}
+}
+
+func TestRunScenarioList(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-scenarios"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"equivocation-rush", "crash-rejoin", "rbc-partial"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("scenario listing missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-sweep", "1:13", "-n", "8", "-scenario", "equivocation-rush", "-workers", "4"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"sweep equivocation-rush: n=8 f=2 seeds [1, 13)", "no violations"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSweepBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-sweep", "nonsense"},
+		{"-sweep", "5:5"},
+		{"-sweep", "9:1"},
+		{"-sweep", "1:5", "-scenario", "no-such-attack"},
+		{"-sweep", "1:5", "-experiment", "E1"},
+		{"-sweep", "1:5", "-quick"},
+		{"-sweep", "1:5", "-seed", "3"},
+		{"-sweep", "1:5", "-csv"},
+		{"-sweep", "1:5", "-stop-after", "2"}, // -stop-after without -checkpoint rejected up front
+		{"-checkpoint", "ck.json", "-resume"}, // forgot -sweep: must not launch experiments
+		{"-scenario", "reorder"},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// TestRunSweepResumeIdentical: a sweep stopped mid-way and resumed from its
+// checkpoint must print byte-identical JSON to an uninterrupted sweep — the
+// CLI surface of the engine's determinism contract.
+func TestRunSweepResumeIdentical(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "ck.json")
+	common := []string{"-sweep", "1:41", "-n", "8", "-scenario", "crash-rejoin", "-workers", "3"}
+
+	var stopped strings.Builder
+	if err := run(append(common, "-checkpoint", ck, "-every", "10", "-stop-after", "17"), &stopped); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stopped.String(), "sweep stopped after 17/40 runs") {
+		t.Fatalf("unexpected stop notice:\n%s", stopped.String())
+	}
+
+	var resumed, fresh strings.Builder
+	if err := run(append(common, "-checkpoint", ck, "-resume", "-json"), &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(common, "-json"), &fresh); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.String() != fresh.String() {
+		t.Errorf("resumed sweep output differs from uninterrupted sweep:\n--- resumed\n%s\n--- fresh\n%s",
+			resumed.String(), fresh.String())
+	}
+}
+
+// TestRunSweepStoppedJSON: a stopped sweep in -json mode must still emit
+// parseable JSON on stdout (the notice goes to stderr).
+func TestRunSweepStoppedJSON(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "ck.json")
+	var sb strings.Builder
+	err := run([]string{"-sweep", "1:41", "-n", "8", "-scenario", "rbc-honest",
+		"-checkpoint", ck, "-stop-after", "9", "-json"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Stopped   bool  `json:"stopped"`
+		Completed int64 `json:"completed"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &got); err != nil {
+		t.Fatalf("stopped -json output is not JSON: %v\n%s", err, sb.String())
+	}
+	if !got.Stopped || got.Completed != 9 {
+		t.Errorf("stop record = %+v, want stopped after 9 runs", got)
+	}
+}
+
+// TestRunSweepStopOnFinalRun: a stop budget that fires exactly at the end
+// of the range is just completion, not an interruption.
+func TestRunSweepStopOnFinalRun(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "ck.json")
+	var sb strings.Builder
+	err := run([]string{"-sweep", "1:5", "-n", "8", "-scenario", "rbc-honest", "-checkpoint", ck, "-stop-after", "4"}, &sb)
+	if err != nil {
+		t.Fatalf("stop-after on the final run failed the sweep: %v", err)
+	}
+	if !strings.Contains(sb.String(), "no violations") || strings.Contains(sb.String(), "stopped") {
+		t.Errorf("expected a completed-sweep report:\n%s", sb.String())
 	}
 }

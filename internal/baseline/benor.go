@@ -69,8 +69,13 @@ type Node struct {
 	// got[slot] holds the first message from each sender for that slot, in
 	// arrival order. No reliable broadcast: equivocation shows up as
 	// different processes holding different firsts.
-	got map[slot][]*types.PlainPayload
-	src map[slotSender]bool
+	got map[slot]*slotState
+	// peerIdx maps a peer to its dense bitset index; words is the bitset
+	// length, as in internal/rbc. First-message-per-sender dedup is a bit
+	// test instead of a map insert, keeping the delivery path allocation
+	// free.
+	peerIdx map[types.ProcessID]int32
+	words   int
 
 	waitingCoin bool
 	stalled     bool
@@ -82,6 +87,9 @@ type Node struct {
 	sentDecide  bool
 	decideVotes map[types.ProcessID]types.Value
 	halted      bool
+
+	// out is the recycled output buffer (see sim.Recycler), as in core.
+	out []types.Message
 
 	stats Stats
 }
@@ -98,9 +106,12 @@ type slot struct {
 	phase types.Step
 }
 
-type slotSender struct {
-	slot   slot
-	sender types.ProcessID
+// slotState is the per-slot message window: a bitset marking which senders
+// already contributed plus their first messages in arrival order. msgs is
+// allocated with capacity n once per slot, so appends never reallocate.
+type slotState struct {
+	seen []uint64
+	msgs []*types.PlainPayload
 }
 
 // Config validation errors.
@@ -133,17 +144,27 @@ func New(cfg Config) (*Node, error) {
 	if cfg.MaxRounds <= 0 {
 		cfg.MaxRounds = DefaultMaxRounds
 	}
+	idx := make(map[types.ProcessID]int32, len(cfg.Peers))
+	for i, p := range cfg.Peers {
+		if _, dup := idx[p]; !dup {
+			idx[p] = int32(i)
+		}
+	}
 	return &Node{
 		cfg:         cfg,
 		spec:        cfg.Spec,
 		value:       cfg.Proposal,
-		got:         make(map[slot][]*types.PlainPayload),
-		src:         make(map[slotSender]bool),
+		got:         make(map[slot]*slotState),
+		peerIdx:     idx,
+		words:       (len(cfg.Peers) + 63) / 64,
 		decideVotes: make(map[types.ProcessID]types.Value),
 	}, nil
 }
 
-var _ sim.Node = (*Node)(nil)
+var (
+	_ sim.Node     = (*Node)(nil)
+	_ sim.Recycler = (*Node)(nil)
+)
 
 // ID implements sim.Node.
 func (n *Node) ID() types.ProcessID { return n.cfg.Me }
@@ -151,8 +172,23 @@ func (n *Node) ID() types.ProcessID { return n.cfg.Me }
 // Done implements sim.Node.
 func (n *Node) Done() bool { return n.halted }
 
+// Recycle implements sim.Recycler: keep the largest consumed output buffer
+// for reuse, exactly as core does.
+func (n *Node) Recycle(msgs []types.Message) {
+	if cap(msgs) > cap(n.out) {
+		n.out = msgs[:0]
+	}
+}
+
+// takeOut claims the recycled output buffer until the next Recycle.
+func (n *Node) takeOut() []types.Message {
+	out := n.out
+	n.out = nil
+	return out
+}
+
 // Start implements sim.Node.
-func (n *Node) Start() []types.Message { return n.enterRound(1) }
+func (n *Node) Start() []types.Message { return n.enterRound(n.takeOut(), 1) }
 
 // Deliver implements sim.Node.
 func (n *Node) Deliver(m types.Message) []types.Message {
@@ -162,12 +198,12 @@ func (n *Node) Deliver(m types.Message) []types.Message {
 	switch p := m.Payload.(type) {
 	case *types.PlainPayload:
 		n.onPlain(m.From, p)
-		return n.advance()
+		return n.advance(n.takeOut())
 	case *types.CoinSharePayload:
 		n.cfg.Coin.HandleShare(m.From, p)
-		return n.advance()
+		return n.advance(n.takeOut())
 	case *types.DecidePayload:
-		return n.onDecideVote(m.From, p)
+		return n.onDecideVote(n.takeOut(), m.From, p)
 	default:
 		return nil
 	}
@@ -191,6 +227,10 @@ func (n *Node) Stats() Stats { return n.stats }
 // onPlain records the first message per (sender, slot). Values are checked
 // for well-formedness only — Ben-Or has no validation, which is the point.
 func (n *Node) onPlain(from types.ProcessID, p *types.PlainPayload) {
+	pi, ok := n.peerIdx[from]
+	if !ok {
+		return // only peers hold votes
+	}
 	if p.Round < 1 || (p.Step != types.Step1 && p.Step != types.Step2) {
 		return
 	}
@@ -204,17 +244,25 @@ func (n *Node) onPlain(from types.ProcessID, p *types.PlainPayload) {
 		return
 	}
 	s := slot{round: p.Round, phase: p.Step}
-	key := slotSender{slot: s, sender: from}
-	if n.src[key] {
+	st := n.got[s]
+	if st == nil {
+		st = &slotState{
+			seen: make([]uint64, n.words),
+			msgs: make([]*types.PlainPayload, 0, len(n.cfg.Peers)),
+		}
+		n.got[s] = st
+	}
+	w, bit := pi>>6, uint64(1)<<(pi&63)
+	if st.seen[w]&bit != 0 {
 		return
 	}
-	n.src[key] = true
-	n.got[s] = append(n.got[s], p)
+	st.seen[w] |= bit
+	st.msgs = append(st.msgs, p)
 }
 
-// advance applies transitions until blocked.
-func (n *Node) advance() []types.Message {
-	var out []types.Message
+// advance applies transitions until blocked, appending emitted messages to
+// out.
+func (n *Node) advance(out []types.Message) []types.Message {
 	for !n.halted && !n.stalled {
 		if n.waitingCoin {
 			s, ok := n.cfg.Coin.Value(n.round)
@@ -225,25 +273,25 @@ func (n *Node) advance() []types.Message {
 			n.stats.CoinsUsed++
 			n.record(trace.Event{Kind: trace.KindCoin, P: n.cfg.Me, Round: n.round, V: s})
 			n.value = s
-			out = append(out, n.enterRound(n.round+1)...)
+			out = n.enterRound(out, n.round+1)
 			continue
 		}
-		window := n.got[slot{round: n.round, phase: n.phase}]
+		st := n.got[slot{round: n.round, phase: n.phase}]
 		q := n.spec.Quorum()
-		if len(window) < q {
+		if st == nil || len(st.msgs) < q {
 			break
 		}
-		window = window[:q]
+		window := st.msgs[:q]
 		if n.phase == types.Step1 {
-			out = append(out, n.finishPhase1(window)...)
+			out = n.finishPhase1(out, window)
 		} else {
-			out = append(out, n.finishPhase2(window)...)
+			out = n.finishPhase2(out, window)
 		}
 	}
 	return out
 }
 
-func (n *Node) finishPhase1(window []*types.PlainPayload) []types.Message {
+func (n *Node) finishPhase1(out []types.Message, window []*types.PlainPayload) []types.Message {
 	var count [2]int
 	for _, p := range window {
 		if !p.Q {
@@ -259,10 +307,10 @@ func (n *Node) finishPhase1(window []*types.PlainPayload) []types.Message {
 		msg = &types.PlainPayload{Round: n.round, Step: types.Step2, V: types.One, D: true}
 	}
 	n.phase = types.Step2
-	return types.Broadcast(n.cfg.Me, n.cfg.Peers, msg)
+	return types.AppendBroadcast(out, n.cfg.Me, n.cfg.Peers, msg)
 }
 
-func (n *Node) finishPhase2(window []*types.PlainPayload) []types.Message {
+func (n *Node) finishPhase2(out []types.Message, window []*types.PlainPayload) []types.Message {
 	var dCount [2]int
 	for _, p := range window {
 		if p.D && !p.Q {
@@ -276,36 +324,36 @@ func (n *Node) finishPhase2(window []*types.PlainPayload) []types.Message {
 	// Release the round's coin unconditionally, as in core: a threshold
 	// coin needs f+1 correct contributions whether or not this process
 	// personally falls through to the flip.
-	out := n.cfg.Coin.Release(n.round)
+	out = append(out, n.cfg.Coin.Release(n.round)...)
 	switch {
 	case dCount[v] >= n.spec.HonestSuperMajority():
-		out = append(out, n.decide(v)...)
+		out = n.decide(out, v)
 		n.value = v
-		out = append(out, n.enterRound(n.round+1)...)
+		out = n.enterRound(out, n.round+1)
 	case dCount[v] >= n.spec.Adopt():
 		n.stats.Adopted++
 		n.value = v
-		out = append(out, n.enterRound(n.round+1)...)
+		out = n.enterRound(out, n.round+1)
 	default:
 		n.waitingCoin = true
 	}
 	return out
 }
 
-func (n *Node) enterRound(r int) []types.Message {
+func (n *Node) enterRound(out []types.Message, r int) []types.Message {
 	if r > n.cfg.MaxRounds {
 		n.stalled = true
-		return nil
+		return out
 	}
 	n.round = r
 	n.phase = types.Step1
 	n.stats.RoundsStarted++
 	n.record(trace.Event{Kind: trace.KindRound, P: n.cfg.Me, Round: r})
 	msg := &types.PlainPayload{Round: r, Step: types.Step1, V: n.value}
-	return types.Broadcast(n.cfg.Me, n.cfg.Peers, msg)
+	return types.AppendBroadcast(out, n.cfg.Me, n.cfg.Peers, msg)
 }
 
-func (n *Node) decide(v types.Value) []types.Message {
+func (n *Node) decide(out []types.Message, v types.Value) []types.Message {
 	if !n.decided {
 		n.decided = true
 		n.decision = v
@@ -313,29 +361,28 @@ func (n *Node) decide(v types.Value) []types.Message {
 		n.record(trace.Event{Kind: trace.KindDecide, P: n.cfg.Me, Round: n.round, V: v})
 	}
 	if n.cfg.DisableDecideGadget || n.sentDecide {
-		return nil
+		return out
 	}
 	n.sentDecide = true
-	return types.Broadcast(n.cfg.Me, n.cfg.Peers, &types.DecidePayload{V: v})
+	return types.AppendBroadcast(out, n.cfg.Me, n.cfg.Peers, &types.DecidePayload{V: v})
 }
 
-func (n *Node) onDecideVote(from types.ProcessID, p *types.DecidePayload) []types.Message {
+func (n *Node) onDecideVote(out []types.Message, from types.ProcessID, p *types.DecidePayload) []types.Message {
 	if p == nil || !p.V.Valid() {
-		return nil
+		return out
 	}
 	if _, dup := n.decideVotes[from]; dup {
-		return nil
+		return out
 	}
 	n.decideVotes[from] = p.V
 	var count [2]int
 	for _, v := range n.decideVotes {
 		count[v]++
 	}
-	var out []types.Message
 	v := p.V
 	if count[v] >= n.spec.Adopt() && !n.sentDecide && !n.cfg.DisableDecideGadget {
 		n.sentDecide = true
-		out = append(out, types.Broadcast(n.cfg.Me, n.cfg.Peers, &types.DecidePayload{V: v})...)
+		out = types.AppendBroadcast(out, n.cfg.Me, n.cfg.Peers, &types.DecidePayload{V: v})
 	}
 	if count[v] >= n.spec.Decide() {
 		if !n.decided {

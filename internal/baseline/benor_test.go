@@ -156,7 +156,7 @@ func TestBenOrIgnoresMalformedPlain(t *testing.T) {
 	for _, p := range bad {
 		nd.Deliver(types.Message{From: 2, To: 1, Payload: p})
 	}
-	if len(nd.got[slot{round: 1, phase: types.Step1}]) != 0 {
+	if st := nd.got[slot{round: 1, phase: types.Step1}]; st != nil && len(st.msgs) != 0 {
 		t.Error("malformed plain payloads were recorded")
 	}
 }
@@ -172,7 +172,11 @@ func TestBenOrDuplicateSenderCountsOnce(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		nd.Deliver(types.Message{From: 2, To: 1, Payload: &types.PlainPayload{Round: 1, Step: types.Step1, V: 1}})
 	}
-	if got := len(nd.got[slot{round: 1, phase: types.Step1}]); got != 1 {
+	got := 0
+	if st := nd.got[slot{round: 1, phase: types.Step1}]; st != nil {
+		got = len(st.msgs)
+	}
+	if got != 1 {
 		t.Errorf("recorded %d messages from one sender, want 1", got)
 	}
 }
@@ -185,5 +189,51 @@ func TestBenOrHaltedIgnoresTraffic(t *testing.T) {
 	}
 	if out := nd.Deliver(types.Message{From: 2, To: 1, Payload: &types.PlainPayload{Round: 9, Step: types.Step1, V: 0}}); out != nil {
 		t.Error("halted node produced output")
+	}
+}
+
+// BenchmarkBenOrDelivery measures the full per-delivery cost of the Ben-Or
+// baseline on the simulator — the counterpart of core's zero-allocation
+// treatment (recycled output buffers, bitset sender dedup, append-style
+// fan-out). Run with -benchmem: the expected report is 0 allocs/op. The run
+// never halts (the decide gadget is disabled), so every one of the b.N
+// deliveries exercises the steady-state path.
+func BenchmarkBenOrDelivery(b *testing.B) {
+	const n, f = 16, 3 // n > 5f
+	spec := quorum.MustNew(n, f)
+	peers := types.Processes(n)
+	net, err := sim.New(sim.Config{
+		Scheduler:     sim.UniformDelay{Min: 1, Max: 20},
+		Seed:          1,
+		MaxDeliveries: b.N,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, p := range peers {
+		nd, err := New(Config{
+			Me: p, Peers: peers, Spec: spec,
+			Coin:                coin.NewLocal(int64(p) * 1000),
+			Proposal:            types.Value(i % 2),
+			DisableDecideGadget: true,
+			// Far beyond any b.N: the default 1<<16 rounds would quiesce
+			// the system at ~33M deliveries and fail the count assertion.
+			MaxRounds: 1 << 30,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := net.Add(nd); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	stats, err := net.Run(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if stats.Delivered != b.N {
+		b.Fatalf("delivered %d, want %d", stats.Delivered, b.N)
 	}
 }

@@ -214,6 +214,70 @@ func RBC(obs RBCObservation) []Violation {
 	return dedupe(out)
 }
 
+// maxSampleSeeds bounds how many offending seeds a Tally retains: enough to
+// reproduce failures, small enough to keep the tally constant-memory.
+const maxSampleSeeds = 16
+
+// Tally accumulates check results across many runs in constant memory — the
+// reducer the streaming sweep engine (internal/runner) folds every run's
+// violation list into. Its whole state is exported with JSON tags and
+// contains only integers and a sorted-key map, so a marshalled tally
+// restores bit for bit (the checkpoint/resume guarantee).
+type Tally struct {
+	// Runs counts observed runs; ViolatedRuns those with ≥ 1 violation.
+	Runs         int64 `json:"runs"`
+	ViolatedRuns int64 `json:"violated_runs"`
+	// Violations is the total violation count across all runs.
+	Violations int64 `json:"violations"`
+	// ByProperty counts violations per property name.
+	ByProperty map[string]int64 `json:"by_property,omitempty"`
+	// SampleSeeds holds the seeds of the first few violated runs, so a
+	// failure found deep inside a million-run sweep replays with a single
+	// targeted run.
+	SampleSeeds []int64 `json:"sample_seeds,omitempty"`
+}
+
+// Observe folds one run's violations into the tally. seed identifies the run
+// for SampleSeeds.
+func (t *Tally) Observe(seed int64, vs []Violation) {
+	t.Runs++
+	if len(vs) == 0 {
+		return
+	}
+	t.ViolatedRuns++
+	t.Violations += int64(len(vs))
+	if t.ByProperty == nil {
+		t.ByProperty = make(map[string]int64)
+	}
+	for _, v := range vs {
+		t.ByProperty[v.Property]++
+	}
+	if len(t.SampleSeeds) < maxSampleSeeds {
+		t.SampleSeeds = append(t.SampleSeeds, seed)
+	}
+}
+
+// Clean reports whether no violation was observed.
+func (t *Tally) Clean() bool { return t.Violations == 0 }
+
+// String implements fmt.Stringer.
+func (t *Tally) String() string {
+	if t.Clean() {
+		return fmt.Sprintf("%d runs, no violations", t.Runs)
+	}
+	props := make([]string, 0, len(t.ByProperty))
+	for p := range t.ByProperty {
+		props = append(props, p)
+	}
+	sort.Strings(props)
+	parts := make([]string, 0, len(props))
+	for _, p := range props {
+		parts = append(parts, fmt.Sprintf("%s=%d", p, t.ByProperty[p]))
+	}
+	return fmt.Sprintf("%d/%d runs violated (%s; first seeds %v)",
+		t.ViolatedRuns, t.Runs, strings.Join(parts, " "), t.SampleSeeds)
+}
+
 func renderDecisionGroups(decided map[types.Value][]types.ProcessID) string {
 	vals := make([]int, 0, len(decided))
 	for v := range decided {

@@ -238,3 +238,44 @@ func TestViolationString(t *testing.T) {
 		t.Errorf("String() = %q", v.String())
 	}
 }
+
+func TestTally(t *testing.T) {
+	var tl Tally
+	if !tl.Clean() {
+		t.Fatal("zero tally not clean")
+	}
+	tl.Observe(1, nil)
+	tl.Observe(2, []Violation{{Property: PropAgreement, Detail: "x"}})
+	tl.Observe(3, []Violation{
+		{Property: PropAgreement, Detail: "y"},
+		{Property: PropValidity, Detail: "z"},
+	})
+	if tl.Runs != 3 || tl.ViolatedRuns != 2 || tl.Violations != 3 {
+		t.Errorf("tally = %+v", tl)
+	}
+	if tl.ByProperty[PropAgreement] != 2 || tl.ByProperty[PropValidity] != 1 {
+		t.Errorf("by-property = %v", tl.ByProperty)
+	}
+	if len(tl.SampleSeeds) != 2 || tl.SampleSeeds[0] != 2 || tl.SampleSeeds[1] != 3 {
+		t.Errorf("sample seeds = %v", tl.SampleSeeds)
+	}
+	if tl.Clean() {
+		t.Error("violated tally reported clean")
+	}
+	s := tl.String()
+	for _, want := range []string{"2/3 runs violated", "agreement=2", "validity=1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestTallySampleSeedsBounded(t *testing.T) {
+	var tl Tally
+	for seed := int64(0); seed < 100; seed++ {
+		tl.Observe(seed, []Violation{{Property: PropTermination, Detail: "late"}})
+	}
+	if len(tl.SampleSeeds) != maxSampleSeeds {
+		t.Errorf("retained %d seeds, want %d", len(tl.SampleSeeds), maxSampleSeeds)
+	}
+}

@@ -76,7 +76,9 @@ func E1RBCMessages(o Options) (*metrics.Table, error) {
 		"n", "f", "msgs(correct sender)", "n+2n² (model)", "msgs(equivocating sender)", "violations")
 	sizes := o.sizes()
 	if !o.Quick {
-		sizes = append(sizes, 22, 31)
+		// 64 and 128 are the ROADMAP's larger-n frontier, opened by the
+		// streaming sweep engine (broadcast runs stay cheap there).
+		sizes = append(sizes, 22, 31, 64, 128)
 	}
 	for _, n := range sizes {
 		f := quorum.MaxByzantine(n)
@@ -228,7 +230,14 @@ func E5MessageComplexity(o Options) (*metrics.Table, error) {
 	t := metrics.NewTable(
 		"E5 / Table 3 — messages per consensus (common coin, split inputs)",
 		"n", "f", "mean msgs", "mean rounds", "msgs/n³", "mean sim-time")
-	for _, n := range o.sizes() {
+	sizes := o.sizes()
+	if !o.Quick {
+		// The n=64 frontier: ~n³ messages per run, so this row alone moves
+		// more traffic than the rest of the table combined (E10 pushes the
+		// same workload to n=128 under adversarial schedules).
+		sizes = append(sizes, 64)
+	}
+	for _, n := range sizes {
 		f := quorum.MaxByzantine(n)
 		var msgs, rounds, simTime metrics.Sample
 		results, err := o.sweepSeeds(runner.Config{

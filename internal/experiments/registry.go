@@ -25,6 +25,7 @@ func All() []Experiment {
 		{ID: "E7", Title: "Table 4 — tightness of f < n/3", Run: E7Tightness},
 		{ID: "E8", Title: "Figure 4 — repeated-consensus throughput", Run: E8Throughput},
 		{ID: "E9", Title: "Table 5 — asynchronous common subset (extension)", Run: E9ACS},
+		{ID: "E10", Title: "Table 6 — adversarial property harness", Run: E10PropertyHarness},
 		{ID: "A1", Title: "Ablation — message validation", Run: A1Validation},
 		{ID: "A2", Title: "Ablation — decide gadget", Run: A2Gadget},
 		{ID: "A3", Title: "Ablation — FIFO vs reordering", Run: A3Scheduler},

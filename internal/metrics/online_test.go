@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestOnlineMatchesSummarize: the Welford accumulator must agree with the
+// batch Summarize on count, mean, stddev, min, and max.
+func TestOnlineMatchesSummarize(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var xs []float64
+	var o Online
+	for i := 0; i < 5000; i++ {
+		x := rng.NormFloat64()*25 + 100
+		xs = append(xs, x)
+		o.Add(x)
+	}
+	want := Summarize(xs)
+	if int(o.Count) != want.Count {
+		t.Fatalf("count = %d, want %d", o.Count, want.Count)
+	}
+	approx := func(name string, got, want float64) {
+		if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	approx("mean", o.Mean, want.Mean)
+	approx("stddev", o.StdDev(), want.StdDev)
+	approx("min", o.Min, want.Min)
+	approx("max", o.Max, want.Max)
+}
+
+// TestPSquareAccuracy: P² estimates must land near the exact percentiles of
+// a large sample.
+func TestPSquareAccuracy(t *testing.T) {
+	for _, q := range []float64{0.50, 0.90, 0.99} {
+		rng := rand.New(rand.NewSource(11))
+		p := NewPSquare(q)
+		var xs []float64
+		for i := 0; i < 20000; i++ {
+			x := rng.Float64() * 1000
+			xs = append(xs, x)
+			p.Add(x)
+		}
+		// Exact value for Uniform(0, 1000) is 1000q; allow a few percent.
+		exact := 1000 * q
+		if got := p.Value(); math.Abs(got-exact) > 0.05*exact+5 {
+			t.Errorf("q=%.2f: estimate %v too far from %v", q, got, exact)
+		}
+		_ = xs
+	}
+}
+
+// TestPSquareSmallSamples: below the marker count the estimate is the exact
+// nearest-rank percentile.
+func TestPSquareSmallSamples(t *testing.T) {
+	p := NewPSquare(0.50)
+	for _, x := range []float64{9, 1, 5} {
+		p.Add(x)
+	}
+	if got := p.Value(); got != 5 {
+		t.Errorf("median of {9,1,5} = %v, want 5", got)
+	}
+	if empty := NewPSquare(0.9); empty.Value() != 0 {
+		t.Errorf("empty sketch value = %v, want 0", empty.Value())
+	}
+}
+
+// TestOnlineSummaryJSONRoundTrip: the sketch state must survive a JSON
+// round trip bit for bit — the property the sweep engine's checkpoint/resume
+// guarantee is built on.
+func TestOnlineSummaryJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := NewOnlineSummary()
+	for i := 0; i < 777; i++ {
+		s.Add(rng.ExpFloat64() * 123.456)
+	}
+	buf, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewOnlineSummary()
+	if err := json.Unmarshal(buf, restored); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, restored) {
+		t.Fatalf("state changed across JSON round trip:\n got %+v\nwant %+v", restored, s)
+	}
+	// And the round trip must be stable under further identical input.
+	for i := 0; i < 100; i++ {
+		x := rng.NormFloat64()
+		s.Add(x)
+		restored.Add(x)
+	}
+	if !reflect.DeepEqual(s, restored) {
+		t.Fatal("restored sketch diverged from original under identical input")
+	}
+}
+
+// TestOnlineSummaryDeterminism: two sketches fed the same sequence are
+// identical, including their JSON form.
+func TestOnlineSummaryDeterminism(t *testing.T) {
+	feed := func() *OnlineSummary {
+		s := NewOnlineSummary()
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < 2500; i++ {
+			s.Add(rng.Float64() * float64(i%97))
+		}
+		return s
+	}
+	a, b := feed(), feed()
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatal("identical sequences produced different sketch states")
+	}
+}
+
+// TestOnlineSummaryRendersSummary: the streaming Summary mirrors the batch
+// shape and is exact for tiny samples.
+func TestOnlineSummaryRendersSummary(t *testing.T) {
+	s := NewOnlineSummary()
+	for _, x := range []float64{2, 4} {
+		s.Add(x)
+	}
+	sum := s.Summary()
+	if sum.Count != 2 || sum.Mean != 3 || sum.Min != 2 || sum.Max != 4 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if s.Len() != 2 {
+		t.Errorf("len = %d, want 2", s.Len())
+	}
+	if (&OnlineSummary{}).Summary() != (Summary{}) {
+		t.Error("empty summary not zero")
+	}
+}

@@ -92,12 +92,22 @@ type tally struct {
 // small slices scanned linearly by body: a correct sender yields exactly
 // one body, an equivocating sender a handful, and each distinct body costs
 // its attacker an RBC-phase message per appearance anyway.
+//
+// The instance embeds this process's own ECHO and READY fan-out payloads:
+// each is written at most once (guarded by echoed/readied) and then shared,
+// immutable, by every outgoing copy of the broadcast, so the fan-out reuses
+// one payload allocated with the instance instead of constructing a fresh
+// one — the last per-payload allocation on the echo/ready path.
 type instance struct {
-	echoedBody *string // body this process echoed (at most one, ever)
-	readyBody  *string // body this process sent READY for (at most one)
-	delivered  bool
-	echoes     []tally
-	readies    []tally
+	echoed    bool // this process echoed a body (at most one, ever)
+	readied   bool // this process sent READY for a body (at most one)
+	delivered bool
+
+	echoPayload  types.RBCPayload
+	readyPayload types.RBCPayload
+
+	echoes  []tally
+	readies []tally
 }
 
 func (b *Broadcaster) inst(id types.InstanceID) *instance {
@@ -187,13 +197,12 @@ func (b *Broadcaster) AppendHandle(out []types.Message, from types.ProcessID, p 
 
 func (b *Broadcaster) onSend(out []types.Message, p *types.RBCPayload) []types.Message {
 	in := b.inst(p.ID)
-	if in.echoedBody != nil {
+	if in.echoed {
 		return out // already echoed a body for this instance (first SEND wins)
 	}
-	body := p.Body
-	in.echoedBody = &body
-	echo := &types.RBCPayload{Phase: types.KindRBCEcho, ID: p.ID, Body: body}
-	return types.AppendBroadcast(out, b.me, b.peers, echo)
+	in.echoed = true
+	in.echoPayload = types.RBCPayload{Phase: types.KindRBCEcho, ID: p.ID, Body: p.Body}
+	return types.AppendBroadcast(out, b.me, b.peers, &in.echoPayload)
 }
 
 func (b *Broadcaster) onEcho(out []types.Message, from types.ProcessID, p *types.RBCPayload) ([]types.Message, []Delivery) {
@@ -220,11 +229,10 @@ func (b *Broadcaster) onReady(out []types.Message, from types.ProcessID, p *type
 // counter change, given body's current echo and ready supporter counts.
 func (b *Broadcaster) maybeReadyAndDeliver(out []types.Message, in *instance, id types.InstanceID,
 	body string, echoes, readies int) ([]types.Message, []Delivery) {
-	if in.readyBody == nil && (echoes >= b.spec.Echo() || readies >= b.spec.Adopt()) {
-		bodyCopy := body
-		in.readyBody = &bodyCopy
-		ready := &types.RBCPayload{Phase: types.KindRBCReady, ID: id, Body: body}
-		out = types.AppendBroadcast(out, b.me, b.peers, ready)
+	if !in.readied && (echoes >= b.spec.Echo() || readies >= b.spec.Adopt()) {
+		in.readied = true
+		in.readyPayload = types.RBCPayload{Phase: types.KindRBCReady, ID: id, Body: body}
+		out = types.AppendBroadcast(out, b.me, b.peers, &in.readyPayload)
 	}
 	var deliveries []Delivery
 	if !in.delivered && readies >= b.spec.Decide() {

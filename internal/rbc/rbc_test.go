@@ -334,3 +334,59 @@ func TestAtBoundaryNEquals3F(t *testing.T) {
 		}
 	}
 }
+
+// TestFanoutPayloadReuse: the echo/ready fan-out must reuse the payloads
+// embedded in the instance rather than constructing fresh ones — every copy
+// of a broadcast shares one pointer.
+func TestFanoutPayloadReuse(t *testing.T) {
+	spec := quorum.MustNew(4, 1)
+	peers := types.Processes(4)
+	b := New(2, peers, spec)
+	id := types.InstanceID{Sender: 1, Tag: types.Tag{Round: 1, Step: types.Step1}}
+	send := &types.RBCPayload{Phase: types.KindRBCSend, ID: id, Body: "body"}
+	out, _ := b.Handle(1, send)
+	if len(out) != len(peers) {
+		t.Fatalf("echo fan-out emitted %d messages, want %d", len(out), len(peers))
+	}
+	first := out[0].Payload
+	for i, m := range out {
+		if m.Payload != first {
+			t.Fatalf("message %d carries a distinct payload pointer", i)
+		}
+		p := m.Payload.(*types.RBCPayload)
+		if p.Phase != types.KindRBCEcho || p.Body != "body" || p.ID != id {
+			t.Fatalf("message %d payload = %v", i, p)
+		}
+	}
+}
+
+// TestInstanceLifecycleAllocations pins the allocation count of a complete
+// reliable-broadcast instance (SEND, full echo round, full ready round,
+// delivery) at one process. The seed implementation spent 11 allocations
+// here; embedding the echo/ready fan-out payloads in the instance removes
+// four (two payload constructions and two boxed body strings). A regression
+// above the pinned budget means a fresh per-fan-out allocation crept back in.
+func TestInstanceLifecycleAllocations(t *testing.T) {
+	const n = 7
+	const budget = 8 // measured 7; one spare for map-internals jitter
+	spec := quorum.MustNew(n, quorum.MaxByzantine(n))
+	peers := types.Processes(n)
+	id := types.InstanceID{Sender: 1, Tag: types.Tag{Round: 1, Step: types.Step1}}
+	send := &types.RBCPayload{Phase: types.KindRBCSend, ID: id, Body: "body"}
+	echo := &types.RBCPayload{Phase: types.KindRBCEcho, ID: id, Body: "body"}
+	ready := &types.RBCPayload{Phase: types.KindRBCReady, ID: id, Body: "body"}
+	out := make([]types.Message, 0, 4*n)
+	allocs := testing.AllocsPerRun(200, func() {
+		b := New(2, peers, spec)
+		out, _ = b.AppendHandle(out[:0], 1, send)
+		for _, p := range peers {
+			out, _ = b.AppendHandle(out[:0], p, echo)
+		}
+		for _, p := range peers {
+			out, _ = b.AppendHandle(out[:0], p, ready)
+		}
+	})
+	if allocs > budget {
+		t.Errorf("full instance lifecycle cost %.1f allocs, budget %d", allocs, budget)
+	}
+}

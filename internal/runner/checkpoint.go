@@ -1,0 +1,397 @@
+// Checkpointable streaming sweeps.
+//
+// A seed-range sweep ([SeedA, SeedB) × one configuration) streams every run
+// through SweepStream into an Aggregate — online mean/variance/percentile
+// sketches (internal/metrics) plus a violation tally (internal/check) — so a
+// million-run sweep costs O(workers) memory, and writes periodic checkpoint
+// files so a killed sweep resumes where it left off.
+//
+// # Checkpoint file format
+//
+// A checkpoint is a JSON manifest (written atomically: temp file + rename):
+//
+//	{
+//	  "version": 1,                 // manifest format version
+//	  "kind": "consensus",          // or "rbc"
+//	  "config": { ... },            // the swept runner.Config (or "rbc_config")
+//	  "seeds": {"from": a, "to": b},     // the full half-open seed range
+//	  "completed": {"from": a, "to": c}, // the reduced prefix, a ≤ c ≤ b
+//	  "aggregate": { ... }          // full reducer state, see Aggregate
+//	}
+//
+// Because runs are reduced in strict seed order, the completed work is always
+// a single prefix [a, c) of the range: resuming means restoring the aggregate
+// and continuing at seed c.
+//
+// # Determinism contract
+//
+// Each run is a pure function of (config, seed) and the reducer consumes
+// results in seed order, so the aggregate after seed s is a pure function of
+// (config, [SeedA, s]) — independent of worker count, GOMAXPROCS, goroutine
+// scheduling, and of whether the sweep was interrupted and resumed zero or
+// more times at arbitrary checkpoints. Every sketch in the aggregate
+// serializes its entire state losslessly (Go's JSON float64 encoding
+// round-trips exactly), so a resumed sweep's final aggregate — and its final
+// checkpoint file — is byte-identical to an uninterrupted sweep's. The
+// property tests in checkpoint_test.go enforce exactly this.
+
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"repro/internal/check"
+	"repro/internal/metrics"
+)
+
+// SeedRange is a half-open interval of run seeds [From, To).
+type SeedRange struct {
+	From int64 `json:"from"`
+	To   int64 `json:"to"`
+}
+
+// Len returns the number of seeds in the range.
+func (r SeedRange) Len() int64 {
+	if r.To < r.From {
+		return 0
+	}
+	return r.To - r.From
+}
+
+// String implements fmt.Stringer.
+func (r SeedRange) String() string { return fmt.Sprintf("[%d, %d)", r.From, r.To) }
+
+// Aggregate is the constant-memory reduction of a sweep: counters, streaming
+// summaries of the per-run measurements, and the violation tally. Its whole
+// state is JSON-serializable and restores bit for bit (see the package
+// comment's determinism contract).
+type Aggregate struct {
+	// Runs counts reduced runs; Decided those where every correct process
+	// decided; Exhausted those that ran out of delivery budget.
+	Runs      int64 `json:"runs"`
+	Decided   int64 `json:"decided"`
+	Exhausted int64 `json:"exhausted"`
+	// Messages/Deliveries/SimTime summarize per-run simulator totals;
+	// Rounds summarizes the mean decision round of decided runs.
+	Messages   *metrics.OnlineSummary `json:"messages"`
+	Deliveries *metrics.OnlineSummary `json:"deliveries"`
+	Rounds     *metrics.OnlineSummary `json:"rounds"`
+	SimTime    *metrics.OnlineSummary `json:"sim_time"`
+	// Checks tallies property violations across all runs.
+	Checks check.Tally `json:"checks"`
+}
+
+// NewAggregate returns an empty aggregate.
+func NewAggregate() *Aggregate {
+	return &Aggregate{
+		Messages:   metrics.NewOnlineSummary(),
+		Deliveries: metrics.NewOnlineSummary(),
+		Rounds:     metrics.NewOnlineSummary(),
+		SimTime:    metrics.NewOnlineSummary(),
+	}
+}
+
+// Observe folds one consensus run into the aggregate.
+func (a *Aggregate) Observe(seed int64, res *Result) {
+	a.Runs++
+	if res.AllDecided {
+		a.Decided++
+		a.Rounds.Add(res.MeanRounds)
+	}
+	if res.Exhausted {
+		a.Exhausted++
+	}
+	a.Messages.AddInt(res.Messages)
+	a.Deliveries.AddInt(res.Deliveries)
+	a.SimTime.Add(float64(res.EndTime))
+	a.Checks.Observe(seed, res.Violations)
+}
+
+// ObserveRBC folds one reliable-broadcast run into the aggregate (Decided
+// and Rounds do not apply).
+func (a *Aggregate) ObserveRBC(seed int64, res *RBCResult) {
+	a.Runs++
+	a.Messages.AddInt(res.Messages)
+	a.Deliveries.AddInt(res.Deliveries)
+	a.SimTime.Add(float64(res.EndTime))
+	a.Checks.Observe(seed, res.Violations)
+}
+
+// Table renders the aggregate as a metrics table, one row per measurement.
+func (a *Aggregate) Table(title string) *metrics.Table {
+	t := metrics.NewTable(title, "metric", "value", "mean", "sd", "min", "p50", "p90", "p99", "max")
+	count := func(name string, v int64) {
+		t.AddRow(name, fmt.Sprint(v))
+	}
+	count("runs", a.Runs)
+	count("decided", a.Decided)
+	count("exhausted", a.Exhausted)
+	count("violated runs", a.Checks.ViolatedRuns)
+	count("violations", a.Checks.Violations)
+	row := func(name string, s *metrics.OnlineSummary) {
+		sum := s.Summary()
+		t.AddRowf(name, fmt.Sprint(sum.Count), sum.Mean, sum.StdDev, sum.Min, sum.P50, sum.P90, sum.P99, sum.Max)
+	}
+	row("messages", a.Messages)
+	row("deliveries", a.Deliveries)
+	row("rounds", a.Rounds)
+	row("sim-time", a.SimTime)
+	return t
+}
+
+// SweepSpec describes one checkpointable streaming sweep.
+type SweepSpec struct {
+	// Cfg is the consensus configuration swept; its Seed field is ignored
+	// (each run uses its own seed from Seeds).
+	Cfg Config `json:"config"`
+	// RBC, when non-nil, sweeps reliable-broadcast runs of this
+	// configuration instead of consensus runs (again, Seed is per run).
+	RBC *RBCConfig `json:"rbc,omitempty"`
+	// Seeds is the half-open seed range to sweep.
+	Seeds SeedRange `json:"seeds"`
+
+	// Workers sizes the pool (0 = GOMAXPROCS; results are identical for
+	// every value, per the determinism contract).
+	Workers int `json:"-"`
+	// Checkpoint is the manifest path; empty disables checkpointing.
+	Checkpoint string `json:"-"`
+	// Every is the number of runs between checkpoint writes
+	// (0 = DefaultCheckpointEvery).
+	Every int `json:"-"`
+	// Resume restores Checkpoint and continues after its completed prefix.
+	// The manifest must exist and match Cfg/RBC/Seeds exactly.
+	Resume bool `json:"-"`
+	// Stop, when non-nil, is polled after every reduced run; returning true
+	// saves a checkpoint (if checkpointing is on) and aborts the sweep with
+	// ErrStopped. It is how cmd/bench turns SIGINT into a clean, resumable
+	// shutdown.
+	Stop func() bool `json:"-"`
+	// Progress, when non-nil, is called after every reduced run with the
+	// completed and total run counts.
+	Progress func(done, total int64) `json:"-"`
+}
+
+// kind names the sweep's run type in the checkpoint manifest.
+func (s *SweepSpec) kind() string {
+	if s.RBC != nil {
+		return "rbc"
+	}
+	return "consensus"
+}
+
+// DefaultCheckpointEvery is the checkpoint cadence when SweepSpec.Every is 0.
+const DefaultCheckpointEvery = 256
+
+// checkpointVersion is the manifest format version this build writes.
+const checkpointVersion = 1
+
+// Checkpoint is the on-disk resume manifest of a sweep (see the package
+// comment for the format and guarantees).
+type Checkpoint struct {
+	Version   int        `json:"version"`
+	Kind      string     `json:"kind"`
+	Config    *Config    `json:"config,omitempty"`
+	RBCConfig *RBCConfig `json:"rbc_config,omitempty"`
+	Seeds     SeedRange  `json:"seeds"`
+	Completed SeedRange  `json:"completed"`
+	Aggregate *Aggregate `json:"aggregate"`
+}
+
+// Checkpoint errors.
+var (
+	// ErrStopped reports that a sweep was stopped by its Stop hook; the
+	// checkpoint (when enabled) holds the completed prefix.
+	ErrStopped = errors.New("runner: sweep stopped before completion")
+	// ErrCheckpointMismatch reports a resume against a manifest recorded for
+	// different parameters.
+	ErrCheckpointMismatch = errors.New("runner: checkpoint does not match sweep spec")
+)
+
+// LoadCheckpoint reads and validates a checkpoint manifest.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("runner: reading checkpoint: %w", err)
+	}
+	var ck Checkpoint
+	if err := json.Unmarshal(buf, &ck); err != nil {
+		return nil, fmt.Errorf("runner: parsing checkpoint %s: %w", path, err)
+	}
+	if ck.Version != checkpointVersion {
+		return nil, fmt.Errorf("runner: checkpoint %s has version %d, want %d", path, ck.Version, checkpointVersion)
+	}
+	agg := ck.Aggregate
+	if agg == nil || agg.Messages == nil || agg.Deliveries == nil || agg.Rounds == nil || agg.SimTime == nil {
+		return nil, fmt.Errorf("runner: checkpoint %s has incomplete aggregate state", path)
+	}
+	if ck.Completed.From != ck.Seeds.From || ck.Completed.To < ck.Seeds.From || ck.Completed.To > ck.Seeds.To {
+		return nil, fmt.Errorf("runner: checkpoint %s completed range %v is not a prefix of %v",
+			path, ck.Completed, ck.Seeds)
+	}
+	if agg.Runs != ck.Completed.Len() {
+		return nil, fmt.Errorf("runner: checkpoint %s aggregate holds %d runs for completed range %v",
+			path, agg.Runs, ck.Completed)
+	}
+	return &ck, nil
+}
+
+// Save writes the manifest atomically (temp file + rename), so a crash
+// mid-write never corrupts an existing checkpoint.
+func (c *Checkpoint) Save(path string) error {
+	buf, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return fmt.Errorf("runner: encoding checkpoint: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(buf, '\n'), 0o644); err != nil {
+		return fmt.Errorf("runner: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("runner: committing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// matches reports whether the manifest was recorded for spec.
+func (c *Checkpoint) matches(spec *SweepSpec) error {
+	if c.Kind != spec.kind() {
+		return fmt.Errorf("%w: kind %q vs %q", ErrCheckpointMismatch, c.Kind, spec.kind())
+	}
+	if c.Seeds != spec.Seeds {
+		return fmt.Errorf("%w: seeds %v vs %v", ErrCheckpointMismatch, c.Seeds, spec.Seeds)
+	}
+	if spec.RBC != nil {
+		want, _ := json.Marshal(spec.RBC)
+		got, _ := json.Marshal(c.RBCConfig)
+		if !bytes.Equal(want, got) {
+			return fmt.Errorf("%w: rbc config changed", ErrCheckpointMismatch)
+		}
+		return nil
+	}
+	want, _ := json.Marshal(spec.Cfg)
+	got, _ := json.Marshal(c.Config)
+	if !bytes.Equal(want, got) {
+		return fmt.Errorf("%w: config changed", ErrCheckpointMismatch)
+	}
+	return nil
+}
+
+// checkpointFor snapshots the sweep's state after `done` reduced runs.
+func checkpointFor(spec *SweepSpec, agg *Aggregate, done int64) *Checkpoint {
+	ck := &Checkpoint{
+		Version:   checkpointVersion,
+		Kind:      spec.kind(),
+		Seeds:     spec.Seeds,
+		Completed: SeedRange{From: spec.Seeds.From, To: spec.Seeds.From + done},
+		Aggregate: agg,
+	}
+	if spec.RBC != nil {
+		rbcCfg := *spec.RBC
+		ck.RBCConfig = &rbcCfg
+	} else {
+		cfg := spec.Cfg
+		ck.Config = &cfg
+	}
+	return ck
+}
+
+// SweepSeedRange executes a checkpointable streaming sweep and returns its
+// aggregate. On ErrStopped the returned aggregate holds the completed prefix
+// (also saved to the checkpoint when one is configured).
+func SweepSeedRange(spec SweepSpec) (*Aggregate, error) {
+	total := spec.Seeds.Len()
+	every := spec.Every
+	if every <= 0 {
+		every = DefaultCheckpointEvery
+	}
+
+	// Seed fields inside the swept config are per run; zero them before the
+	// resume match so a caller-supplied Seed can never cause a spurious
+	// checkpoint mismatch (manifests always record the zeroed form).
+	spec.Cfg.Seed = 0
+	if spec.RBC != nil {
+		rbcCfg := *spec.RBC
+		rbcCfg.Seed = 0
+		spec.RBC = &rbcCfg
+	}
+
+	agg := NewAggregate()
+	var start int64
+	if spec.Resume {
+		if spec.Checkpoint == "" {
+			return nil, errors.New("runner: resume requires a checkpoint path")
+		}
+		ck, err := LoadCheckpoint(spec.Checkpoint)
+		if err != nil {
+			return nil, err
+		}
+		if err := ck.matches(&spec); err != nil {
+			return nil, err
+		}
+		agg = ck.Aggregate
+		start = ck.Completed.Len()
+	}
+
+	done := start
+	save := func() error {
+		if spec.Checkpoint == "" {
+			return nil
+		}
+		return checkpointFor(&spec, agg, done).Save(spec.Checkpoint)
+	}
+	after := func() error {
+		done++
+		if spec.Progress != nil {
+			spec.Progress(done, total)
+		}
+		if done%int64(every) == 0 && done < total {
+			if err := save(); err != nil {
+				return err
+			}
+		}
+		// A stop request landing on the final run is just completion.
+		if spec.Stop != nil && done < total && spec.Stop() {
+			if err := save(); err != nil {
+				return err
+			}
+			return ErrStopped
+		}
+		return nil
+	}
+
+	n := int(total - start)
+	var err error
+	if spec.RBC != nil {
+		err = SweepStreamRBC(n, spec.Workers, func(i int) RBCConfig {
+			cfg := *spec.RBC
+			cfg.Seed = spec.Seeds.From + start + int64(i)
+			return cfg
+		}, func(i int, res *RBCResult) error {
+			agg.ObserveRBC(spec.Seeds.From+start+int64(i), res)
+			return after()
+		})
+	} else {
+		err = SweepStream(n, spec.Workers, func(i int) Config {
+			cfg := spec.Cfg
+			cfg.Seed = spec.Seeds.From + start + int64(i)
+			return cfg
+		}, func(i int, res *Result) error {
+			agg.Observe(spec.Seeds.From+start+int64(i), res)
+			return after()
+		})
+	}
+	if err != nil {
+		if errors.Is(err, ErrStopped) {
+			return agg, err
+		}
+		return nil, err
+	}
+	if err := save(); err != nil {
+		return nil, err
+	}
+	return agg, nil
+}

@@ -1,0 +1,296 @@
+package runner
+
+import (
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// ckConfig is the small, fast, adversarial configuration the checkpoint
+// tests sweep.
+func ckConfig() Config {
+	return Config{
+		N: 7, F: 2, Byzantine: -1,
+		Protocol: ProtocolBracha, Coin: CoinCommon,
+		Adversary: AdvEquivocator, Scheduler: SchedRushByz,
+		Inputs: InputSplit,
+	}
+}
+
+// aggJSON renders an aggregate for byte comparison.
+func aggJSON(t *testing.T, agg *Aggregate) string {
+	t.Helper()
+	buf, err := json.Marshal(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(buf)
+}
+
+// TestSweepSeedRangeMatchesSerialFold: the streamed, checkpointed aggregate
+// must equal folding serial Run results into a fresh aggregate by hand.
+func TestSweepSeedRangeMatchesSerialFold(t *testing.T) {
+	seeds := SeedRange{From: 5, To: 45}
+	want := NewAggregate()
+	for s := seeds.From; s < seeds.To; s++ {
+		cfg := ckConfig()
+		cfg.Seed = s
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.Observe(s, res)
+	}
+	got, err := SweepSeedRange(SweepSpec{Cfg: ckConfig(), Seeds: seeds, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aggJSON(t, got) != aggJSON(t, want) {
+		t.Errorf("streamed aggregate differs from serial fold:\n got %s\nwant %s",
+			aggJSON(t, got), aggJSON(t, want))
+	}
+}
+
+// TestSweepSeedRangeWorkerIndependence: the aggregate is byte-identical for
+// every worker count.
+func TestSweepSeedRangeWorkerIndependence(t *testing.T) {
+	seeds := SeedRange{From: 1, To: 33}
+	base, err := SweepSeedRange(SweepSpec{Cfg: ckConfig(), Seeds: seeds, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 5, 16} {
+		got, err := SweepSeedRange(SweepSpec{Cfg: ckConfig(), Seeds: seeds, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if aggJSON(t, got) != aggJSON(t, base) {
+			t.Errorf("workers=%d: aggregate differs from workers=1", workers)
+		}
+	}
+}
+
+// runInterrupted sweeps the spec to completion, killing it via the Stop hook
+// after pseudo-random numbers of runs and resuming from the checkpoint each
+// time, and returns the final aggregate and the number of kills.
+func runInterrupted(t *testing.T, spec SweepSpec, rng *rand.Rand) (*Aggregate, int) {
+	t.Helper()
+	kills := 0
+	for attempt := 0; ; attempt++ {
+		if attempt > 1000 {
+			t.Fatal("sweep never completed")
+		}
+		remaining := 1 + rng.Intn(9)
+		spec.Stop = func() bool {
+			remaining--
+			return remaining <= 0
+		}
+		agg, err := SweepSeedRange(spec)
+		if errors.Is(err, ErrStopped) {
+			kills++
+			spec.Resume = true
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return agg, kills
+	}
+}
+
+// TestCheckpointResumeBitwiseIdentical is the interruption property test: a
+// sweep killed at random points and resumed from its checkpoints — any
+// number of times, at any worker count — must end with an aggregate and a
+// final checkpoint file byte-identical to an uninterrupted sweep's.
+func TestCheckpointResumeBitwiseIdentical(t *testing.T) {
+	seeds := SeedRange{From: 1, To: 49}
+	dir := t.TempDir()
+
+	// The uninterrupted reference.
+	refPath := filepath.Join(dir, "ref.json")
+	refAgg, err := SweepSeedRange(SweepSpec{
+		Cfg: ckConfig(), Seeds: seeds, Workers: 3, Checkpoint: refPath, Every: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refFile, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	for _, workers := range []int{1, 2, 6} {
+		path := filepath.Join(dir, "interrupted.json")
+		if err := os.RemoveAll(path); err != nil {
+			t.Fatal(err)
+		}
+		agg, kills := runInterrupted(t, SweepSpec{
+			Cfg: ckConfig(), Seeds: seeds, Workers: workers, Checkpoint: path, Every: 7,
+		}, rng)
+		if kills == 0 {
+			t.Fatalf("workers=%d: sweep was never killed; test is vacuous", workers)
+		}
+		if aggJSON(t, agg) != aggJSON(t, refAgg) {
+			t.Errorf("workers=%d after %d kills: aggregate differs from uninterrupted sweep", workers, kills)
+		}
+		file, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(file) != string(refFile) {
+			t.Errorf("workers=%d after %d kills: final checkpoint file differs from uninterrupted sweep", workers, kills)
+		}
+	}
+}
+
+// TestCheckpointResumeRBC: the same kill/resume identity holds for
+// reliable-broadcast sweeps.
+func TestCheckpointResumeRBC(t *testing.T) {
+	rbcCfg := RBCConfig{N: 10, F: 3, Byzantine: 3, SenderEquivocates: true}
+	seeds := SeedRange{From: 1, To: 41}
+	dir := t.TempDir()
+
+	refAgg, err := SweepSeedRange(SweepSpec{RBC: &rbcCfg, Seeds: seeds, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "rbc.json")
+	rng := rand.New(rand.NewSource(7))
+	agg, kills := runInterrupted(t, SweepSpec{
+		RBC: &rbcCfg, Seeds: seeds, Workers: 4, Checkpoint: path, Every: 5,
+	}, rng)
+	if kills == 0 {
+		t.Fatal("sweep was never killed; test is vacuous")
+	}
+	if aggJSON(t, agg) != aggJSON(t, refAgg) {
+		t.Error("resumed RBC aggregate differs from uninterrupted sweep")
+	}
+}
+
+// TestCheckpointValidation: resume rejects missing files, foreign configs,
+// and foreign seed ranges.
+func TestCheckpointValidation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	seeds := SeedRange{From: 1, To: 9}
+
+	if _, err := SweepSeedRange(SweepSpec{Cfg: ckConfig(), Seeds: seeds, Resume: true}); err == nil {
+		t.Error("resume without checkpoint path accepted")
+	}
+	if _, err := SweepSeedRange(SweepSpec{Cfg: ckConfig(), Seeds: seeds, Checkpoint: path, Resume: true}); err == nil {
+		t.Error("resume from missing checkpoint accepted")
+	}
+
+	if _, err := SweepSeedRange(SweepSpec{Cfg: ckConfig(), Seeds: seeds, Checkpoint: path, Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	other := ckConfig()
+	other.Adversary = AdvLiar
+	if _, err := SweepSeedRange(SweepSpec{Cfg: other, Seeds: seeds, Checkpoint: path, Resume: true}); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("config mismatch error = %v, want ErrCheckpointMismatch", err)
+	}
+	if _, err := SweepSeedRange(SweepSpec{Cfg: ckConfig(), Seeds: SeedRange{From: 1, To: 99}, Checkpoint: path, Resume: true}); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("seed-range mismatch error = %v, want ErrCheckpointMismatch", err)
+	}
+	rbcCfg := RBCConfig{N: 7, F: 2}
+	if _, err := SweepSeedRange(SweepSpec{RBC: &rbcCfg, Seeds: seeds, Checkpoint: path, Resume: true}); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("kind mismatch error = %v, want ErrCheckpointMismatch", err)
+	}
+
+	// Resuming a completed sweep is a no-op that returns the final state.
+	agg, err := SweepSeedRange(SweepSpec{Cfg: ckConfig(), Seeds: seeds, Checkpoint: path, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Runs != seeds.Len() {
+		t.Errorf("resumed completed sweep reports %d runs, want %d", agg.Runs, seeds.Len())
+	}
+}
+
+// TestCheckpointResumeIgnoresSpecSeed: the Seed field inside the swept
+// config is documented as ignored, so a caller-supplied nonzero Seed must
+// neither change results nor break the resume match, and must never be
+// mutated in the caller's RBCConfig.
+func TestCheckpointResumeIgnoresSpecSeed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	seeds := SeedRange{From: 1, To: 21}
+	cfg := ckConfig()
+	cfg.Seed = 7777
+	stopped := 0
+	_, err := SweepSeedRange(SweepSpec{
+		Cfg: cfg, Seeds: seeds, Checkpoint: path, Every: 4,
+		Stop: func() bool { stopped++; return stopped >= 9 },
+	})
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("stop hook did not fire: %v", err)
+	}
+	agg, err := SweepSeedRange(SweepSpec{Cfg: cfg, Seeds: seeds, Checkpoint: path, Resume: true})
+	if err != nil {
+		t.Fatalf("resume with nonzero spec seed rejected: %v", err)
+	}
+	plain, err := SweepSeedRange(SweepSpec{Cfg: ckConfig(), Seeds: seeds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aggJSON(t, agg) != aggJSON(t, plain) {
+		t.Error("nonzero spec seed changed sweep results")
+	}
+
+	rbcCfg := RBCConfig{N: 7, F: 2, Seed: 42}
+	if _, err := SweepSeedRange(SweepSpec{RBC: &rbcCfg, Seeds: SeedRange{From: 1, To: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if rbcCfg.Seed != 42 {
+		t.Errorf("caller's RBCConfig mutated: seed = %d", rbcCfg.Seed)
+	}
+}
+
+// TestCheckpointRejectsCorruptManifest: tampered or truncated manifests are
+// refused instead of being resumed into nonsense.
+func TestCheckpointRejectsCorruptManifest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	seeds := SeedRange{From: 1, To: 9}
+	stops := 0
+	if _, err := SweepSeedRange(SweepSpec{
+		Cfg: ckConfig(), Seeds: seeds, Checkpoint: path,
+		Stop: func() bool { stops++; return stops >= 4 },
+	}); !errors.Is(err, ErrStopped) {
+		t.Fatalf("setup sweep: %v", err)
+	}
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tamper := func(mutate func(*Checkpoint)) error {
+		if err := os.WriteFile(path, pristine, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ck, err := LoadCheckpoint(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutate(ck)
+		if err := ck.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		_, err = LoadCheckpoint(path)
+		return err
+	}
+	if err := tamper(func(ck *Checkpoint) { ck.Completed.To = 999 }); err == nil {
+		t.Error("completed range beyond seeds accepted")
+	}
+	if err := tamper(func(ck *Checkpoint) { ck.Completed = SeedRange{From: 4, To: 6} }); err == nil {
+		t.Error("completed range not anchored at seeds.from accepted")
+	}
+	if err := tamper(func(ck *Checkpoint) { ck.Aggregate.Runs = 1 }); err == nil {
+		t.Error("aggregate run count disagreeing with completed range accepted")
+	}
+	if err := tamper(func(ck *Checkpoint) { ck.Aggregate.Messages = nil }); err == nil {
+		t.Error("aggregate with missing summaries accepted")
+	}
+}

@@ -3,6 +3,16 @@
 // runs it on the simulator to quiescence, applies the invariant checkers,
 // and reports metrics. Every test sweep, benchmark, and cmd/bench experiment
 // goes through Run, so "0 violations" always means machine-checked.
+//
+// Three layers build on Run:
+//
+//   - Sweep/SweepSeeds fan independent runs across a worker pool, buffering
+//     all results (fine for table-sized sweeps).
+//   - SweepStream/SweepSeedRange stream results through a constant-memory
+//     reducer with periodic resumable checkpoints — the engine for
+//     million-run sweeps (format and determinism contract: checkpoint.go).
+//   - PropertySweep drives the adversarial property-test scenario battery
+//     (harness.go) through the streaming engine.
 package runner
 
 import (
@@ -110,6 +120,18 @@ const (
 	SchedFIFO                               // uniform + per-link FIFO
 	SchedRushByz                            // uniform, Byzantine traffic rushed
 	SchedPartition                          // uniform, cross-partition traffic delayed
+	SchedReorder                            // adversarial newest-first reordering (+ rushed Byzantine)
+	SchedSplitHeal                          // network split between correct halves, healed mid-run
+	SchedRejoin                             // one correct process unreachable, rejoining mid-run
+)
+
+// Adversarial schedule timings (simulator ticks; base delays are 1..20, so a
+// consensus round typically spans a few dozen ticks — these land the heal
+// and the rejoin several rounds into the run).
+const (
+	healTime    sim.Time = 240 // SchedSplitHeal: when cross-partition traffic thaws
+	rejoinTime  sim.Time = 300 // SchedRejoin: when the victim's inbox floods back
+	reorderSpan sim.Time = 48  // SchedReorder: the newest-first reordering window
 )
 
 // String implements fmt.Stringer.
@@ -123,6 +145,12 @@ func (s SchedulerKind) String() string {
 		return "rush-byz"
 	case SchedPartition:
 		return "partition"
+	case SchedReorder:
+		return "reorder"
+	case SchedSplitHeal:
+		return "split-heal"
+	case SchedRejoin:
+		return "rejoin"
 	default:
 		return fmt.Sprintf("SchedulerKind(%d)", int(s))
 	}
@@ -456,6 +484,17 @@ func buildAdversary(cfg Config, spec quorum.Spec, p types.ProcessID, peers []typ
 // buildScheduler assembles the configured scheduler.
 func buildScheduler(cfg Config, byz, groupA, groupB []types.ProcessID) sim.Scheduler {
 	base := sim.Scheduler(sim.UniformDelay{Min: 1, Max: 20})
+	// withRush composes rules with rushed Byzantine traffic (the strongest
+	// position for the adversary's own messages).
+	withRush := func(b sim.Scheduler, rules ...sim.Rule) sim.Scheduler {
+		if len(byz) > 0 {
+			rules = append(rules, sim.RushFrom(byz...))
+		}
+		if len(rules) == 0 {
+			return b
+		}
+		return sim.Compose{Base: b, Rules: rules}
+	}
 	switch cfg.Scheduler {
 	case SchedFIFO:
 		return sim.NewFIFODelay(1, 20)
@@ -468,10 +507,27 @@ func buildScheduler(cfg Config, byz, groupA, groupB []types.ProcessID) sim.Sched
 				links = append(links, [2]types.ProcessID{a, b}, [2]types.ProcessID{b, a})
 			}
 		}
-		rule := sim.DelayLinks(500, links...)
-		rules := []sim.Rule{rule}
+		return withRush(base, sim.DelayLinks(500, links...))
+	case SchedReorder:
+		return withRush(sim.ReorderDelay{Span: reorderSpan})
+	case SchedSplitHeal:
+		return withRush(base, sim.HealPartition(healTime, groupA, groupB))
+	case SchedRejoin:
+		// The victim is the last correct process: unreachable until the
+		// rejoin time, then flooded with everything it missed. Rules apply
+		// in order, so the rush must come first — otherwise it would
+		// override the hold for Byzantine traffic and pierce the outage
+		// (rushed messages instead land at exactly the rejoin time).
+		victims := groupB
+		if len(victims) == 0 {
+			victims = groupA
+		}
+		if len(victims) == 0 {
+			return base
+		}
+		rules := []sim.Rule{sim.HoldUntil(rejoinTime, victims[len(victims)-1])}
 		if len(byz) > 0 {
-			rules = append(rules, sim.RushFrom(byz...))
+			rules = append([]sim.Rule{sim.RushFrom(byz...)}, rules...)
 		}
 		return sim.Compose{Base: base, Rules: rules}
 	default: // SchedUniform and zero value

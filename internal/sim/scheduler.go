@@ -144,6 +144,70 @@ func DropFrom(ps ...types.ProcessID) Rule {
 	}
 }
 
+// HoldUntil returns a Rule that holds every message addressed to the given
+// processes until at least time t — the crash-then-rejoin scenario: the
+// victims are unreachable for a prefix of the run and then receive everything
+// at once (a crash-restart with redelivery). Unlike DropFrom this stays
+// inside the asynchronous model: every message is still eventually delivered,
+// so liveness must survive the rejoin flood.
+func HoldUntil(t Time, ps ...types.ProcessID) Rule {
+	set := make(map[types.ProcessID]bool, len(ps))
+	for _, p := range ps {
+		set[p] = true
+	}
+	return func(m types.Message, at, now Time) Time {
+		if set[m.To] && at < t {
+			// Carry the base scheduler's jitter past the hold so held
+			// messages keep a deterministic but shuffled arrival order.
+			return t + (at - now)
+		}
+		return at
+	}
+}
+
+// HealPartition returns a Rule that freezes all traffic between two groups
+// until the heal time, after which the network behaves normally — the
+// network-split-then-heal scenario. During the split each side sees only
+// itself (plus any process in neither group, e.g. Byzantine colluders, whose
+// traffic is unaffected); at heal the queued cross-partition messages arrive
+// in a burst.
+func HealPartition(heal Time, groupA, groupB []types.ProcessID) Rule {
+	inA := make(map[types.ProcessID]bool, len(groupA))
+	for _, p := range groupA {
+		inA[p] = true
+	}
+	inB := make(map[types.ProcessID]bool, len(groupB))
+	for _, p := range groupB {
+		inB[p] = true
+	}
+	return func(m types.Message, at, now Time) Time {
+		cross := (inA[m.From] && inB[m.To]) || (inB[m.From] && inA[m.To])
+		if cross && at < heal {
+			return heal + (at - now)
+		}
+		return at
+	}
+}
+
+// ReorderDelay is an adversarial reordering scheduler: within a sliding span
+// of Span ticks it delivers newest-first (a message's delay shrinks as its
+// send sequence number grows), so consecutive sends arrive in reverse order
+// and later traffic routinely overtakes earlier traffic. Delivery always
+// happens within (now, now+Span], so eventual delivery — the only guarantee
+// the asynchronous model makes — still holds.
+type ReorderDelay struct {
+	Span Time
+}
+
+// Deliver implements Scheduler.
+func (s ReorderDelay) Deliver(_ types.Message, now Time, seq uint64, _ *rand.Rand) Time {
+	span := s.Span
+	if span < 2 {
+		return now + 1
+	}
+	return now + span - Time(seq%uint64(span))
+}
+
 // Immediate delivers everything with zero delay in send order — useful for
 // unit tests that want synchronous, predictable executions.
 type Immediate struct{}
