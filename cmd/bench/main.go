@@ -1,5 +1,5 @@
 // Command bench regenerates every table and figure of the evaluation
-// (EXPERIMENTS.md): E1–E10 plus the ablations A1–A4. Output is aligned text
+// (EXPERIMENTS.md): E1–E11 plus the ablations A1–A4. Output is aligned text
 // tables by default, CSV with -csv, JSON with -json. Independent runs are
 // fanned across a worker pool (runner.Sweep); -workers 1 forces the old
 // serial behaviour and, by the sweep engine's determinism contract, produces
@@ -12,6 +12,13 @@
 // a final checkpoint and exits cleanly; rerunning with -resume continues
 // where it stopped and, by the determinism contract, ends byte-identical to
 // an uninterrupted sweep.
+//
+// Every sweep reports its sampled peak heap alongside the violation checks
+// (stderr in -json mode, whose stdout bytes must stay machine-independent).
+// -no-prune disables per-round state pruning in the correct nodes: the sweep
+// numbers are bitwise unchanged — pruning only releases provably dead state —
+// while the peak heap shows the retention difference, making the E11 memory
+// table reproducible straight from the CLI.
 //
 // Examples:
 //
@@ -28,6 +35,8 @@
 //	      -checkpoint ck.json              # 10k-seed frontier sweep
 //	bench -sweep 1:10001 -n 64 -scenario equivocation-rush \
 //	      -checkpoint ck.json -resume      # continue after a kill
+//	bench -sweep 1:101 -n 64 -scenario straggler-prune            # pruned …
+//	bench -sweep 1:101 -n 64 -scenario straggler-prune -no-prune  # … vs not
 package main
 
 import (
@@ -38,6 +47,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -74,6 +84,7 @@ func run(args []string, out io.Writer) error {
 		resume     = fs.Bool("resume", false, "-sweep: resume from -checkpoint")
 		every      = fs.Int("every", 0, "-sweep: runs between checkpoint writes (0 = default)")
 		stopAfter  = fs.Int64("stop-after", 0, "-sweep: stop after this many runs this invocation, saving a checkpoint (0 = run to completion)")
+		noPrune    = fs.Bool("no-prune", false, "-sweep: disable per-round state pruning in the correct nodes (memory comparison; behaviour-neutral)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,7 +101,7 @@ func run(args []string, out io.Writer) error {
 	set := map[string]bool{}
 	fs.Visit(func(fl *flag.Flag) { set[fl.Name] = true })
 	if *sweep == "" {
-		for _, name := range []string{"n", "f", "scenario", "checkpoint", "resume", "every", "stop-after"} {
+		for _, name := range []string{"n", "f", "scenario", "checkpoint", "resume", "every", "stop-after", "no-prune"} {
 			if set[name] {
 				return fmt.Errorf("-%s requires -sweep", name)
 			}
@@ -111,6 +122,7 @@ func run(args []string, out io.Writer) error {
 			rangeStr: *sweep, n: *sweepN, f: *sweepF, scenario: *scenario,
 			workers: *workers, checkpoint: *checkpoint, resume: *resume,
 			every: *every, stopAfter: *stopAfter, jsonOut: *jsonOut,
+			noPrune: *noPrune,
 		})
 	}
 	opts := experiments.Options{Runs: *runs, Seed: *seed, Quick: *quick, Workers: *workers}
@@ -186,6 +198,7 @@ type sweepOpts struct {
 	every      int
 	stopAfter  int64
 	jsonOut    bool
+	noPrune    bool
 }
 
 // parseSeedRange parses "a:b" into the half-open range [a, b).
@@ -243,17 +256,40 @@ func runSweep(out io.Writer, o sweepOpts) error {
 		return false
 	}
 
+	// Peak-heap tracking: sampled every few hundred completed runs plus
+	// once at the end, so the E11 memory claim (pruned vs unpruned, see
+	// -no-prune) is reproducible straight from the CLI. The sample goes to
+	// the human-facing channels only — never into the JSON record, whose
+	// bytes must stay machine-independent for resume-equality diffs.
+	var peakHeap uint64
+	sampleHeap := func() {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		if m.HeapAlloc > peakHeap {
+			peakHeap = m.HeapAlloc
+		}
+	}
 	spec := runner.PropertySpec{
 		N: o.n, F: f, Scenario: sc, Seeds: seeds,
 		Workers: o.workers, Checkpoint: o.checkpoint,
 		Every: o.every, Resume: o.resume, Stop: stop,
+		DisablePruning: o.noPrune,
 		Progress: func(done, total int64) {
+			if done%256 == 0 {
+				sampleHeap()
+			}
 			if done%1000 == 0 {
 				fmt.Fprintf(os.Stderr, "bench: sweep %s n=%d: %d/%d\n", sc.Name, o.n, done, total)
 			}
 		},
 	}
 	agg, err := runner.PropertySweep(spec)
+	sampleHeap()
+	pruning := "on"
+	if o.noPrune {
+		pruning = "off"
+	}
+	heapLine := fmt.Sprintf("peak heap: %.2f MiB (runtime.ReadMemStats, sampled; pruning %s)", float64(peakHeap)/(1<<20), pruning)
 	stopped := errors.Is(err, runner.ErrStopped)
 	if err != nil && !stopped {
 		return err
@@ -270,6 +306,8 @@ func runSweep(out io.Writer, o sweepOpts) error {
 			fmt.Fprintf(os.Stderr, "bench: sweep stopped after %d/%d runs; checkpoint saved to %s — rerun with -resume to continue\n",
 				agg.Runs, seeds.Len(), o.checkpoint)
 		}
+		// Heap numbers vary run to run; keep them off the byte-stable JSON.
+		fmt.Fprintln(os.Stderr, "bench: "+heapLine)
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(struct {
@@ -285,11 +323,11 @@ func runSweep(out io.Writer, o sweepOpts) error {
 			return err
 		}
 	case stopped:
-		fmt.Fprintf(out, "sweep stopped after %d/%d runs (checks so far: %s); checkpoint saved to %s — rerun with -resume to continue\n",
-			agg.Runs, seeds.Len(), agg.Checks.String(), o.checkpoint)
+		fmt.Fprintf(out, "sweep stopped after %d/%d runs (checks so far: %s); checkpoint saved to %s — rerun with -resume to continue\n%s\n",
+			agg.Runs, seeds.Len(), agg.Checks.String(), o.checkpoint, heapLine)
 	default:
 		title := fmt.Sprintf("sweep %s: n=%d f=%d seeds %v", sc.Name, o.n, f, seeds)
-		fmt.Fprintf(out, "%schecks: %s\n", agg.Table(title).Render(), agg.Checks.String())
+		fmt.Fprintf(out, "%schecks: %s\n%s\n", agg.Table(title).Render(), agg.Checks.String(), heapLine)
 	}
 	// Violations are never waived, whether the sweep completed or was
 	// interrupted mid-way.

@@ -88,6 +88,7 @@ func TestRunSweepBadFlags(t *testing.T) {
 		{"-sweep", "1:5", "-stop-after", "2"}, // -stop-after without -checkpoint rejected up front
 		{"-checkpoint", "ck.json", "-resume"}, // forgot -sweep: must not launch experiments
 		{"-scenario", "reorder"},
+		{"-no-prune"}, // sweep-only knob
 	}
 	for _, args := range cases {
 		var sb strings.Builder

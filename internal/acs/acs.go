@@ -66,20 +66,37 @@ type Config struct {
 
 // Node is one ACS participant. Deterministic state machine (sim.Node); not
 // safe for concurrent use.
+//
+// All per-instance state lives in dense tables indexed by proposer index
+// (1..n): instance lookup on the delivery path is an array index, and
+// iteration order (coin fan-out, decision harvest, output assembly) is the
+// peer order — deterministic by construction, where the seed's map ranges
+// relied on emissions being order-insensitive.
 type Node struct {
 	cfg  Config
 	spec quorum.Spec
 
 	values *rbc.Broadcaster // input dissemination
 
-	bins    map[int]*core.Node      // binary instance per proposer index (1-based)
-	pending map[int][]types.Message // traffic for instances not yet started
-	inputs  map[int]string          // rbc-delivered inputs by proposer index
-	decided map[int]types.Value     // binary decisions by proposer index
-	voted   map[int]bool            // instances this node has an opinion in
-	ones    int                     // instances decided 1
-	output  []Proposal
-	done    bool
+	bins     []*core.Node      // binary instance per proposer index (1-based)
+	pending  [][]types.Message // traffic for instances not yet started
+	inputs   []string          // rbc-delivered inputs by proposer index
+	hasInput []bool
+	decided  []types.Value // binary decisions by proposer index
+	resolved []bool        // decided[idx] is set
+	voted    []bool        // instances this node has an opinion in
+	ones     int           // instances decided 1
+	resolves int           // instances decided (either way)
+	output   []Proposal
+	done     bool
+
+	// The embedded recycled output buffer (see sim.OutBuffer): the
+	// simulator hands consumed slices back and every delivery appends into
+	// the same backing array. The inner consensus nodes recycle the same
+	// way — their emissions are copied into out and the slices returned to
+	// them (deliverBin) — so a steady-state ACS delivery allocates nothing
+	// at any layer.
+	sim.OutBuffer
 }
 
 // Config errors.
@@ -106,19 +123,25 @@ func New(cfg Config) (*Node, error) {
 	if !found {
 		return nil, fmt.Errorf("%w: %v not in peers", ErrBadPeers, cfg.Me)
 	}
+	n := cfg.Spec.N()
 	return &Node{
-		cfg:     cfg,
-		spec:    cfg.Spec,
-		values:  rbc.New(cfg.Me, cfg.Peers, cfg.Spec),
-		bins:    make(map[int]*core.Node),
-		pending: make(map[int][]types.Message),
-		inputs:  make(map[int]string),
-		decided: make(map[int]types.Value),
-		voted:   make(map[int]bool),
+		cfg:      cfg,
+		spec:     cfg.Spec,
+		values:   rbc.New(cfg.Me, cfg.Peers, cfg.Spec),
+		bins:     make([]*core.Node, n+1),
+		pending:  make([][]types.Message, n+1),
+		inputs:   make([]string, n+1),
+		hasInput: make([]bool, n+1),
+		decided:  make([]types.Value, n+1),
+		resolved: make([]bool, n+1),
+		voted:    make([]bool, n+1),
 	}, nil
 }
 
-var _ sim.Node = (*Node)(nil)
+var (
+	_ sim.Node     = (*Node)(nil)
+	_ sim.Recycler = (*Node)(nil)
+)
 
 // ID implements sim.Node.
 func (n *Node) ID() types.ProcessID { return n.cfg.Me }
@@ -132,50 +155,66 @@ func (n *Node) Done() bool { return false }
 // Start implements sim.Node: disseminate this process's input.
 func (n *Node) Start() []types.Message {
 	idx := n.indexOf(n.cfg.Me)
-	return n.values.Broadcast(types.Tag{Seq: valueNS + idx}, n.cfg.Input)
+	return n.values.AppendBroadcast(n.Take(), types.Tag{Seq: valueNS + idx}, n.cfg.Input)
 }
 
 // Deliver implements sim.Node.
 func (n *Node) Deliver(m types.Message) []types.Message {
-	var out []types.Message
+	out := n.Take()
 	switch inst, kind := n.classify(m); kind {
 	case trafficValues:
 		p, ok := m.Payload.(*types.RBCPayload)
 		if !ok {
-			return nil
+			break
 		}
-		msgs, deliveries := n.values.Handle(m.From, p)
-		out = append(out, msgs...)
+		var deliveries []rbc.Delivery
+		out, deliveries = n.values.AppendHandle(out, m.From, p)
 		for _, d := range deliveries {
 			idx := d.ID.Tag.Seq - valueNS
 			if idx < 1 || idx > n.spec.N() || idx != n.indexOf(d.ID.Sender) {
 				continue // input instances are bound to their proposer
 			}
-			if _, dup := n.inputs[idx]; dup {
+			if n.hasInput[idx] {
 				continue
 			}
+			n.hasInput[idx] = true
 			n.inputs[idx] = d.Body
 			// Seeing j's input is the trigger to vote 1 in BA_j.
-			out = append(out, n.vote(idx, types.One)...)
+			out = n.vote(out, idx, types.One)
 		}
 	case trafficCoin:
 		// Coin shares carry a round but no instance; with per-instance
 		// dealers the MACs bind each share to its dealer, so fan them to
 		// every open instance — the right one accepts, the rest reject.
-		for _, bin := range n.bins {
-			out = append(out, bin.Deliver(m)...)
+		for idx := 1; idx <= n.spec.N(); idx++ {
+			if bin := n.bins[idx]; bin != nil {
+				out = n.deliverBin(out, bin, m)
+			}
 		}
 	case trafficBinary:
-		if bin, ok := n.bins[inst]; ok {
-			out = append(out, bin.Deliver(m)...)
-		} else if inst >= 1 && inst <= n.spec.N() {
+		switch {
+		case inst < 1 || inst > n.spec.N():
+			// Not a plausible instance; ignore.
+		case n.bins[inst] != nil:
+			out = n.deliverBin(out, n.bins[inst], m)
+		case !n.voted[inst]:
 			// Traffic for an instance this node has no opinion in yet:
 			// buffer until an input arrives (vote 1) or the 0-voting phase
 			// starts.
 			n.pending[inst] = append(n.pending[inst], m)
 		}
 	}
-	out = append(out, n.harvest()...)
+	return n.harvest(out)
+}
+
+// deliverBin feeds one message to a binary instance, copies its emissions
+// into out, and hands the instance's slice straight back for reuse — the
+// inner nodes' zero-allocation loop, with this Node playing the simulator's
+// recycling role.
+func (n *Node) deliverBin(out []types.Message, bin *core.Node, m types.Message) []types.Message {
+	msgs := bin.Deliver(m)
+	out = append(out, msgs...)
+	bin.Recycle(msgs)
 	return out
 }
 
@@ -215,10 +254,11 @@ func (n *Node) classify(m types.Message) (int, trafficKind) {
 }
 
 // vote starts binary instance idx with the given proposal, if this node has
-// not voted there yet, and replays buffered traffic into it.
-func (n *Node) vote(idx int, v types.Value) []types.Message {
+// not voted there yet, and replays buffered traffic into it, appending all
+// emissions to out.
+func (n *Node) vote(out []types.Message, idx int, v types.Value) []types.Message {
 	if n.voted[idx] {
-		return nil
+		return out
 	}
 	n.voted[idx] = true
 	bin, err := core.New(core.Config{
@@ -236,44 +276,48 @@ func (n *Node) vote(idx int, v types.Value) []types.Message {
 		panic(fmt.Sprintf("acs: starting BA_%d: %v", idx, err))
 	}
 	n.bins[idx] = bin
-	out := bin.Start()
+	msgs := bin.Start()
+	out = append(out, msgs...)
+	bin.Recycle(msgs)
 	for _, m := range n.pending[idx] {
-		out = append(out, bin.Deliver(m)...)
+		out = n.deliverBin(out, bin, m)
 	}
-	delete(n.pending, idx)
+	n.pending[idx] = nil
 	return out
 }
 
 // harvest collects freshly decided instances, triggers the 0-voting phase,
-// routes coin shares, and assembles the final output.
-func (n *Node) harvest() []types.Message {
-	var out []types.Message
-	for idx, bin := range n.bins {
-		if _, seen := n.decided[idx]; seen {
+// and assembles the final output, appending all emissions to out.
+func (n *Node) harvest(out []types.Message) []types.Message {
+	for idx := 1; idx <= n.spec.N(); idx++ {
+		bin := n.bins[idx]
+		if bin == nil || n.resolved[idx] {
 			continue
 		}
 		if v, ok := bin.Decided(); ok {
+			n.resolved[idx] = true
 			n.decided[idx] = v
+			n.resolves++
 			if v == types.One {
 				n.ones++
 			}
-			n.record(trace.Event{Kind: trace.KindNote, P: n.cfg.Me, Round: idx,
-				Note: fmt.Sprintf("BA_%d decided %v", idx, v)})
+			if n.cfg.Recorder.Enabled() {
+				n.record(trace.Event{Kind: trace.KindNote, P: n.cfg.Me, Round: idx,
+					Note: fmt.Sprintf("BA_%d decided %v", idx, v)})
+			}
 		}
 	}
 	// Phase 3: n−f inclusions reached — vote 0 everywhere else.
 	if n.ones >= n.spec.Quorum() {
 		for idx := 1; idx <= n.spec.N(); idx++ {
-			out = append(out, n.vote(idx, types.Zero)...)
+			out = n.vote(out, idx, types.Zero)
 		}
 	}
 	// Completion: all instances decided and all included inputs delivered.
-	if !n.done && len(n.decided) == n.spec.N() {
+	if !n.done && n.resolves == n.spec.N() {
 		for idx := 1; idx <= n.spec.N(); idx++ {
-			if n.decided[idx] == types.One {
-				if _, ok := n.inputs[idx]; !ok {
-					return out // an included input is still in flight
-				}
+			if n.decided[idx] == types.One && !n.hasInput[idx] {
+				return out // an included input is still in flight
 			}
 		}
 		n.done = true

@@ -88,8 +88,8 @@ type Node struct {
 	decideVotes map[types.ProcessID]types.Value
 	halted      bool
 
-	// out is the recycled output buffer (see sim.Recycler), as in core.
-	out []types.Message
+	// The embedded recycled output buffer (see sim.OutBuffer), as in core.
+	sim.OutBuffer
 
 	stats Stats
 }
@@ -172,23 +172,8 @@ func (n *Node) ID() types.ProcessID { return n.cfg.Me }
 // Done implements sim.Node.
 func (n *Node) Done() bool { return n.halted }
 
-// Recycle implements sim.Recycler: keep the largest consumed output buffer
-// for reuse, exactly as core does.
-func (n *Node) Recycle(msgs []types.Message) {
-	if cap(msgs) > cap(n.out) {
-		n.out = msgs[:0]
-	}
-}
-
-// takeOut claims the recycled output buffer until the next Recycle.
-func (n *Node) takeOut() []types.Message {
-	out := n.out
-	n.out = nil
-	return out
-}
-
 // Start implements sim.Node.
-func (n *Node) Start() []types.Message { return n.enterRound(n.takeOut(), 1) }
+func (n *Node) Start() []types.Message { return n.enterRound(n.Take(), 1) }
 
 // Deliver implements sim.Node.
 func (n *Node) Deliver(m types.Message) []types.Message {
@@ -198,12 +183,12 @@ func (n *Node) Deliver(m types.Message) []types.Message {
 	switch p := m.Payload.(type) {
 	case *types.PlainPayload:
 		n.onPlain(m.From, p)
-		return n.advance(n.takeOut())
+		return n.advance(n.Take())
 	case *types.CoinSharePayload:
 		n.cfg.Coin.HandleShare(m.From, p)
-		return n.advance(n.takeOut())
+		return n.advance(n.Take())
 	case *types.DecidePayload:
-		return n.onDecideVote(n.takeOut(), m.From, p)
+		return n.onDecideVote(n.Take(), m.From, p)
 	default:
 		return nil
 	}

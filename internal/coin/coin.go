@@ -37,6 +37,18 @@ type Coin interface {
 	Value(round int) (types.Value, bool)
 }
 
+// Pruner is an optional Coin extension for per-round state pruning. Prune
+// releases every per-round resource (stored shares, MACs, memoized values)
+// for rounds below the floor, and drops late shares for those rounds on
+// arrival instead of storing them. The consensus core calls it as rounds
+// decide, so long executions keep only a sliding window of coin state; a
+// pruned round's value must never be asked for again (the core only queries
+// its current round). Coins without per-round state (Local, Ideal) simply
+// don't implement it.
+type Pruner interface {
+	Prune(below int)
+}
+
 // mix64 is SplitMix64's finalizer: a bijective avalanche mix used to derive
 // independent-looking bits from (seed, round) pairs deterministically.
 func mix64(x uint64) uint64 {

@@ -125,6 +125,9 @@ type Common struct {
 	released map[int]bool
 	shares   map[int]map[types.ProcessID]shamir.Share
 	values   map[int]types.Value
+	// floor is the pruning watermark: per-round state below it has been
+	// released and late shares for those rounds are dropped on arrival.
+	floor int
 }
 
 // NewCommon returns the coin endpoint for process me. All processes of a run
@@ -148,7 +151,7 @@ var _ Coin = (*Common)(nil)
 // Release implements Coin: broadcast this process's share for the round
 // (including to itself, so its own share is counted on delivery).
 func (c *Common) Release(round int) []types.Message {
-	if c.released[round] {
+	if round < c.floor || c.released[round] {
 		return nil
 	}
 	c.released[round] = true
@@ -161,9 +164,10 @@ func (c *Common) Release(round int) []types.Message {
 }
 
 // HandleShare implements Coin: verify, store, and reconstruct at f+1 valid
-// shares.
+// shares. Shares for pruned rounds are dropped before any allocation or MAC
+// work: a straggler's ancient share must not regrow released state.
 func (c *Common) HandleShare(from types.ProcessID, p *types.CoinSharePayload) {
-	if p == nil {
+	if p == nil || p.Round < c.floor {
 		return
 	}
 	if _, done := c.values[p.Round]; done {
@@ -205,6 +209,36 @@ func (c *Common) HandleShare(from types.ProcessID, p *types.CoinSharePayload) {
 func (c *Common) Value(round int) (types.Value, bool) {
 	v, ok := c.values[round]
 	return v, ok
+}
+
+var _ Pruner = (*Common)(nil)
+
+// Prune implements Pruner: release the release-flags, unreconstructed share
+// sets (the share+MAC strings are the dominant per-round retention), and
+// memoized values of every round below the floor. The maps stay bounded by
+// the pruning window, so arbitrarily long executions keep a constant coin
+// footprint. Message behaviour is untouched: pruned rounds were already
+// released, and their values are never queried again.
+func (c *Common) Prune(below int) {
+	if below <= c.floor {
+		return
+	}
+	c.floor = below
+	for r := range c.released {
+		if r < below {
+			delete(c.released, r)
+		}
+	}
+	for r := range c.shares {
+		if r < below {
+			delete(c.shares, r)
+		}
+	}
+	for r := range c.values {
+		if r < below {
+			delete(c.values, r)
+		}
+	}
 }
 
 // sortShares orders shares by X (insertion sort; at most f+1 ≤ 255 items).

@@ -72,6 +72,12 @@ type Config struct {
 	// the node then decides but never halts, as in the paper's original
 	// formulation.
 	DisableDecideGadget bool
+	// DisablePruning turns off per-round state pruning (accepted lists and
+	// coin share state are then retained for the whole execution, as the
+	// pre-pruning implementation did). Pruning never changes behaviour —
+	// released state is provably dead — so this knob exists only for the
+	// E11 memory comparison.
+	DisablePruning bool
 	// MaxRounds bounds round progression (0 = DefaultMaxRounds).
 	MaxRounds int
 }
@@ -82,6 +88,7 @@ type Stats struct {
 	CoinsUsed     int // step-3 coin fallbacks taken
 	Adopted       int // step-3 f+1 adoptions taken
 	StepsDone     int // step transitions completed
+	PrunedLate    int // justified messages dropped for already-pruned rounds
 }
 
 // Node is one Bracha consensus process. Not safe for concurrent use: drive
@@ -97,7 +104,7 @@ type Node struct {
 	value types.Value
 	dFlag bool // value is a decision proposal (between steps 2 and 3)
 
-	accepted map[slot][]validate.Accepted
+	accepted acceptedTable
 
 	waitingCoin bool
 	stalled     bool // hit MaxRounds
@@ -110,17 +117,94 @@ type Node struct {
 	decideVotes map[types.ProcessID]types.Value
 	halted      bool
 
-	// out is the recycled output buffer (see sim.Recycler): once the
-	// simulator returns a delivered slice, later Deliver calls append into
-	// its backing array instead of allocating. Nil until first recycled.
-	out []types.Message
+	// The embedded recycled output buffer (see sim.OutBuffer): once the
+	// driver returns a delivered slice through Recycle, later Deliver
+	// calls append into its backing array instead of allocating. Drivers
+	// that never recycle simply leave the node allocating, as the seed
+	// implementation always did.
+	sim.OutBuffer
 
 	stats Stats
 }
 
-type slot struct {
-	round int
-	step  types.Step
+// acceptedTable is the dense round-indexed store of justified step messages
+// awaiting their quorum windows — the replacement for the seed's
+// map[slot][]validate.Accepted, whose per-append map traffic was the last
+// per-delivery allocation in core. Rounds are interned as offsets from a
+// moving base: rounds[i] holds round base+i, a (round, step) slot resolves
+// to two array indexes, and pruning advances base while recycling the
+// released backing arrays through a free list, so steady-state appends
+// allocate nothing and a long run's live table stays a fixed-size window.
+type acceptedTable struct {
+	base   int         // lowest retained round; rounds below are pruned
+	rounds []stepLists // rounds[i] = round base+i
+	free   [][]validate.Accepted // recycled backing arrays from pruned rounds
+}
+
+// stepLists holds one round's accepted messages, one list per protocol step.
+type stepLists [3][]validate.Accepted
+
+// add appends a justified message to its (round, step) slot. It reports
+// false when the round was already pruned — the message is provably dead
+// (quorum windows only ever read the current round, which is past it) — or
+// lies beyond maxRounds, which the node can never enter.
+func (t *acceptedTable) add(round int, step types.Step, acc validate.Accepted, maxRounds int) bool {
+	if round < t.base || round > maxRounds {
+		return false
+	}
+	for round-t.base >= len(t.rounds) {
+		t.rounds = append(t.rounds, stepLists{})
+	}
+	list := &t.rounds[round-t.base][step-types.Step1]
+	if *list == nil && len(t.free) > 0 {
+		*list = t.free[len(t.free)-1]
+		t.free = t.free[:len(t.free)-1]
+	}
+	*list = append(*list, acc)
+	return true
+}
+
+// window returns the accepted list for a (round, step) slot (nil if empty
+// or pruned).
+func (t *acceptedTable) window(round int, step types.Step) []validate.Accepted {
+	if round < t.base || round-t.base >= len(t.rounds) {
+		return nil
+	}
+	return t.rounds[round-t.base][step-types.Step1]
+}
+
+// pruneBelow releases every round before r, recycling the released backing
+// arrays for future appends.
+func (t *acceptedTable) pruneBelow(r int) {
+	if r <= t.base {
+		return
+	}
+	k := r - t.base
+	if k > len(t.rounds) {
+		k = len(t.rounds)
+	}
+	for i := 0; i < k; i++ {
+		for s := range t.rounds[i] {
+			if c := t.rounds[i][s]; cap(c) > 0 {
+				t.free = append(t.free, c[:0])
+			}
+			t.rounds[i][s] = nil
+		}
+	}
+	t.rounds = t.rounds[:copy(t.rounds, t.rounds[k:])]
+	t.base = r
+}
+
+// retained reports how many accepted messages the table currently holds
+// (diagnostics for the pruning tests and the E11 memory experiment).
+func (t *acceptedTable) retained() int {
+	total := 0
+	for i := range t.rounds {
+		for s := range t.rounds[i] {
+			total += len(t.rounds[i][s])
+		}
+	}
+	return total
 }
 
 // Config validation errors.
@@ -164,7 +248,7 @@ func New(cfg Config) (*Node, error) {
 		bcast:       rbc.New(cfg.Me, cfg.Peers, cfg.Spec),
 		val:         newVal(cfg.Spec),
 		value:       cfg.Proposal,
-		accepted:    make(map[slot][]validate.Accepted),
+		accepted:    acceptedTable{base: 1},
 		decideVotes: make(map[types.ProcessID]types.Value),
 	}, nil
 }
@@ -180,27 +264,9 @@ func (n *Node) ID() types.ProcessID { return n.cfg.Me }
 // Done implements sim.Node: true once the node halted via the decide gadget.
 func (n *Node) Done() bool { return n.halted }
 
-// Recycle implements sim.Recycler: the simulator hands back a slice it has
-// fully consumed, and the node keeps the largest backing array for reuse.
-// Drivers that never call Recycle simply leave the node allocating, as the
-// seed implementation always did.
-func (n *Node) Recycle(msgs []types.Message) {
-	if cap(msgs) > cap(n.out) {
-		n.out = msgs[:0]
-	}
-}
-
-// takeOut claims the recycled output buffer (empty, possibly with capacity).
-// Ownership transfers to the returned slice until the next Recycle.
-func (n *Node) takeOut() []types.Message {
-	out := n.out
-	n.out = nil
-	return out
-}
-
 // Start implements sim.Node: enter round 1 and broadcast the proposal.
 func (n *Node) Start() []types.Message {
-	return n.enterRound(n.takeOut(), 1)
+	return n.enterRound(n.Take(), 1)
 }
 
 // Deliver implements sim.Node.
@@ -210,13 +276,13 @@ func (n *Node) Deliver(m types.Message) []types.Message {
 	}
 	switch p := m.Payload.(type) {
 	case *types.RBCPayload:
-		out := n.onRBC(n.takeOut(), m.From, p)
+		out := n.onRBC(n.Take(), m.From, p)
 		return n.advance(out)
 	case *types.CoinSharePayload:
 		n.cfg.Coin.HandleShare(m.From, p)
-		return n.advance(n.takeOut())
+		return n.advance(n.Take())
 	case *types.DecidePayload:
-		return n.onDecideVote(n.takeOut(), m.From, p)
+		return n.onDecideVote(n.Take(), m.From, p)
 	default:
 		return nil
 	}
@@ -237,6 +303,12 @@ func (n *Node) Proposal() types.Value { return n.cfg.Proposal }
 // Stats returns protocol activity counters.
 func (n *Node) Stats() Stats { return n.stats }
 
+// AcceptedRetained returns how many justified messages the node currently
+// retains in its quorum-wait table — with pruning on, a sliding window of at
+// most two rounds; without it, the whole execution (diagnostics for the
+// pruning tests and the E11 memory experiment).
+func (n *Node) AcceptedRetained() int { return n.accepted.retained() }
+
 // onRBC feeds a reliable-broadcast payload through the broadcaster, then
 // records every resulting delivery with the validator and appends newly
 // justified messages to the quorum waits.
@@ -253,11 +325,19 @@ func (n *Node) onRBC(out []types.Message, from types.ProcessID, p *types.RBCPayl
 		if sm.Round != d.ID.Tag.Round || sm.Step != d.ID.Tag.Step || d.ID.Tag.Seq != n.cfg.Instance {
 			continue
 		}
-		n.record(trace.Event{Kind: trace.KindRBC, P: n.cfg.Me, Round: sm.Round,
-			Note: fmt.Sprintf("delivered %v from %v", sm, d.ID.Sender)})
+		if n.cfg.Recorder.Enabled() {
+			n.record(trace.Event{Kind: trace.KindRBC, P: n.cfg.Me, Round: sm.Round,
+				Note: fmt.Sprintf("delivered %v from %v", sm, d.ID.Sender)})
+		}
 		for _, acc := range n.val.Record(d.ID.Sender, sm) {
-			s := slot{round: acc.Msg.Round, step: acc.Msg.Step}
-			n.accepted[s] = append(n.accepted[s], acc)
+			// Justified messages for pruned rounds are dead on arrival:
+			// quorum windows only read the current round, which is already
+			// past them. The validator still folded the message into its
+			// round tallies above — those stay live, because justification
+			// of in-flight current-round messages can reach back into them.
+			if !n.accepted.add(acc.Msg.Round, acc.Msg.Step, acc, n.cfg.MaxRounds) {
+				n.stats.PrunedLate++
+			}
 		}
 	}
 	return out
@@ -308,7 +388,7 @@ func (n *Node) advance(out []types.Message) []types.Message {
 // quorumWindow returns the first n−f accepted messages for the current
 // slot, or false if the wait is not yet satisfied.
 func (n *Node) quorumWindow() ([]validate.Accepted, bool) {
-	list := n.accepted[slot{round: n.round, step: n.step}]
+	list := n.accepted.window(n.round, n.step)
 	q := n.spec.Quorum()
 	if len(list) < q {
 		return nil, false
@@ -366,6 +446,20 @@ func (n *Node) enterRound(out []types.Message, r int) []types.Message {
 	n.step = types.Step1
 	n.dFlag = false
 	n.stats.RoundsStarted++
+	if !n.cfg.DisablePruning {
+		// The pruning invariant: state for round k is released once round
+		// k+1 decides. Entering round r means r−1 decided, so everything
+		// below r−1 is released — accepted lists recycle their backing
+		// arrays, and a pruning-aware coin drops its per-round share state
+		// (and any straggler shares that arrive later). The round tallies
+		// in the validator are deliberately NOT pruned: justification of
+		// current-round messages recurses into previous rounds' tallies,
+		// and they cost bytes per round, not kilobytes.
+		n.accepted.pruneBelow(r - 1)
+		if p, ok := n.cfg.Coin.(coin.Pruner); ok {
+			p.Prune(r - 1)
+		}
+	}
 	n.record(trace.Event{Kind: trace.KindRound, P: n.cfg.Me, Round: r})
 	return n.broadcastStep(out)
 }

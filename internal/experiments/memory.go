@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/coin"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/quorum"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// E11MemoryPruning regenerates Table 7: the memory effect of per-round state
+// pruning ("state for round r is released once round r+1 decides"). Each row
+// runs the identical fixed-round, non-halting consensus workload — the
+// decide gadget off and MaxRounds pinned, so pruned and unpruned runs do
+// exactly the same protocol work — and measures what the cluster holds on to.
+// The shape to verify: retained accepted messages (a deterministic count)
+// stay a constant two-round window with pruning on and grow linearly with
+// rounds with pruning off, and the heap numbers follow. Peak heap is sampled
+// with runtime.ReadMemStats every few thousand deliveries; retained heap is
+// measured after a forced GC with the nodes still live. Runs are serial —
+// concurrent workers would share the heap under measurement.
+//
+// Determinism note: deliveries, retained accepted msgs, and allocs are pure
+// functions of (config, seed) — byte-stable across reruns, worker counts,
+// and machines, like every other table. The two heap columns are runtime
+// telemetry (GC timing moves them a few percent between processes) and are
+// exempt from the bitwise-regeneration contract, exactly like the per-table
+// timing suffixes bench prints.
+func E11MemoryPruning(o Options) (*metrics.Table, error) {
+	o = Defaults(o)
+	t := metrics.NewTable(
+		"E11 / Table 7 — per-round pruning: peak memory, pruned vs unpruned",
+		"n", "f", "rounds", "pruning", "deliveries", "retained accepted msgs", "retained heap", "peak heap", "allocs")
+	sizes := []int{64, 128}
+	if o.Quick {
+		sizes = []int{16}
+	}
+	const rounds = 12
+	for _, n := range sizes {
+		for _, pruning := range []bool{true, false} {
+			res, err := runMemoryWorkload(n, rounds, o.Seed, !pruning)
+			if err != nil {
+				return nil, err
+			}
+			label := "on"
+			if !pruning {
+				label = "off"
+			}
+			t.AddRowf(n, quorum.MaxByzantine(n), rounds, label, res.deliveries,
+				res.retainedAccepted, mib(res.retainedHeap), mib(res.peakHeap), res.allocs)
+		}
+	}
+	return t, nil
+}
+
+// mib renders a byte count as MiB with two decimals.
+func mib(b uint64) string {
+	return fmt.Sprintf("%.2f MiB", float64(b)/(1<<20))
+}
+
+type memoryResult struct {
+	deliveries       int
+	retainedAccepted int    // accepted messages still held (deterministic)
+	retainedHeap     uint64 // live heap after run + forced GC, nodes alive
+	peakHeap         uint64 // max sampled HeapAlloc during the run
+	allocs           uint64 // Mallocs delta across the run
+}
+
+// runMemoryWorkload drives one all-correct common-coin cluster for a fixed
+// number of rounds with the decide gadget off, so every node marches through
+// exactly `rounds` rounds whatever it decides — the state-retention workload
+// behind E11 and the pruning claims in EXPERIMENTS.md.
+func runMemoryWorkload(n, rounds int, seed int64, disablePruning bool) (*memoryResult, error) {
+	f := quorum.MaxByzantine(n)
+	spec, err := quorum.New(n, f)
+	if err != nil {
+		return nil, err
+	}
+	peers := types.Processes(n)
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	net, err := sim.New(sim.Config{
+		Scheduler: sim.UniformDelay{Min: 1, Max: 20},
+		Seed:      seed,
+		// The workload is bounded by MaxRounds, not the delivery budget.
+		MaxDeliveries: 1 << 62,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dealer := coin.NewDealer(spec, seed+1)
+	nodes := make([]*core.Node, 0, n)
+	for i, p := range peers {
+		nd, err := core.New(core.Config{
+			Me: p, Peers: peers, Spec: spec,
+			Coin:                coin.NewCommon(p, peers, dealer),
+			Proposal:            types.Value(i % 2),
+			DisableDecideGadget: true,
+			DisablePruning:      disablePruning,
+			MaxRounds:           rounds,
+		})
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, nd)
+		if err := net.Add(nd); err != nil {
+			return nil, err
+		}
+	}
+
+	peak := uint64(0)
+	delivered := 0
+	sample := func() {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		if m.HeapAlloc > peak {
+			peak = m.HeapAlloc
+		}
+	}
+	stats, err := net.Run(func() bool {
+		delivered++
+		if delivered%(1<<14) == 0 {
+			sample()
+		}
+		return false
+	})
+	if err != nil {
+		return nil, err
+	}
+	sample()
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	res := &memoryResult{
+		deliveries: stats.Delivered,
+		peakHeap:   peak,
+		allocs:     after.Mallocs - before.Mallocs,
+	}
+	if after.HeapAlloc > before.HeapAlloc {
+		res.retainedHeap = after.HeapAlloc - before.HeapAlloc
+	}
+	for _, nd := range nodes {
+		res.retainedAccepted += nd.AcceptedRetained()
+	}
+	runtime.KeepAlive(net)
+	return res, nil
+}

@@ -35,6 +35,23 @@ type Scenario struct {
 	SenderEquivocates bool
 	SenderPartial     bool
 
+	// NoHalt runs the paper's original non-halting formulation (decide
+	// gadget off): processes decide but keep starting rounds until every
+	// correct process has decided. Scenarios that need decided processes
+	// to keep running — so round skew between fast and slow processes
+	// keeps growing — use this.
+	NoHalt bool
+	// SpareFault runs with one fewer actual Byzantine process than the
+	// bound assumes (f−1 instead of f). The unused quorum slot means the
+	// remaining correct processes can make progress with one of their own
+	// cut off — the precondition for any scenario that wants genuine
+	// round skew between correct processes at optimal resilience.
+	SpareFault bool
+	// BudgetScale multiplies the size-scaled delivery budget (0 = 1).
+	// Scenarios whose schedules stretch the run far beyond the usual
+	// constant number of rounds need the headroom.
+	BudgetScale int
+
 	// Doc is a one-line description of what the scenario attacks.
 	Doc string
 }
@@ -78,6 +95,24 @@ func Scenarios() []Scenario {
 			Doc: "forged DECIDE gadget messages under reordering, unanimous inputs",
 		},
 		{
+			// The per-round pruning stressor. One correct process is cut
+			// off; the spare fault slot lets the rest keep completing
+			// quorums, and with the decide gadget off (the paper's
+			// original non-halting formulation) they keep starting rounds
+			// the whole outage. When the straggler's inbox thaws it
+			// fast-forwards through the backlog, emitting step messages
+			// and coin shares for rounds its peers released many rounds
+			// ago — the late-drop path of the pruning invariant — while
+			// its own accepted table buffers rounds far ahead of it.
+			// Agreement, validity, and termination must all survive
+			// (TestStragglerScenarioExercisesPruning proves the drops
+			// actually happen).
+			Name: "straggler-prune", Adversary: AdvSilent, Scheduler: SchedStraggler,
+			Coin: CoinCommon, Inputs: InputSplit,
+			NoHalt: true, SpareFault: true, BudgetScale: 4,
+			Doc: "a correct process returns many rounds behind a free-running pack; its late traffic hits pruned rounds",
+		},
+		{
 			Name: "rbc-honest", RBC: true,
 			Doc: "reliable broadcast, correct sender, silent faults",
 		},
@@ -118,6 +153,10 @@ type PropertySpec struct {
 	// MaxDeliveries overrides the per-run delivery budget (0 = scaled to
 	// the system size; consensus traffic grows ~n³ per round).
 	MaxDeliveries int
+	// DisablePruning turns off per-round state pruning in the correct
+	// nodes (consensus scenarios only) — the memory-comparison knob behind
+	// `bench -sweep -no-prune` and experiment E11.
+	DisablePruning bool
 
 	// Pass-through sweep knobs (see SweepSpec).
 	Workers    int
@@ -174,15 +213,27 @@ func (p PropertySpec) SweepSpec() (SweepSpec, error) {
 	budget := p.MaxDeliveries
 	if budget == 0 {
 		budget = deliveryBudget(p.N)
+		if sc.BudgetScale > 1 {
+			budget *= sc.BudgetScale
+		}
+	}
+	byzantine := -1 // = f
+	if sc.SpareFault {
+		byzantine = f - 1
+		if byzantine < 0 {
+			byzantine = 0
+		}
 	}
 	spec.Cfg = Config{
-		N: p.N, F: f, Byzantine: -1,
-		Protocol:      ProtocolBracha,
-		Coin:          sc.Coin,
-		Adversary:     sc.Adversary,
-		Scheduler:     sc.Scheduler,
-		Inputs:        sc.Inputs,
-		MaxDeliveries: budget,
+		N: p.N, F: f, Byzantine: byzantine,
+		Protocol:            ProtocolBracha,
+		Coin:                sc.Coin,
+		Adversary:           sc.Adversary,
+		Scheduler:           sc.Scheduler,
+		Inputs:              sc.Inputs,
+		MaxDeliveries:       budget,
+		DisableDecideGadget: sc.NoHalt,
+		DisablePruning:      p.DisablePruning,
 	}
 	return spec, nil
 }

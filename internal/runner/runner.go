@@ -123,15 +123,17 @@ const (
 	SchedReorder                            // adversarial newest-first reordering (+ rushed Byzantine)
 	SchedSplitHeal                          // network split between correct halves, healed mid-run
 	SchedRejoin                             // one correct process unreachable, rejoining mid-run
+	SchedStraggler                          // one correct process runs rounds behind on a continuously lagged inbox
 )
 
 // Adversarial schedule timings (simulator ticks; base delays are 1..20, so a
 // consensus round typically spans a few dozen ticks — these land the heal
 // and the rejoin several rounds into the run).
 const (
-	healTime    sim.Time = 240 // SchedSplitHeal: when cross-partition traffic thaws
-	rejoinTime  sim.Time = 300 // SchedRejoin: when the victim's inbox floods back
-	reorderSpan sim.Time = 48  // SchedReorder: the newest-first reordering window
+	healTime     sim.Time = 240 // SchedSplitHeal: when cross-partition traffic thaws
+	rejoinTime   sim.Time = 300 // SchedRejoin: when the victim's inbox floods back
+	reorderSpan  sim.Time = 48  // SchedReorder: the newest-first reordering window
+	stragglerLag sim.Time = 300 // SchedStraggler: extra delay on all straggler-bound links
 )
 
 // String implements fmt.Stringer.
@@ -151,6 +153,8 @@ func (s SchedulerKind) String() string {
 		return "split-heal"
 	case SchedRejoin:
 		return "rejoin"
+	case SchedStraggler:
+		return "straggler"
 	default:
 		return fmt.Sprintf("SchedulerKind(%d)", int(s))
 	}
@@ -204,6 +208,10 @@ type Config struct {
 
 	DisableValidation   bool // ablation A1 (Bracha only)
 	DisableDecideGadget bool // ablation A2
+	// DisablePruning retains per-round state for the whole run (Bracha
+	// only; behaviour-neutral by construction — the E11 memory comparison
+	// and `bench -sweep -no-prune` are its only users).
+	DisablePruning bool
 }
 
 // Result is what one run produced.
@@ -224,6 +232,10 @@ type Result struct {
 	Deliveries int
 	EndTime    sim.Time
 	Exhausted  bool
+	// PrunedLate sums, over the correct Bracha nodes, the justified
+	// messages that arrived for rounds already released by per-round
+	// pruning and were dropped (see core.Stats.PrunedLate).
+	PrunedLate int
 	// Recorder holds the trace when Config.Trace was set.
 	Recorder *trace.Recorder
 }
@@ -365,6 +377,9 @@ func Run(cfg Config) (*Result, error) {
 		id := nd.ID()
 		obs.Correct = append(obs.Correct, id)
 		obs.Proposals[id] = nd.Proposal()
+		if cn, ok := nd.(*core.Node); ok {
+			res.PrunedLate += cn.Stats().PrunedLate
+		}
 		if v, ok := nd.Decided(); ok {
 			obs.Decisions[id] = []types.Value{v}
 			res.Decisions[id] = v
@@ -425,6 +440,7 @@ func buildCorrect(cfg Config, spec quorum.Spec, p types.ProcessID, peers []types
 			Recorder:            rec,
 			DisableValidation:   cfg.DisableValidation,
 			DisableDecideGadget: cfg.DisableDecideGadget,
+			DisablePruning:      cfg.DisablePruning,
 			MaxRounds:           cfg.MaxRounds,
 		})
 	case ProtocolBenOr:
@@ -530,6 +546,32 @@ func buildScheduler(cfg Config, byz, groupA, groupB []types.ProcessID) sim.Sched
 			rules = append([]sim.Rule{sim.RushFrom(byz...)}, rules...)
 		}
 		return sim.Compose{Base: base, Rules: rules}
+	case SchedStraggler:
+		// Every link into the straggler (the last correct process,
+		// including its loopback) carries a constant extra lag worth
+		// several rounds, so it processes the protocol a fixed distance
+		// behind everyone else for the whole run. Combined with a spare
+		// fault slot (the pack's quorums never need the straggler) and
+		// the non-halting formulation (the decided pack keeps starting
+		// rounds until the straggler decides too), the pack stays rounds
+		// ahead — and every message the straggler emits reaches peers
+		// that pruned its round long ago, exercising the late-drop path
+		// continuously. Only inbound traffic lags: the straggler's own
+		// emissions travel normally, which is exactly what makes them
+		// stale on arrival.
+		victims := groupB
+		if len(victims) == 0 {
+			victims = groupA
+		}
+		if len(victims) == 0 {
+			return base
+		}
+		straggler := victims[len(victims)-1]
+		links := make([][2]types.ProcessID, 0, cfg.N)
+		for _, p := range types.Processes(cfg.N) {
+			links = append(links, [2]types.ProcessID{p, straggler})
+		}
+		return withRush(base, sim.DelayLinks(stragglerLag, links...))
 	default: // SchedUniform and zero value
 		return base
 	}

@@ -68,6 +68,33 @@ type Recycler interface {
 	Recycle(msgs []types.Message)
 }
 
+// OutBuffer is the canonical Recycler implementation, embedded by every
+// protocol node that participates in the zero-allocation delivery loop: the
+// driver hands back a consumed slice through Recycle, Take claims it (empty,
+// possibly with capacity) for the next emission, and ownership of the
+// backing array ping-pongs between the two — no allocation once warm. The
+// same protocol nests: a layered node (ACS, SMR) takes the driver's role
+// for its inner consensus instances, copying their emissions into its own
+// buffer and recycling theirs straight back.
+type OutBuffer struct {
+	out []types.Message
+}
+
+// Recycle implements Recycler: keep the largest returned backing array.
+func (b *OutBuffer) Recycle(msgs []types.Message) {
+	if cap(msgs) > cap(b.out) {
+		b.out = msgs[:0]
+	}
+}
+
+// Take claims the recycled buffer; ownership transfers to the returned
+// slice until the next Recycle.
+func (b *OutBuffer) Take() []types.Message {
+	out := b.out
+	b.out = nil
+	return out
+}
+
 // Scheduler decides when (at what abstract time) a message sent at `now` is
 // delivered, or Drop to discard it. seq is a unique, monotonically increasing
 // per-send number schedulers may use for deterministic tie-breaking; rng is

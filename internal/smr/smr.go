@@ -93,6 +93,14 @@ type Replica struct {
 	waiting map[int]bool // slots whose proposal we already disseminated
 
 	log []Entry
+
+	// The embedded recycled output buffer (see sim.OutBuffer). Together
+	// with the append-style RBC path and the inner consensus node's own
+	// recycling (emissions are copied into out and the slice handed back,
+	// see deliverBin), a steady-state SMR delivery allocates nothing;
+	// per-slot setup (the consensus instance, its coin) amortizes across
+	// the slot's thousands of deliveries.
+	sim.OutBuffer
 }
 
 // Config errors.
@@ -136,7 +144,10 @@ func New(cfg Config) (*Replica, error) {
 	}, nil
 }
 
-var _ sim.Node = (*Replica)(nil)
+var (
+	_ sim.Node     = (*Replica)(nil)
+	_ sim.Recycler = (*Replica)(nil)
+)
 
 // ID implements sim.Node.
 func (r *Replica) ID() types.ProcessID { return r.cfg.Me }
@@ -147,7 +158,7 @@ func (r *Replica) Done() bool {
 }
 
 // Start implements sim.Node.
-func (r *Replica) Start() []types.Message { return r.propose() }
+func (r *Replica) Start() []types.Message { return r.propose(r.Take()) }
 
 // Submit enqueues a command for this replica's future proposing turns. It
 // never sends anything itself: dissemination happens when a turn begins (at
@@ -170,10 +181,10 @@ func (r *Replica) proposer(slot int) types.ProcessID {
 }
 
 // propose disseminates this replica's candidate for the current slot if it
-// is the proposer and has not disseminated yet.
-func (r *Replica) propose() []types.Message {
+// is the proposer and has not disseminated yet, appending into out.
+func (r *Replica) propose(out []types.Message) []types.Message {
 	if r.Done() || r.proposer(r.slot) != r.cfg.Me || r.waiting[r.slot] {
-		return nil
+		return out
 	}
 	cmd := Noop
 	if len(r.queue) > 0 {
@@ -181,7 +192,7 @@ func (r *Replica) propose() []types.Message {
 		r.queue = r.queue[1:]
 	}
 	r.waiting[r.slot] = true
-	return r.values.Broadcast(types.Tag{Seq: dissemNS + r.slot}, cmd)
+	return r.values.AppendBroadcast(out, types.Tag{Seq: dissemNS + r.slot}, cmd)
 }
 
 // Deliver implements sim.Node.
@@ -189,15 +200,15 @@ func (r *Replica) Deliver(m types.Message) []types.Message {
 	if r.Done() {
 		return nil
 	}
-	var out []types.Message
+	out := r.Take()
 	switch inst, kind := classify(m); kind {
 	case trafficValues:
 		p, ok := m.Payload.(*types.RBCPayload)
 		if !ok {
 			break
 		}
-		msgs, deliveries := r.values.Handle(m.From, p)
-		out = append(out, msgs...)
+		var deliveries []rbc.Delivery
+		out, deliveries = r.values.AppendHandle(out, m.From, p)
 		for _, d := range deliveries {
 			slot := d.ID.Tag.Seq - dissemNS
 			if slot < 0 || d.ID.Sender != r.proposer(slot) {
@@ -210,16 +221,25 @@ func (r *Replica) Deliver(m types.Message) []types.Message {
 	case trafficBinary:
 		switch {
 		case inst == r.slot+1 && r.bin != nil:
-			out = append(out, r.bin.Deliver(m)...)
+			out = r.deliverBin(out, m)
 		case inst > r.slot && inst <= r.slot+1_000_000:
 			r.pending[inst] = append(r.pending[inst], m)
 		}
 	case trafficCoin:
 		if r.bin != nil {
-			out = append(out, r.bin.Deliver(m)...)
+			out = r.deliverBin(out, m)
 		}
 	}
-	out = append(out, r.step()...)
+	return r.step(out)
+}
+
+// deliverBin feeds one message to the current slot's consensus instance,
+// copies its emissions into out, and hands the instance's slice straight
+// back for reuse (the inner zero-allocation loop).
+func (r *Replica) deliverBin(out []types.Message, m types.Message) []types.Message {
+	msgs := r.bin.Deliver(m)
+	out = append(out, msgs...)
+	r.bin.Recycle(msgs)
 	return out
 }
 
@@ -248,9 +268,8 @@ func classify(m types.Message) (int, trafficKind) {
 }
 
 // step starts the current slot's consensus once its candidate arrived and
-// finalizes slots as they decide.
-func (r *Replica) step() []types.Message {
-	var out []types.Message
+// finalizes slots as they decide, appending all emissions to out.
+func (r *Replica) step(out []types.Message) []types.Message {
 	for !r.Done() {
 		if r.bin == nil {
 			if _, ok := r.cands[r.slot]; !ok {
@@ -267,9 +286,11 @@ func (r *Replica) step() []types.Message {
 				panic(fmt.Sprintf("smr: starting slot %d: %v", r.slot, err))
 			}
 			r.bin = bin
-			out = append(out, bin.Start()...)
+			msgs := bin.Start()
+			out = append(out, msgs...)
+			bin.Recycle(msgs)
 			for _, m := range r.pending[r.slot+1] {
-				out = append(out, bin.Deliver(m)...)
+				out = r.deliverBin(out, m)
 			}
 			delete(r.pending, r.slot+1)
 		}
@@ -289,9 +310,15 @@ func (r *Replica) step() []types.Message {
 		} else {
 			r.log = append(r.log, Entry{Slot: r.slot, Proposer: r.proposer(r.slot), Command: ""})
 		}
+		// Per-slot pruning, the log layer's version of the per-round
+		// invariant: a slot's candidate and dissemination flag are dead
+		// once the slot commits, so a long log keeps a bounded working
+		// set instead of every candidate ever proposed.
+		delete(r.cands, r.slot)
+		delete(r.waiting, r.slot)
 		r.slot++
 		r.bin = nil
-		out = append(out, r.propose()...)
+		out = r.propose(out)
 	}
 	return out
 }

@@ -238,6 +238,101 @@ func TestSMRBasics(t *testing.T) {
 	}
 }
 
+// BenchmarkSMRDelivery measures the full per-delivery cost of the
+// replicated log on the simulator: candidate dissemination, one binary
+// consensus instance per slot, commit, and the next proposal — the
+// workload a replicated-log deployment actually runs, forever (MaxSlots
+// 0 never stops, so all b.N deliveries are steady state). Per-slot setup
+// (the consensus instance and its coin) amortizes across the slot's
+// thousands of deliveries. Run with -benchmem: expect 0 allocs/op.
+func BenchmarkSMRDelivery(b *testing.B) {
+	const n, f = 16, 5
+	spec := quorum.MustNew(n, f)
+	peers := types.Processes(n)
+	net, err := sim.New(sim.Config{
+		Scheduler:     sim.UniformDelay{Min: 1, Max: 25},
+		Seed:          1,
+		MaxDeliveries: b.N,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range peers {
+		p := p
+		rep, err := New(Config{
+			Me: p, Peers: peers, Spec: spec,
+			NewCoin: func(slot int) coin.Coin {
+				return coin.NewLocal(int64(p)*1000 + int64(slot))
+			},
+			Machine: newKV(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := net.Add(rep); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	stats, err := net.Run(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if stats.Delivered != b.N {
+		b.Fatalf("delivered %d, want %d", stats.Delivered, b.N)
+	}
+}
+
+// TestSMRSteadyStateDeliveryAllocations pins the strict per-delivery hot
+// path of a warm replica at exactly zero allocations: duplicate echo
+// counting on the dissemination plane must produce no garbage.
+func TestSMRSteadyStateDeliveryAllocations(t *testing.T) {
+	// Measure a replica that is mid-protocol: run an unbounded log for a
+	// fixed prefix of deliveries, then replay a duplicate echo at it.
+	spec := quorum.MustNew(4, 1)
+	peers := types.Processes(4)
+	net, err := sim.New(sim.Config{Scheduler: sim.UniformDelay{Min: 1, Max: 25}, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := make([]*Replica, 0, 4)
+	for _, p := range peers {
+		p := p
+		rep, err := New(Config{
+			Me: p, Peers: peers, Spec: spec,
+			NewCoin: func(slot int) coin.Coin {
+				return coin.NewLocal(6 + int64(p)*1000 + int64(slot))
+			},
+			Machine: newKV(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh = append(fresh, rep)
+		if err := net.Add(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	if _, err := net.Run(func() bool { count++; return count >= 2000 }); err != nil {
+		t.Fatal(err)
+	}
+	rep := fresh[0]
+	echo := types.Message{From: 2, To: rep.ID(), Payload: &types.RBCPayload{
+		Phase: types.KindRBCEcho,
+		ID:    types.InstanceID{Sender: 1, Tag: types.Tag{Seq: dissemNS}},
+		Body:  "replayed-body",
+	}}
+	rep.Recycle(rep.Deliver(echo))
+	allocs := testing.AllocsPerRun(200, func() {
+		rep.Recycle(rep.Deliver(echo))
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state SMR delivery cost %.1f allocs/op, want 0", allocs)
+	}
+}
+
 func TestSMRManySeeds(t *testing.T) {
 	if testing.Short() {
 		t.Skip("seed sweep")

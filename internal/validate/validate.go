@@ -36,8 +36,6 @@
 package validate
 
 import (
-	"sort"
-
 	"repro/internal/quorum"
 	"repro/internal/types"
 )
@@ -54,6 +52,15 @@ type Validator struct {
 	rounds  map[int]*tally
 
 	talliedCount int
+
+	// keyScratch and foldScratch are reused across drain calls so the
+	// steady-state Record path (empty or tiny pending set) allocates
+	// nothing. foldScratch backs Record's return value, which is therefore
+	// only valid until the next Record call — callers consume it
+	// immediately (the consensus core copies each Accepted into its
+	// quorum-wait table before returning).
+	keyScratch  []slotKey
+	foldScratch []Accepted
 }
 
 // slotKey identifies the one message a sender may contribute per (round,
@@ -105,7 +112,8 @@ type Accepted struct {
 // Record ingests a reliably-delivered step message from sender and returns
 // every message newly folded into the justified tallies, in fold order —
 // possibly none (the new message is pending), possibly several (its arrival
-// cascaded older pending messages in).
+// cascaded older pending messages in). The returned slice aliases an
+// internal scratch buffer and is valid only until the next Record call.
 func (v *Validator) Record(sender types.ProcessID, m types.StepMessage) []Accepted {
 	if !wellFormed(m) {
 		return nil
@@ -142,7 +150,7 @@ func (v *Validator) Pending() int { return len(v.pending) }
 // Within one pass, candidates are visited in a deterministic order (by
 // sender, then round, then step) so executions replay identically.
 func (v *Validator) drain() []Accepted {
-	var folded []Accepted
+	folded := v.foldScratch[:0]
 	for moved := true; moved; {
 		moved = false
 		for _, k := range v.pendingKeys() {
@@ -156,25 +164,41 @@ func (v *Validator) drain() []Accepted {
 			moved = true
 		}
 	}
+	v.foldScratch = folded
+	if len(folded) == 0 {
+		return nil
+	}
 	return folded
 }
 
-// pendingKeys returns the pending slot keys in a deterministic order.
+// pendingKeys returns the pending slot keys in a deterministic order. The
+// slice is scratch, overwritten by the next call.
 func (v *Validator) pendingKeys() []slotKey {
-	keys := make([]slotKey, 0, len(v.pending))
+	keys := v.keyScratch[:0]
 	for k := range v.pending {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].round != keys[j].round {
-			return keys[i].round < keys[j].round
+	v.keyScratch = keys
+	// Insertion sort: the pending set is tiny (usually empty or a handful
+	// of not-yet-justified messages), and unlike sort.Slice this never
+	// allocates — the hot Record path must stay garbage-free.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keyLess(keys[j], keys[j-1]); j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
 		}
-		if keys[i].step != keys[j].step {
-			return keys[i].step < keys[j].step
-		}
-		return keys[i].sender < keys[j].sender
-	})
+	}
 	return keys
+}
+
+// keyLess orders slot keys by round, step, then sender.
+func keyLess(a, b slotKey) bool {
+	if a.round != b.round {
+		return a.round < b.round
+	}
+	if a.step != b.step {
+		return a.step < b.step
+	}
+	return a.sender < b.sender
 }
 
 // fold adds a justified message to its round tally.
