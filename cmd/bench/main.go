@@ -18,7 +18,14 @@
 // -no-prune disables per-round state pruning in the correct nodes: the sweep
 // numbers are bitwise unchanged — pruning only releases provably dead state —
 // while the peak heap shows the retention difference, making the E11 memory
-// table reproducible straight from the CLI.
+// table reproducible straight from the CLI. -window sets the per-round
+// retention window (rounds kept behind the decided frontier: accepted lists,
+// terminal RBC instances, validator seen entries, per-node coin state) and
+// -lowwater the delivery cadence of the cluster low-watermark scans that
+// prune the common-coin dealer's memoized sharings; both are behaviour-
+// neutral — CI diffs the -json aggregates across window sizes and against
+// -no-prune and requires byte equality (see ARCHITECTURE.md for the full
+// memory-lifecycle map).
 //
 // Examples:
 //
@@ -85,6 +92,8 @@ func run(args []string, out io.Writer) error {
 		every      = fs.Int("every", 0, "-sweep: runs between checkpoint writes (0 = default)")
 		stopAfter  = fs.Int64("stop-after", 0, "-sweep: stop after this many runs this invocation, saving a checkpoint (0 = run to completion)")
 		noPrune    = fs.Bool("no-prune", false, "-sweep: disable per-round state pruning in the correct nodes (memory comparison; behaviour-neutral)")
+		window     = fs.Int("window", 0, "-sweep: per-round retention window of the correct nodes (0 = default 1; behaviour-neutral, aggregates identical at any size)")
+		lowWater   = fs.Int("lowwater", 0, "-sweep: deliveries between cluster low-watermark scans pruning the coin dealer (0 = default; behaviour-neutral)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -101,7 +110,7 @@ func run(args []string, out io.Writer) error {
 	set := map[string]bool{}
 	fs.Visit(func(fl *flag.Flag) { set[fl.Name] = true })
 	if *sweep == "" {
-		for _, name := range []string{"n", "f", "scenario", "checkpoint", "resume", "every", "stop-after", "no-prune"} {
+		for _, name := range []string{"n", "f", "scenario", "checkpoint", "resume", "every", "stop-after", "no-prune", "window", "lowwater"} {
 			if set[name] {
 				return fmt.Errorf("-%s requires -sweep", name)
 			}
@@ -122,7 +131,7 @@ func run(args []string, out io.Writer) error {
 			rangeStr: *sweep, n: *sweepN, f: *sweepF, scenario: *scenario,
 			workers: *workers, checkpoint: *checkpoint, resume: *resume,
 			every: *every, stopAfter: *stopAfter, jsonOut: *jsonOut,
-			noPrune: *noPrune,
+			noPrune: *noPrune, window: *window, lowWater: *lowWater,
 		})
 	}
 	opts := experiments.Options{Runs: *runs, Seed: *seed, Quick: *quick, Workers: *workers}
@@ -199,6 +208,8 @@ type sweepOpts struct {
 	stopAfter  int64
 	jsonOut    bool
 	noPrune    bool
+	window     int
+	lowWater   int
 }
 
 // parseSeedRange parses "a:b" into the half-open range [a, b).
@@ -273,7 +284,9 @@ func runSweep(out io.Writer, o sweepOpts) error {
 		N: o.n, F: f, Scenario: sc, Seeds: seeds,
 		Workers: o.workers, Checkpoint: o.checkpoint,
 		Every: o.every, Resume: o.resume, Stop: stop,
-		DisablePruning: o.noPrune,
+		DisablePruning:    o.noPrune,
+		Window:            o.window,
+		LowWatermarkEvery: o.lowWater,
 		Progress: func(done, total int64) {
 			if done%256 == 0 {
 				sampleHeap()

@@ -88,7 +88,9 @@ func TestRunSweepBadFlags(t *testing.T) {
 		{"-sweep", "1:5", "-stop-after", "2"}, // -stop-after without -checkpoint rejected up front
 		{"-checkpoint", "ck.json", "-resume"}, // forgot -sweep: must not launch experiments
 		{"-scenario", "reorder"},
-		{"-no-prune"}, // sweep-only knob
+		{"-no-prune"},        // sweep-only knob
+		{"-window", "2"},     // sweep-only knob
+		{"-lowwater", "512"}, // sweep-only knob
 	}
 	for _, args := range cases {
 		var sb strings.Builder
@@ -123,6 +125,34 @@ func TestRunSweepResumeIdentical(t *testing.T) {
 	if resumed.String() != fresh.String() {
 		t.Errorf("resumed sweep output differs from uninterrupted sweep:\n--- resumed\n%s\n--- fresh\n%s",
 			resumed.String(), fresh.String())
+	}
+}
+
+// TestRunSweepWindowIdentical: the CLI surface of the windowing contract —
+// -window N, -lowwater N, and -no-prune must all print byte-identical
+// aggregate JSON, because windowed pruning releases only provably dead
+// state (the CI windowing step runs the same diff at depth).
+func TestRunSweepWindowIdentical(t *testing.T) {
+	common := []string{"-sweep", "1:9", "-n", "8", "-scenario", "straggler-prune", "-json"}
+	variants := [][]string{
+		nil,
+		{"-window", "3"},
+		{"-lowwater", "128"},
+		{"-no-prune"},
+	}
+	var base string
+	for i, extra := range variants {
+		var sb strings.Builder
+		if err := run(append(append([]string{}, common...), extra...), &sb); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			base = sb.String()
+			continue
+		}
+		if sb.String() != base {
+			t.Errorf("args %v changed the sweep aggregate:\n--- variant\n%s\n--- base\n%s", extra, sb.String(), base)
+		}
 	}
 }
 

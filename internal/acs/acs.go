@@ -60,6 +60,9 @@ type Config struct {
 	NewCoin func(instance int) coin.Coin
 	// Input is this process's contribution.
 	Input string
+	// Window is the per-round retention window handed to every binary
+	// instance (0 = the core default); see core.Config.Window.
+	Window int
 	// Recorder, when enabled, receives protocol events.
 	Recorder *trace.Recorder
 }
@@ -179,6 +182,11 @@ func (n *Node) Deliver(m types.Message) []types.Message {
 			}
 			n.hasInput[idx] = true
 			n.inputs[idx] = d.Body
+			// The input is stored; if the dissemination instance is already
+			// terminal its tallies are dead weight — compact it to a digest
+			// record (a no-op if echoes are still owed; see internal/rbc's
+			// windowing contract).
+			n.values.Compact(d.ID)
 			// Seeing j's input is the trigger to vote 1 in BA_j.
 			out = n.vote(out, idx, types.One)
 		}
@@ -268,6 +276,7 @@ func (n *Node) vote(out []types.Message, idx int, v types.Value) []types.Message
 		Coin:     n.cfg.NewCoin(idx),
 		Proposal: v,
 		Instance: idx,
+		Window:   n.cfg.Window,
 		Recorder: n.cfg.Recorder,
 	})
 	if err != nil {
@@ -322,6 +331,12 @@ func (n *Node) harvest(out []types.Message) []types.Message {
 		}
 		n.done = true
 		for idx := 1; idx <= n.spec.N(); idx++ {
+			// Output is assembled; any dissemination instance that became
+			// terminal after its input landed can compact now.
+			n.values.Compact(types.InstanceID{
+				Sender: n.cfg.Peers[idx-1],
+				Tag:    types.Tag{Seq: valueNS + idx},
+			})
 			if n.decided[idx] == types.One {
 				n.output = append(n.output, Proposal{
 					Proposer: n.cfg.Peers[idx-1],

@@ -14,6 +14,22 @@
 //
 // All coins are deterministic functions of their seeds, keeping experiment
 // runs reproducible.
+//
+// # Windowing contract
+//
+// Per-round coin state is pruned at two levels with two distinct floors.
+// Each process's Common endpoint implements Pruner: the consensus core
+// prunes it by the *local* decided frontier, dropping stored shares, MACs,
+// release flags, and memoized values below the floor, and floor-checking
+// late shares before any work — a pruned round's share is dropped on
+// arrival, never stored, never answered. The shared Dealer prunes its
+// memoized sharings by a *cluster-wide low-watermark* (the minimum current
+// round across all processes, threaded through the runner), because a round
+// only one straggler still needs must stay dealt until that straggler
+// passes it; see the contract on Dealer for why pruned rounds are never
+// re-dealt. What a pruned round promises late messages: silence — exactly
+// the messages an unpruned endpoint would have sent, since release happens
+// only after the round's coin can no longer be queried.
 package coin
 
 import (

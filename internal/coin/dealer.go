@@ -21,6 +21,23 @@ import (
 // The trust model is exactly the paper's (via Rabin, FOCS 1983): the dealer
 // is honest and acts only before the execution; during the execution it is
 // just a lookup table each process holds a slice of.
+//
+// # Windowing contract (the cluster low-watermark)
+//
+// The memoized per-round sharings are shared state: every process's Common
+// endpoint reads the same table, so no single process may prune it by its
+// own round. Prune takes a *cluster-wide low-watermark* — a round no
+// process will ever release or look up again, in practice the minimum
+// current round across the cluster (rounds only advance, and a process only
+// calls ShareFor for its current round), which the runner threads through
+// its delivery loop. Below the watermark the sharings and secrets are
+// dropped and never re-dealt: ShareFor for a pruned round returns empty
+// strings rather than touching the RNG, because re-dealing would mint a
+// *different* sharing whose MACs disagree with shares already on the wire.
+// Share *verification* needs no per-round state at all (the MAC keys are
+// round-independent), so a straggler's ancient share still verifies at
+// peers — whose own Common endpoints floor-check and drop it before any
+// lookup — and the watermark never threatens totality or agreement.
 type Dealer struct {
 	spec quorum.Spec
 	keys *auth.DealerKeys
@@ -29,6 +46,9 @@ type Dealer struct {
 	rng     *rand.Rand
 	rounds  map[int][]shamir.Share
 	secrets map[int]types.Value
+	// floor is the cluster low-watermark: rounds below it are pruned and
+	// must never be dealt (or re-dealt).
+	floor int
 }
 
 // NewDealer creates a dealer for the given system spec, deterministically
@@ -48,10 +68,15 @@ func seedKey(seed int64) []byte {
 	return []byte(fmt.Sprintf("coin-dealer-%d", seed))
 }
 
-// deal lazily creates the sharing for a round.
+// deal lazily creates the sharing for a round. Rounds below the low-
+// watermark are never dealt: their original sharing is gone, and a re-deal
+// would draw fresh randomness and contradict shares already distributed.
 func (d *Dealer) deal(round int) []shamir.Share {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if round < d.floor {
+		return nil
+	}
 	if ss, ok := d.rounds[round]; ok {
 		return ss
 	}
@@ -88,12 +113,48 @@ func (d *Dealer) VerifyShare(p types.ProcessID, round int, share, mac string) bo
 
 // SecretFor exposes the round's bit. It exists for tests and for modelling
 // the strongest adversary (one that has broken the coin's secrecy);
-// protocol code never calls it.
+// protocol code never calls it. For rounds below the low-watermark the
+// secret is gone; the zero value is returned.
 func (d *Dealer) SecretFor(round int) types.Value {
 	d.deal(round)
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.secrets[round]
+}
+
+// Prune releases the memoized sharings and secrets of every round below the
+// cluster low-watermark (see the windowing contract above). The caller
+// asserts that no process will release or query those rounds again; the
+// runner derives that from the minimum current round across the cluster.
+// Pruned rounds are never re-dealt — ShareFor answers them with empty
+// strings — so the dealing stream for live rounds is unaffected and replays
+// stay byte-identical.
+func (d *Dealer) Prune(below int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if below <= d.floor {
+		return
+	}
+	d.floor = below
+	for r := range d.rounds {
+		if r < below {
+			delete(d.rounds, r)
+		}
+	}
+	for r := range d.secrets {
+		if r < below {
+			delete(d.secrets, r)
+		}
+	}
+}
+
+// RoundsRetained returns how many per-round sharings the dealer currently
+// memoizes — bounded by the spread between the fastest process's round and
+// the low-watermark under runner-driven pruning; linear in rounds without.
+func (d *Dealer) RoundsRetained() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.rounds)
 }
 
 // Spec returns the system spec the dealer was set up for.

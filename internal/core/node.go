@@ -72,12 +72,22 @@ type Config struct {
 	// the node then decides but never halts, as in the paper's original
 	// formulation.
 	DisableDecideGadget bool
-	// DisablePruning turns off per-round state pruning (accepted lists and
-	// coin share state are then retained for the whole execution, as the
-	// pre-pruning implementation did). Pruning never changes behaviour —
-	// released state is provably dead — so this knob exists only for the
-	// E11 memory comparison.
+	// DisablePruning turns off per-round state pruning (accepted lists,
+	// coin share state, RBC instance compaction, and the validator's seen
+	// window are then retained for the whole execution, as the pre-pruning
+	// implementation did). Pruning never changes behaviour — released state
+	// is provably dead — so this knob exists only for the E11 memory
+	// comparison.
 	DisablePruning bool
+	// Window is how many rounds of per-round state are retained behind the
+	// decided frontier (0 = the default of 1, the tightest window the
+	// invariant "state for round r is released once r+1 decides" allows).
+	// On entering round r the node releases everything below r−Window:
+	// accepted lists, coin share state, terminal RBC instances (compacted
+	// to delivered-digest records), and the validator's seen entries.
+	// Window never changes behaviour, only retention; ARCHITECTURE.md maps
+	// every structure it governs.
+	Window int
 	// MaxRounds bounds round progression (0 = DefaultMaxRounds).
 	MaxRounds int
 }
@@ -136,8 +146,8 @@ type Node struct {
 // released backing arrays through a free list, so steady-state appends
 // allocate nothing and a long run's live table stays a fixed-size window.
 type acceptedTable struct {
-	base   int         // lowest retained round; rounds below are pruned
-	rounds []stepLists // rounds[i] = round base+i
+	base   int                   // lowest retained round; rounds below are pruned
+	rounds []stepLists           // rounds[i] = round base+i
 	free   [][]validate.Accepted // recycled backing arrays from pruned rounds
 }
 
@@ -238,6 +248,12 @@ func New(cfg Config) (*Node, error) {
 	if cfg.MaxRounds <= 0 {
 		cfg.MaxRounds = DefaultMaxRounds
 	}
+	if cfg.Window < 0 {
+		return nil, fmt.Errorf("core: negative window %d", cfg.Window)
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 1
+	}
 	newVal := validate.New
 	if cfg.DisableValidation {
 		newVal = validate.NewLax
@@ -304,10 +320,27 @@ func (n *Node) Proposal() types.Value { return n.cfg.Proposal }
 func (n *Node) Stats() Stats { return n.stats }
 
 // AcceptedRetained returns how many justified messages the node currently
-// retains in its quorum-wait table — with pruning on, a sliding window of at
-// most two rounds; without it, the whole execution (diagnostics for the
+// retains in its quorum-wait table — with pruning on, a sliding window of
+// Window+1 rounds; without it, the whole execution (diagnostics for the
 // pruning tests and the E11 memory experiment).
 func (n *Node) AcceptedRetained() int { return n.accepted.retained() }
+
+// RBCLiveInstances returns how many reliable-broadcast instances the node
+// retains at full fidelity (tallies and payloads); RBCCompacted returns how
+// many it has released to compact delivered-digest records. With pruning on
+// the live count stays bounded by the window plus non-terminal stragglers;
+// without it, every instance of the execution stays live (diagnostics for
+// the windowing tests and the E11 memory experiment).
+func (n *Node) RBCLiveInstances() int { return n.bcast.Instances() }
+
+// RBCCompacted returns the count of compact delivered-digest records held
+// for pruned RBC instances.
+func (n *Node) RBCCompacted() int { return n.bcast.Compacted() }
+
+// ValidatorSeenRetained returns how many per-sender dedup entries the
+// node's validator currently holds — windowed behind the decided frontier
+// with pruning on, linear in rounds without.
+func (n *Node) ValidatorSeenRetained() int { return n.val.SeenRetained() }
 
 // onRBC feeds a reliable-broadcast payload through the broadcaster, then
 // records every resulting delivery with the validator and appends newly
@@ -448,17 +481,23 @@ func (n *Node) enterRound(out []types.Message, r int) []types.Message {
 	n.stats.RoundsStarted++
 	if !n.cfg.DisablePruning {
 		// The pruning invariant: state for round k is released once round
-		// k+1 decides. Entering round r means r−1 decided, so everything
-		// below r−1 is released — accepted lists recycle their backing
-		// arrays, and a pruning-aware coin drops its per-round share state
-		// (and any straggler shares that arrive later). The round tallies
-		// in the validator are deliberately NOT pruned: justification of
-		// current-round messages recurses into previous rounds' tallies,
-		// and they cost bytes per round, not kilobytes.
-		n.accepted.pruneBelow(r - 1)
+		// k+Window decides. Entering round r means r−1 decided, so with the
+		// default Window of 1 everything below r−1 is released — accepted
+		// lists recycle their backing arrays, a pruning-aware coin drops its
+		// per-round share state (and any straggler shares that arrive
+		// later), terminal RBC instances compact to delivered-digest
+		// records, and the validator releases its per-sender seen entries.
+		// The validator's per-round justification digests are deliberately
+		// retained: justification of in-flight messages recurses into
+		// previous rounds' digests, and they cost bytes per round, not
+		// kilobytes.
+		floor := r - n.cfg.Window
+		n.accepted.pruneBelow(floor)
 		if p, ok := n.cfg.Coin.(coin.Pruner); ok {
-			p.Prune(r - 1)
+			p.Prune(floor)
 		}
+		n.bcast.PruneBelow(floor)
+		n.val.PruneBelow(floor)
 	}
 	n.record(trace.Event{Kind: trace.KindRound, P: n.cfg.Me, Round: r})
 	return n.broadcastStep(out)

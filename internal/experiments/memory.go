@@ -8,50 +8,77 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/quorum"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/types"
 )
 
 // E11MemoryPruning regenerates Table 7: the memory effect of per-round state
-// pruning ("state for round r is released once round r+1 decides"). Each row
-// runs the identical fixed-round, non-halting consensus workload — the
-// decide gadget off and MaxRounds pinned, so pruned and unpruned runs do
-// exactly the same protocol work — and measures what the cluster holds on to.
-// The shape to verify: retained accepted messages (a deterministic count)
-// stay a constant two-round window with pruning on and grow linearly with
-// rounds with pruning off, and the heap numbers follow. Peak heap is sampled
-// with runtime.ReadMemStats every few thousand deliveries; retained heap is
-// measured after a forced GC with the nodes still live. Runs are serial —
-// concurrent workers would share the heap under measurement.
+// pruning ("state for round r is released once round r+Window decides").
+// Each row runs the identical fixed-round, non-halting consensus workload —
+// the decide gadget off and MaxRounds pinned, so every configuration does
+// exactly the same protocol work — and measures what the cluster holds on
+// to, retainer by retainer (the lifecycle of each is mapped in
+// ARCHITECTURE.md):
 //
-// Determinism note: deliveries, retained accepted msgs, and allocs are pure
-// functions of (config, seed) — byte-stable across reruns, worker counts,
-// and machines, like every other table. The two heap columns are runtime
-// telemetry (GC timing moves them a few percent between processes) and are
-// exempt from the bitwise-regeneration contract, exactly like the per-table
-// timing suffixes bench prints.
+//   - accepted msgs: justified step messages in the quorum-wait tables
+//     (constant (Window+1)·3·n per node pruned; rounds·3·n unpruned);
+//   - rbc live inst: full-fidelity reliable-broadcast instances (tallies and
+//     payloads — the dominant retainer before windowing), with rbc digests
+//     counting the compact delivered-digest records that replaced pruned
+//     ones;
+//   - val seen: the validators' per-sender dedup entries, windowed behind
+//     the decided frontier;
+//   - dealer rounds: the common-coin dealer's memoized sharings, pruned by
+//     the cluster low-watermark (minimum round across nodes).
+//
+// The shape to verify: with pruning on, every retainer is bounded by the
+// window (live-instance and seen counts scale with Window, not rounds run);
+// with pruning off, all of them grow linearly with rounds — and the heap
+// columns follow. Peak heap is sampled with runtime.ReadMemStats every few
+// thousand deliveries; retained heap is measured after a forced GC with the
+// nodes still live. Runs are serial — concurrent workers would share the
+// heap under measurement.
+//
+// Determinism note: deliveries and all retainer counts are pure functions
+// of (config, seed) — byte-stable across reruns, worker counts, and
+// machines, like every other table. The two heap columns and the allocs
+// column are runtime telemetry: GC timing moves the heap numbers a few
+// percent between processes, and Mallocs picks up a handful of scheduler
+// allocations left over from other experiments' worker pools, so all three
+// are exempt from the bitwise-regeneration contract, exactly like the
+// per-table timing suffixes bench prints.
 func E11MemoryPruning(o Options) (*metrics.Table, error) {
 	o = Defaults(o)
 	t := metrics.NewTable(
-		"E11 / Table 7 — per-round pruning: peak memory, pruned vs unpruned",
-		"n", "f", "rounds", "pruning", "deliveries", "retained accepted msgs", "retained heap", "peak heap", "allocs")
+		"E11 / Table 7 — windowed per-round pruning: retained state by retainer, pruned vs unpruned",
+		"n", "f", "rounds", "pruning", "window", "deliveries", "accepted msgs",
+		"rbc live inst", "rbc digests", "val seen", "dealer rounds",
+		"retained heap", "peak heap", "allocs")
 	sizes := []int{64, 128}
 	if o.Quick {
 		sizes = []int{16}
 	}
 	const rounds = 12
+	type variant struct {
+		label   string
+		window  int
+		noPrune bool
+	}
+	variants := []variant{
+		{label: "on", window: 1},
+		{label: "on", window: 4},
+		{label: "off", window: 1, noPrune: true},
+	}
 	for _, n := range sizes {
-		for _, pruning := range []bool{true, false} {
-			res, err := runMemoryWorkload(n, rounds, o.Seed, !pruning)
+		for _, v := range variants {
+			res, err := runMemoryWorkload(n, rounds, o.Seed, v.window, v.noPrune)
 			if err != nil {
 				return nil, err
 			}
-			label := "on"
-			if !pruning {
-				label = "off"
-			}
-			t.AddRowf(n, quorum.MaxByzantine(n), rounds, label, res.deliveries,
-				res.retainedAccepted, mib(res.retainedHeap), mib(res.peakHeap), res.allocs)
+			t.AddRowf(n, quorum.MaxByzantine(n), rounds, v.label, v.window, res.deliveries,
+				res.retainedAccepted, res.rbcLive, res.rbcDigests, res.valSeen,
+				res.dealerRounds, mib(res.retainedHeap), mib(res.peakHeap), res.allocs)
 		}
 	}
 	return t, nil
@@ -65,6 +92,10 @@ func mib(b uint64) string {
 type memoryResult struct {
 	deliveries       int
 	retainedAccepted int    // accepted messages still held (deterministic)
+	rbcLive          int    // full-fidelity RBC instances still held
+	rbcDigests       int    // compact delivered-digest records
+	valSeen          int    // validator per-sender dedup entries still held
+	dealerRounds     int    // dealer sharings still memoized
 	retainedHeap     uint64 // live heap after run + forced GC, nodes alive
 	peakHeap         uint64 // max sampled HeapAlloc during the run
 	allocs           uint64 // Mallocs delta across the run
@@ -73,8 +104,9 @@ type memoryResult struct {
 // runMemoryWorkload drives one all-correct common-coin cluster for a fixed
 // number of rounds with the decide gadget off, so every node marches through
 // exactly `rounds` rounds whatever it decides — the state-retention workload
-// behind E11 and the pruning claims in EXPERIMENTS.md.
-func runMemoryWorkload(n, rounds int, seed int64, disablePruning bool) (*memoryResult, error) {
+// behind E11 and the pruning claims in EXPERIMENTS.md. The dealer is pruned
+// by the cluster low-watermark on the same delivery cadence the runner uses.
+func runMemoryWorkload(n, rounds int, seed int64, window int, disablePruning bool) (*memoryResult, error) {
 	f := quorum.MaxByzantine(n)
 	spec, err := quorum.New(n, f)
 	if err != nil {
@@ -104,6 +136,7 @@ func runMemoryWorkload(n, rounds int, seed int64, disablePruning bool) (*memoryR
 			Proposal:            types.Value(i % 2),
 			DisableDecideGadget: true,
 			DisablePruning:      disablePruning,
+			Window:              window,
 			MaxRounds:           rounds,
 		})
 		if err != nil {
@@ -126,6 +159,15 @@ func runMemoryWorkload(n, rounds int, seed int64, disablePruning bool) (*memoryR
 	}
 	stats, err := net.Run(func() bool {
 		delivered++
+		if !disablePruning && delivered%runner.DefaultLowWatermarkEvery == 0 {
+			low := nodes[0].Round()
+			for _, nd := range nodes[1:] {
+				if r := nd.Round(); r < low {
+					low = r
+				}
+			}
+			dealer.Prune(runner.DealerFloor(low, window))
+		}
 		if delivered%(1<<14) == 0 {
 			sample()
 		}
@@ -140,15 +182,19 @@ func runMemoryWorkload(n, rounds int, seed int64, disablePruning bool) (*memoryR
 	var after runtime.MemStats
 	runtime.ReadMemStats(&after)
 	res := &memoryResult{
-		deliveries: stats.Delivered,
-		peakHeap:   peak,
-		allocs:     after.Mallocs - before.Mallocs,
+		deliveries:   stats.Delivered,
+		peakHeap:     peak,
+		allocs:       after.Mallocs - before.Mallocs,
+		dealerRounds: dealer.RoundsRetained(),
 	}
 	if after.HeapAlloc > before.HeapAlloc {
 		res.retainedHeap = after.HeapAlloc - before.HeapAlloc
 	}
 	for _, nd := range nodes {
 		res.retainedAccepted += nd.AcceptedRetained()
+		res.rbcLive += nd.RBCLiveInstances()
+		res.rbcDigests += nd.RBCCompacted()
+		res.valSeen += nd.ValidatorSeenRetained()
 	}
 	runtime.KeepAlive(net)
 	return res, nil

@@ -25,6 +25,32 @@
 // f+1 READY amplification makes delivery contagious (totality); 2f+1 READYs
 // contain at least f+1 correct witnesses, which seed the amplification at
 // every other correct process.
+//
+// # Windowing contract
+//
+// Long-lived owners (the consensus core, the SMR log) bound per-instance
+// memory by compacting *terminal* instances — ones that have echoed,
+// readied, and delivered — via Compact or PruneBelow. A terminal instance
+// provably emits nothing ever again: a late SEND is ignored (already
+// echoed), late ECHOs and READYs only update tallies that no threshold will
+// read (already readied, already delivered). Compaction therefore replaces
+// the full state (per-body tallies, payloads) with a compact delivered-
+// digest record, and message handling for a compacted instance is a silent
+// no-op — byte-for-byte the messages an uncompacted broadcaster would have
+// sent, which is why the golden replay hashes pin it.
+//
+// What a pruned (compacted) instance promises late messages: nothing is
+// sent in response, exactly as before compaction; Delivered(id) stays true
+// and DeliveredDigest(id) still answers which body was delivered, so a
+// catch-up layer can serve stragglers from the record. Totality for a
+// straggler that has not delivered yet is unaffected: every correct process
+// sent its READY broadcast before its instance became terminal, and
+// asynchronous reliable links deliver those in-flight READYs eventually —
+// the 2f+1 the straggler needs are already on the wire, not in the pruned
+// state. Instances that never reached terminal state (a crashed sender's
+// half-finished broadcast, a missing SEND) are deliberately *not* compacted:
+// they may still have to echo or amplify, so they stay live at full fidelity
+// however far the window moves.
 package rbc
 
 import (
@@ -52,6 +78,12 @@ type Broadcaster struct {
 	peers     []types.ProcessID
 	spec      quorum.Spec
 	instances map[types.InstanceID]*instance
+	// compacted holds the delivered-body digest of every instance released
+	// by Compact/PruneBelow (see the windowing contract in the package doc):
+	// a few bytes instead of tallies and payloads. Handling a message for a
+	// compacted instance is a silent no-op, identical to what the retained
+	// terminal state would have done.
+	compacted map[types.InstanceID]uint64
 	// peerIdx maps a peer to its dense bitset index; words is the bitset
 	// length every tally uses. Together they turn the per-(body, sender)
 	// bookkeeping of the counting path into a bit test, replacing the
@@ -74,6 +106,7 @@ func New(me types.ProcessID, peers []types.ProcessID, spec quorum.Spec) *Broadca
 		peers:     append([]types.ProcessID(nil), peers...),
 		spec:      spec,
 		instances: make(map[types.InstanceID]*instance),
+		compacted: make(map[types.InstanceID]uint64),
 		peerIdx:   idx,
 		words:     (len(peers) + 63) / 64,
 	}
@@ -103,11 +136,35 @@ type instance struct {
 	readied   bool // this process sent READY for a body (at most one)
 	delivered bool
 
+	// deliveredDigest fingerprints the delivered body (set at delivery):
+	// what survives compaction, so Delivered/DeliveredDigest keep answering
+	// after the tallies and payloads are released.
+	deliveredDigest uint64
+
 	echoPayload  types.RBCPayload
 	readyPayload types.RBCPayload
 
 	echoes  []tally
 	readies []tally
+}
+
+// terminal reports whether the instance can never emit again: it echoed,
+// readied, and delivered, so every remaining handler path is a silent tally
+// update. Only terminal instances may be compacted.
+func (in *instance) terminal() bool { return in.echoed && in.readied && in.delivered }
+
+// digest is FNV-1a over the body — the compact fingerprint kept for
+// compacted instances. Not cryptographic: agreement is enforced by the echo
+// quorum intersection before delivery ever happens; the digest only lets a
+// catch-up layer identify what was delivered without retaining the body.
+func digest(body string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(body); i++ {
+		h ^= uint64(body[i])
+		h *= prime
+	}
+	return h
 }
 
 func (b *Broadcaster) inst(id types.InstanceID) *instance {
@@ -178,6 +235,13 @@ func (b *Broadcaster) AppendHandle(out []types.Message, from types.ProcessID, p 
 	if p == nil {
 		return out, nil
 	}
+	// Compacted instances answer every late message with silence — exactly
+	// what their retained terminal state would have produced (see the
+	// windowing contract): no SEND reaction (echoed), no READY (readied), no
+	// delivery (delivered). One map probe, no allocation, no regrowth.
+	if _, done := b.compacted[p.ID]; done {
+		return out, nil
+	}
 	switch p.Phase {
 	case types.KindRBCSend:
 		// Authenticated links: a SEND for instance (s, tag) counts only if
@@ -237,19 +301,80 @@ func (b *Broadcaster) maybeReadyAndDeliver(out []types.Message, in *instance, id
 	var deliveries []Delivery
 	if !in.delivered && readies >= b.spec.Decide() {
 		in.delivered = true
+		in.deliveredDigest = digest(body)
 		deliveries = append(deliveries, Delivery{ID: id, Body: body})
 	}
 	return out, deliveries
 }
 
 // Delivered reports whether the given instance has delivered at this
-// process.
+// process. Compaction preserves the answer: a pruned instance was delivered
+// by definition.
 func (b *Broadcaster) Delivered(id types.InstanceID) bool {
+	if _, done := b.compacted[id]; done {
+		return true
+	}
 	in, ok := b.instances[id]
 	return ok && in.delivered
 }
 
-// Instances returns the number of instances this broadcaster tracks
-// (diagnostics; Byzantine processes can create instances freely, so memory
-// pressure is observable here).
+// DeliveredDigest returns the FNV-1a fingerprint of the body this instance
+// delivered (false if it has not delivered). It keeps answering after
+// compaction — the record a catch-up layer serves to stragglers asking what
+// a pruned instance agreed on.
+func (b *Broadcaster) DeliveredDigest(id types.InstanceID) (uint64, bool) {
+	if d, done := b.compacted[id]; done {
+		return d, true
+	}
+	if in, ok := b.instances[id]; ok && in.delivered {
+		return in.deliveredDigest, true
+	}
+	return 0, false
+}
+
+// Compact releases one instance's tallies and payloads if it is terminal
+// (echoed, readied, delivered — it can never emit again), leaving only the
+// delivered-digest record. Reports whether compaction happened; non-terminal
+// instances are left untouched so late echoes still amplify. Per-slot owners
+// (the SMR log, ACS input dissemination) call this when a slot commits.
+func (b *Broadcaster) Compact(id types.InstanceID) bool {
+	in, ok := b.instances[id]
+	if !ok || !in.terminal() {
+		return false
+	}
+	b.compacted[id] = in.deliveredDigest
+	delete(b.instances, id)
+	return true
+}
+
+// PruneBelow compacts every terminal instance whose tag round is below the
+// given round, returning how many it released. Round-tagged owners (the
+// consensus core) call it on round entry with the same floor as the rest of
+// the per-round state; roundless instances (Tag.Round == 0, the namespace
+// the SMR/ACS layers use) are never touched — they are pruned per slot via
+// Compact instead. Non-terminal instances below the floor stay live at full
+// fidelity: they may still owe the network an echo or an amplification.
+func (b *Broadcaster) PruneBelow(round int) int {
+	released := 0
+	for id, in := range b.instances {
+		if id.Tag.Round == 0 || id.Tag.Round >= round || !in.terminal() {
+			continue
+		}
+		b.compacted[id] = in.deliveredDigest
+		delete(b.instances, id)
+		released++
+	}
+	return released
+}
+
+// Instances returns the number of live (uncompacted) instances this
+// broadcaster tracks — the full-fidelity state that dominates RBC memory.
+// With windowing driven by an owner this stays bounded by the window (plus
+// any non-terminal stragglers); Byzantine processes can create instances
+// freely, so memory pressure is observable here.
 func (b *Broadcaster) Instances() int { return len(b.instances) }
+
+// Compacted returns how many instances have been released to delivered-
+// digest records (diagnostics; each record costs a map entry and 8 bytes,
+// not tallies and payloads).
+func (b *Broadcaster) Compacted() int { return len(b.compacted) }

@@ -1,0 +1,194 @@
+package rbc
+
+// Windowing tests: compaction of terminal instances to delivered-digest
+// records must be invisible to the protocol (late messages get the exact
+// silence the retained terminal state would have produced), must actually
+// release the full-fidelity state, and must refuse to touch instances that
+// could still emit.
+
+import (
+	"testing"
+
+	"repro/internal/quorum"
+	"repro/internal/types"
+)
+
+// runInstance pumps one full broadcast from sender through a cluster and
+// returns it, with every correct instance terminal.
+func runInstance(t *testing.T, n, f int, tag types.Tag, body string) *cluster {
+	t.Helper()
+	c := newCluster(t, n, f, types.Processes(n))
+	c.enqueue(c.correct[1].Broadcast(tag, body))
+	c.pump()
+	return c
+}
+
+func TestCompactReleasesTerminalInstance(t *testing.T) {
+	tag := types.Tag{Round: 1, Step: types.Step1}
+	id := types.InstanceID{Sender: 1, Tag: tag}
+	c := runInstance(t, 4, 1, tag, "payload")
+	b := c.correct[2]
+
+	wantDigest, ok := b.DeliveredDigest(id)
+	if !ok {
+		t.Fatal("DeliveredDigest unavailable before compaction on a delivered instance")
+	}
+	if b.Instances() != 1 || b.Compacted() != 0 {
+		t.Fatalf("live/compacted = %d/%d before compaction, want 1/0", b.Instances(), b.Compacted())
+	}
+	if !b.Compact(id) {
+		t.Fatal("Compact refused a terminal instance")
+	}
+	if b.Instances() != 0 || b.Compacted() != 1 {
+		t.Fatalf("live/compacted = %d/%d after compaction, want 0/1", b.Instances(), b.Compacted())
+	}
+	if !b.Delivered(id) {
+		t.Error("Delivered(id) lost by compaction")
+	}
+	if d, ok := b.DeliveredDigest(id); !ok || d != wantDigest {
+		t.Errorf("DeliveredDigest after compaction = %x/%v, want %x/true", d, ok, wantDigest)
+	}
+	if b.Compact(id) {
+		t.Error("Compact reported success on an already-compacted instance")
+	}
+}
+
+// TestCompactedInstanceAnswersLateMessagesWithSilence: every late message
+// kind for a compacted instance produces no output, no delivery, no state
+// regrowth, and no allocation — exactly what the retained terminal state
+// would have done.
+func TestCompactedInstanceAnswersLateMessagesWithSilence(t *testing.T) {
+	tag := types.Tag{Round: 1, Step: types.Step1}
+	id := types.InstanceID{Sender: 1, Tag: tag}
+	c := runInstance(t, 4, 1, tag, "payload")
+	b := c.correct[2]
+	if !b.Compact(id) {
+		t.Fatal("Compact refused a terminal instance")
+	}
+
+	late := []*types.RBCPayload{
+		{Phase: types.KindRBCSend, ID: id, Body: "payload"},
+		{Phase: types.KindRBCSend, ID: id, Body: "equivocation"},
+		{Phase: types.KindRBCEcho, ID: id, Body: "payload"},
+		{Phase: types.KindRBCReady, ID: id, Body: "forgery"},
+	}
+	for _, p := range late {
+		from := types.ProcessID(1)
+		if p.Phase != types.KindRBCSend {
+			from = 3
+		}
+		out, ds := b.Handle(from, p)
+		if len(out) != 0 || len(ds) != 0 {
+			t.Errorf("late %v for compacted instance emitted %d msgs, %d deliveries", p.Phase, len(out), len(ds))
+		}
+	}
+	if b.Instances() != 0 {
+		t.Errorf("late traffic regrew %d live instances from a compacted record", b.Instances())
+	}
+	echo := late[2]
+	allocs := testing.AllocsPerRun(200, func() {
+		b.AppendHandle(nil, 3, echo)
+	})
+	if allocs != 0 {
+		t.Errorf("late message for compacted instance cost %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestCompactRefusesNonTerminalInstance: an instance that has not delivered
+// (or never echoed) may still owe the network messages, so compaction must
+// leave it at full fidelity — the totality half of the windowing contract.
+func TestCompactRefusesNonTerminalInstance(t *testing.T) {
+	spec := quorum.MustNew(4, 1)
+	peers := types.Processes(4)
+	b := New(2, peers, spec)
+	id := types.InstanceID{Sender: 1, Tag: types.Tag{Round: 1, Step: types.Step1}}
+
+	// Only the SEND arrived: echoed, but neither readied nor delivered.
+	out, _ := b.Handle(1, &types.RBCPayload{Phase: types.KindRBCSend, ID: id, Body: "m"})
+	if len(out) == 0 {
+		t.Fatal("SEND produced no echo")
+	}
+	if b.Compact(id) {
+		t.Fatal("Compact released a non-terminal instance")
+	}
+	if b.PruneBelow(100) != 0 {
+		t.Fatal("PruneBelow released a non-terminal instance")
+	}
+	if b.Instances() != 1 {
+		t.Fatalf("live instances = %d, want 1", b.Instances())
+	}
+	// The instance must still amplify: 2f+1 READYs deliver.
+	for _, from := range []types.ProcessID{1, 3, 4} {
+		_, ds := b.Handle(from, &types.RBCPayload{Phase: types.KindRBCReady, ID: id, Body: "m"})
+		for _, d := range ds {
+			if d.Body != "m" {
+				t.Fatalf("delivered %q, want %q", d.Body, "m")
+			}
+		}
+	}
+	if !b.Delivered(id) {
+		t.Fatal("instance failed to deliver after being spared by compaction")
+	}
+}
+
+// TestPruneBelowWindowsByRound: PruneBelow compacts terminal instances
+// strictly below the floor, skips roundless (Tag.Round == 0) instances —
+// those belong to per-slot owners — and leaves the window's rounds live.
+func TestPruneBelowWindowsByRound(t *testing.T) {
+	n, f := 4, 1
+	c := newCluster(t, n, f, types.Processes(n))
+	tags := []types.Tag{
+		{Round: 1, Step: types.Step1},
+		{Round: 2, Step: types.Step1},
+		{Round: 3, Step: types.Step1},
+		{Seq: 9}, // roundless: SMR/ACS namespace
+	}
+	for _, tag := range tags {
+		c.enqueue(c.correct[1].Broadcast(tag, "body"))
+	}
+	c.pump()
+	b := c.correct[2]
+	if b.Instances() != len(tags) {
+		t.Fatalf("live instances = %d, want %d", b.Instances(), len(tags))
+	}
+	if got := b.PruneBelow(3); got != 2 {
+		t.Fatalf("PruneBelow(3) released %d instances, want 2 (rounds 1 and 2)", got)
+	}
+	if b.Instances() != 2 || b.Compacted() != 2 {
+		t.Fatalf("live/compacted = %d/%d, want 2/2", b.Instances(), b.Compacted())
+	}
+	for _, tag := range tags {
+		if !b.Delivered(types.InstanceID{Sender: 1, Tag: tag}) {
+			t.Errorf("instance %v no longer Delivered after windowing", tag)
+		}
+	}
+	// Idempotent: nothing below the floor is left to release.
+	if got := b.PruneBelow(3); got != 0 {
+		t.Errorf("second PruneBelow(3) released %d instances, want 0", got)
+	}
+}
+
+// TestDigestDistinguishesBodies: the delivered-digest record identifies what
+// was agreed — two instances delivering different bodies keep different
+// digests across compaction.
+func TestDigestDistinguishesBodies(t *testing.T) {
+	tagA := types.Tag{Round: 1, Step: types.Step1}
+	tagB := types.Tag{Round: 2, Step: types.Step1}
+	c := newCluster(t, 4, 1, types.Processes(4))
+	c.enqueue(c.correct[1].Broadcast(tagA, "alpha"))
+	c.enqueue(c.correct[1].Broadcast(tagB, "beta"))
+	c.pump()
+	b := c.correct[3]
+	b.PruneBelow(100)
+	da, okA := b.DeliveredDigest(types.InstanceID{Sender: 1, Tag: tagA})
+	db, okB := b.DeliveredDigest(types.InstanceID{Sender: 1, Tag: tagB})
+	if !okA || !okB {
+		t.Fatal("digest lost by windowing")
+	}
+	if da == db {
+		t.Errorf("digests collide across different bodies: %x", da)
+	}
+	if da != digest("alpha") || db != digest("beta") {
+		t.Errorf("digests %x/%x do not match recomputation %x/%x", da, db, digest("alpha"), digest("beta"))
+	}
+}

@@ -157,6 +157,15 @@ type PropertySpec struct {
 	// nodes (consensus scenarios only) — the memory-comparison knob behind
 	// `bench -sweep -no-prune` and experiment E11.
 	DisablePruning bool
+	// Window is the per-round retention window of the correct nodes
+	// (consensus scenarios only; 0 = the core default of 1 — see
+	// core.Config.Window). Behaviour-neutral: sweep aggregates are bitwise
+	// identical at every window size, which the CI windowing diff enforces.
+	Window int
+	// LowWatermarkEvery is the delivery cadence of cluster low-watermark
+	// scans for the common-coin dealer (0 = runner default; see
+	// Config.LowWatermarkEvery).
+	LowWatermarkEvery int
 
 	// Pass-through sweep knobs (see SweepSpec).
 	Workers    int
@@ -234,6 +243,8 @@ func (p PropertySpec) SweepSpec() (SweepSpec, error) {
 		MaxDeliveries:       budget,
 		DisableDecideGadget: sc.NoHalt,
 		DisablePruning:      p.DisablePruning,
+		Window:              p.Window,
+		LowWatermarkEvery:   p.LowWatermarkEvery,
 	}
 	return spec, nil
 }

@@ -212,6 +212,40 @@ type Config struct {
 	// only; behaviour-neutral by construction — the E11 memory comparison
 	// and `bench -sweep -no-prune` are its only users).
 	DisablePruning bool
+	// Window is the per-round retention window of the correct Bracha nodes
+	// (0 = the core default of 1; see core.Config.Window). Behaviour-
+	// neutral at any value: the windowed golden-replay tests and the CI
+	// sweep diff hold every run bitwise identical across window sizes.
+	Window int
+	// LowWatermarkEvery is how many deliveries pass between cluster
+	// low-watermark scans for the common-coin dealer (0 = default). Each
+	// scan takes the minimum current round across the correct nodes and
+	// prunes the dealer's memoized sharings below it — the only per-round
+	// retainer shared across the cluster, so no single node may prune it
+	// alone. Behaviour-neutral: pruned rounds are ones no process will
+	// release or query again.
+	LowWatermarkEvery int
+}
+
+// DefaultLowWatermarkEvery is the default delivery cadence of dealer
+// low-watermark scans: frequent enough that dealer retention tracks the
+// cluster's slowest process closely, rare enough that the O(n) round scan
+// is amortized to nothing against the ~n³ deliveries a round takes.
+const DefaultLowWatermarkEvery = 1024
+
+// DealerFloor is the dealer's pruning floor for a cluster whose slowest
+// correct process is at minRound under retention window W (0 or less = the
+// default of 1): everything below minRound − (W−1) is provably dead — no
+// process will release or query a round below its own current round, and
+// rounds only advance. Every low-watermark scan (runner.Run's delivery
+// loop, experiment E11's workload) must derive its floor from this one
+// function: the arithmetic is load-bearing for the never-re-deal guarantee
+// (see coin.Dealer's windowing contract).
+func DealerFloor(minRound, window int) int {
+	if window <= 0 {
+		window = 1
+	}
+	return minRound - (window - 1)
 }
 
 // Result is what one run produced.
@@ -236,6 +270,15 @@ type Result struct {
 	// messages that arrived for rounds already released by per-round
 	// pruning and were dropped (see core.Stats.PrunedLate).
 	PrunedLate int
+	// RBCCompacted sums, over the correct Bracha nodes, the terminal RBC
+	// instances released to compact delivered-digest records by windowed
+	// pruning (0 with pruning disabled).
+	RBCCompacted int
+	// DealerRoundsRetained is the common-coin dealer's memoized sharing
+	// count at the end of the run (0 for other coins) — bounded by the
+	// cluster round spread under low-watermark pruning, linear in rounds
+	// without it.
+	DealerRoundsRetained int
 	// Recorder holds the trace when Config.Trace was set.
 	Recorder *trace.Recorder
 }
@@ -245,6 +288,7 @@ type node interface {
 	sim.Node
 	Decided() (types.Value, bool)
 	DecidedRound() int
+	Round() int
 	Proposal() types.Value
 }
 
@@ -351,6 +395,35 @@ func Run(cfg Config) (*Result, error) {
 		}
 		return true
 	}
+	if dealer != nil && !cfg.DisablePruning && len(nodes) > 0 {
+		// The dealer's memoized sharings are shared cluster state: prune
+		// them by the cluster low-watermark — the minimum current round
+		// across the correct nodes, a round no process will release or
+		// query again (rounds only advance; ShareFor is only called for a
+		// node's current round). Scanned every LowWatermarkEvery
+		// deliveries inside the existing stop callback; the cadence moves
+		// only retention, never behaviour, so it is exempt from the replay
+		// contract the same way pruning itself is.
+		every := cfg.LowWatermarkEvery
+		if every <= 0 {
+			every = DefaultLowWatermarkEvery
+		}
+		inner := stop
+		countdown := every
+		stop = func() bool {
+			if countdown--; countdown <= 0 {
+				countdown = every
+				low := nodes[0].Round()
+				for _, nd := range nodes[1:] {
+					if r := nd.Round(); r < low {
+						low = r
+					}
+				}
+				dealer.Prune(DealerFloor(low, cfg.Window))
+			}
+			return inner()
+		}
+	}
 	stats, err := net.Run(stop)
 	if err != nil {
 		return nil, err
@@ -379,6 +452,7 @@ func Run(cfg Config) (*Result, error) {
 		obs.Proposals[id] = nd.Proposal()
 		if cn, ok := nd.(*core.Node); ok {
 			res.PrunedLate += cn.Stats().PrunedLate
+			res.RBCCompacted += cn.RBCCompacted()
 		}
 		if v, ok := nd.Decided(); ok {
 			obs.Decisions[id] = []types.Value{v}
@@ -395,6 +469,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if len(res.Rounds) > 0 {
 		res.MeanRounds = float64(roundSum) / float64(len(res.Rounds))
+	}
+	if dealer != nil {
+		res.DealerRoundsRetained = dealer.RoundsRetained()
 	}
 	res.Violations = check.Consensus(obs)
 	return res, nil
@@ -441,6 +518,7 @@ func buildCorrect(cfg Config, spec quorum.Spec, p types.ProcessID, peers []types
 			DisableValidation:   cfg.DisableValidation,
 			DisableDecideGadget: cfg.DisableDecideGadget,
 			DisablePruning:      cfg.DisablePruning,
+			Window:              cfg.Window,
 			MaxRounds:           cfg.MaxRounds,
 		})
 	case ProtocolBenOr:

@@ -73,6 +73,9 @@ type Config struct {
 	Machine StateMachine
 	// MaxSlots stops the replica after that many commits (0 = unbounded).
 	MaxSlots int
+	// Window is the per-round retention window handed to every slot's
+	// consensus instance (0 = the core default); see core.Config.Window.
+	Window int
 	// Recorder, when enabled, receives protocol events.
 	Recorder *trace.Recorder
 }
@@ -174,6 +177,15 @@ func (r *Replica) Log() []Entry { return append([]Entry(nil), r.log...) }
 
 // Slot returns the next undecided slot index.
 func (r *Replica) Slot() int { return r.slot }
+
+// RBCLiveInstances and RBCCompacted expose the dissemination layer's
+// windowing state: full-fidelity instances retained vs slots released to
+// compact delivered-digest records (diagnostics for the windowing tests).
+func (r *Replica) RBCLiveInstances() int { return r.values.Instances() }
+
+// RBCCompacted returns how many dissemination instances have been released
+// to compact delivered-digest records.
+func (r *Replica) RBCCompacted() int { return r.values.Compacted() }
 
 // proposer returns the proposer of a slot.
 func (r *Replica) proposer(slot int) types.ProcessID {
@@ -280,6 +292,7 @@ func (r *Replica) step(out []types.Message) []types.Message {
 				Coin:     r.cfg.NewCoin(r.slot),
 				Proposal: types.One, // candidate in hand
 				Instance: r.slot + 1,
+				Window:   r.cfg.Window,
 				Recorder: r.cfg.Recorder,
 			})
 			if err != nil {
@@ -311,9 +324,17 @@ func (r *Replica) step(out []types.Message) []types.Message {
 			r.log = append(r.log, Entry{Slot: r.slot, Proposer: r.proposer(r.slot), Command: ""})
 		}
 		// Per-slot pruning, the log layer's version of the per-round
-		// invariant: a slot's candidate and dissemination flag are dead
-		// once the slot commits, so a long log keeps a bounded working
-		// set instead of every candidate ever proposed.
+		// invariant: a slot's candidate, dissemination flag, and RBC
+		// dissemination instance are dead once the slot commits, so a long
+		// log keeps a bounded working set instead of every candidate ever
+		// proposed. The RBC instance compacts to a delivered-digest record
+		// (a no-op while non-terminal; see internal/rbc's windowing
+		// contract), so late echoes from lagging replicas still meet the
+		// exact silence the full state would have given them.
+		r.values.Compact(types.InstanceID{
+			Sender: r.proposer(r.slot),
+			Tag:    types.Tag{Seq: dissemNS + r.slot},
+		})
 		delete(r.cands, r.slot)
 		delete(r.waiting, r.slot)
 		r.slot++

@@ -33,6 +33,28 @@
 //	step 3, plain v:   some n−f justified step-2 messages have no > n/2
 //	                   value, and v was justifiable as the sender's step-2
 //	                   message (its step-1 majority).
+//
+// # Windowing contract
+//
+// A long-lived owner bounds the validator's memory with PruneBelow(r),
+// which releases the per-sender dedup entries (the seen set) of every round
+// below r. What survives forever is the justification digest: per touched
+// round, a tally of justified-message counts by (step, value) — eight
+// integers, the complete summary every justification predicate reads. Old tallies
+// therefore still validate: a straggler's months-late message for round k is
+// judged against exactly the counts an unwindowed validator would hold, it
+// folds into the same tallies, and the fold order out of Record is
+// unchanged — which is why windowing is invisible to the golden replays and
+// to the owner's late-drop accounting.
+//
+// What a pruned round promises late messages: full justification service,
+// minus duplicate suppression. The window releases only dedup state, so the
+// caller must deliver at most one message per (sender, round, step) slot
+// below the window — precisely what reliable broadcast's integrity already
+// guarantees per instance (the consensus core's RBC layer can never hand
+// the validator the same slot twice). Pending (recorded but not yet
+// justified) messages are never pruned: a late fold must still happen so
+// adjacent rounds' justification sees identical tallies either way.
 package validate
 
 import (
@@ -49,7 +71,21 @@ type Validator struct {
 
 	seen    map[slotKey]bool
 	pending map[slotKey]types.StepMessage
-	rounds  map[int]*tally
+
+	// rounds[r] is round r's justification digest: counts of justified
+	// messages by (step, value). Retained for the whole execution — 64
+	// bytes per touched round, the summary every justification query reads
+	// — where the seen set (per-sender, the dominant per-round retainer)
+	// is windowed behind the floor. Deliberately a map, not a dense array:
+	// a Byzantine sender can put any round number in a well-formed message,
+	// and a map spends one entry on it where a round-indexed array would
+	// spend the round number.
+	rounds map[int]*tally
+
+	// floor is the seen-window watermark: dedup entries for rounds below it
+	// have been released and are no longer recorded (see the windowing
+	// contract in the package doc).
+	floor int
 
 	talliedCount int
 
@@ -122,7 +158,12 @@ func (v *Validator) Record(sender types.ProcessID, m types.StepMessage) []Accept
 	if v.seen[k] {
 		return nil
 	}
-	v.seen[k] = true
+	// Dedup entries are kept only for rounds at or above the window floor;
+	// below it, uniqueness per slot is the caller's contract (RBC integrity)
+	// and recording the key would regrow released state.
+	if m.Round >= v.floor {
+		v.seen[k] = true
+	}
 	v.pending[k] = m
 	return v.drain()
 }
@@ -144,6 +185,28 @@ func (v *Validator) Tallied() int { return v.talliedCount }
 // Pending returns how many recorded messages are still unjustified
 // (diagnostics; for correct traffic this returns to 0 as rounds complete).
 func (v *Validator) Pending() int { return len(v.pending) }
+
+// SeenRetained returns how many per-sender dedup entries the validator
+// currently holds — the retainer PruneBelow windows. Bounded by the window
+// under a pruning owner; linear in rounds without one.
+func (v *Validator) SeenRetained() int { return len(v.seen) }
+
+// PruneBelow releases the per-sender dedup entries of every round below r
+// and stops recording new ones there. The justification digests (per-round
+// tallies) and the pending set are deliberately retained — see the
+// windowing contract in the package doc — so justification answers, fold
+// order, and late folds are identical to an unwindowed validator's.
+func (v *Validator) PruneBelow(r int) {
+	if r <= v.floor {
+		return
+	}
+	v.floor = r
+	for k := range v.seen {
+		if k.round < r {
+			delete(v.seen, k)
+		}
+	}
+}
 
 // drain runs the fixpoint: move pending messages whose predicate fires into
 // the tallies, repeating until nothing moves (each move can enable others).
@@ -217,6 +280,9 @@ func (v *Validator) fold(m types.StepMessage) {
 	v.talliedCount++
 }
 
+// tally returns round's justification digest, creating it on first touch
+// (one 64-byte entry per touched round, whatever the round number; the
+// steady-state Record path only reads existing entries).
 func (v *Validator) tally(round int) *tally {
 	t, ok := v.rounds[round]
 	if !ok {

@@ -1,0 +1,188 @@
+package validate
+
+// Windowing tests: PruneBelow must release only the per-sender dedup
+// entries, leaving every justification answer, fold sequence, and diagnostic
+// count identical to an unwindowed validator fed the same stream — the
+// equivalence that lets the consensus core window the validator without
+// moving a single golden replay hash.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/quorum"
+	"repro/internal/types"
+)
+
+// driveRounds feeds v a clean n-process execution of the given rounds
+// (every process sends step 1, 2, and plain step 3 per round), mirroring
+// what a fault-free run delivers.
+func driveRounds(t *testing.T, v *Validator, n, rounds int) {
+	t.Helper()
+	for r := 1; r <= rounds; r++ {
+		for _, step := range []types.Step{types.Step1, types.Step2, types.Step3} {
+			for p := 1; p <= n; p++ {
+				// Step 3 carries D(0): with unanimous zeros a supermajority
+				// exists, so the justified step-3 message is the decision
+				// proposal, exactly as a correct process would send it.
+				m := sm(r, step, types.Zero)
+				if step == types.Step3 {
+					m = dm(r, types.Zero)
+				}
+				if got := v.Record(types.ProcessID(p), m); len(got) != 1 {
+					t.Fatalf("round %d %v from p%d: folded %d msgs, want 1", r, step, p, len(got))
+				}
+			}
+		}
+	}
+}
+
+func TestPruneBelowBoundsSeenRetention(t *testing.T) {
+	const n, rounds = 4, 10
+	v := New(quorum.MustNew(n, 1))
+	driveRounds(t, v, n, rounds)
+	if got, want := v.SeenRetained(), rounds*3*n; got != want {
+		t.Fatalf("unwindowed SeenRetained = %d, want %d", got, want)
+	}
+	v.PruneBelow(rounds - 1)
+	if got, want := v.SeenRetained(), 2*3*n; got != want {
+		t.Errorf("windowed SeenRetained = %d, want %d (two retained rounds)", got, want)
+	}
+	// The floor never regresses.
+	v.PruneBelow(1)
+	if got, want := v.SeenRetained(), 2*3*n; got != want {
+		t.Errorf("PruneBelow(1) after PruneBelow(%d) changed retention: %d, want %d", rounds-1, got, want)
+	}
+}
+
+// TestWindowedAndUnwindowedValidatorsAgree replays one message stream —
+// including late arrivals for long-pruned rounds — into a windowed and an
+// unwindowed validator and requires identical observable behaviour
+// throughout: same fold sequences out of Record, same justification
+// answers, same tallied counts. This is the package-level statement of the
+// behaviour-neutrality the golden replays pin end to end.
+func TestWindowedAndUnwindowedValidatorsAgree(t *testing.T) {
+	const n, rounds = 4, 8
+	spec := quorum.MustNew(n, 1)
+	windowed, plain := New(spec), New(spec)
+
+	// One pre-recorded stream: a clean execution, except process 4's
+	// round-2 messages are withheld and replayed at the very end — the
+	// straggler whose ancient traffic arrives after its round was pruned.
+	type event struct {
+		from types.ProcessID
+		m    types.StepMessage
+	}
+	var stream []event
+	var late []event
+	for r := 1; r <= rounds; r++ {
+		for _, step := range []types.Step{types.Step1, types.Step2, types.Step3} {
+			for p := 1; p <= n; p++ {
+				m := sm(r, step, types.Zero)
+				if step == types.Step3 {
+					m = dm(r, types.Zero)
+				}
+				ev := event{types.ProcessID(p), m}
+				if r == 2 && p == n {
+					late = append(late, ev)
+					continue
+				}
+				stream = append(stream, ev)
+			}
+		}
+	}
+	stream = append(stream, late...)
+
+	for i, ev := range stream {
+		a := windowed.Record(ev.from, ev.m)
+		b := plain.Record(ev.from, ev.m)
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatalf("event %d (%v from %v): windowed folded %v, unwindowed %v", i, ev.m, ev.from, a, b)
+		}
+		// The window advances as a pruning owner would drive it: release
+		// everything more than one round behind the stream's frontier.
+		windowed.PruneBelow(ev.m.Round - 1)
+	}
+	for r := 1; r <= rounds; r++ {
+		for _, step := range []types.Step{types.Step1, types.Step2, types.Step3} {
+			for _, val := range []types.Value{types.Zero, types.One} {
+				m := sm(r, step, val)
+				if w, p := windowed.Justified(m), plain.Justified(m); w != p {
+					t.Errorf("Justified(%v): windowed %v, unwindowed %v", m, w, p)
+				}
+				d := dm(r, val)
+				if w, p := windowed.Justified(d), plain.Justified(d); w != p {
+					t.Errorf("Justified(%v): windowed %v, unwindowed %v", d, w, p)
+				}
+			}
+		}
+	}
+	if windowed.Tallied() != plain.Tallied() || windowed.Pending() != plain.Pending() {
+		t.Errorf("tallied/pending diverged: %d/%d vs %d/%d",
+			windowed.Tallied(), windowed.Pending(), plain.Tallied(), plain.Pending())
+	}
+	if windowed.SeenRetained() >= plain.SeenRetained() {
+		t.Errorf("windowing retained %d seen entries, unwindowed %d — nothing was released",
+			windowed.SeenRetained(), plain.SeenRetained())
+	}
+}
+
+// TestFarFutureRoundCostsOneEntry: a Byzantine sender can put any round
+// number in a well-formed message, so the per-round digests must cost one
+// map entry per *touched* round — never storage proportional to the round
+// number itself (a round-indexed array here would let a single message with
+// Round=2^30 allocate gigabytes).
+func TestFarFutureRoundCostsOneEntry(t *testing.T) {
+	v := New(quorum.MustNew(4, 1))
+	const farRound = 1 << 30
+	allocs := testing.AllocsPerRun(1, func() {
+		v.Record(types.ProcessID(2), sm(farRound, types.Step2, types.One))
+	})
+	if v.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1 (far-future message recorded, unjustified)", v.Pending())
+	}
+	// A handful of map/key allocations, not ~2^30 tally slots.
+	if allocs > 64 {
+		t.Errorf("far-future round cost %.0f allocs, want a constant handful", allocs)
+	}
+	if v.Justified(sm(farRound, types.Step1, types.Zero)) {
+		t.Error("far-future non-initial message justified with empty prior tallies")
+	}
+}
+
+// TestLateMessageBelowFloorStillFoldsAndValidates: a message for a round
+// whose dedup window is long gone must still be judged against the retained
+// justification digests and fold into them — pruned rounds keep full
+// justification service.
+func TestLateMessageBelowFloorStillFoldsAndValidates(t *testing.T) {
+	const n, rounds = 4, 6
+	v := New(quorum.MustNew(n, 1))
+	// Hold back p4's round-1 step-1 message; run everything else.
+	for r := 1; r <= rounds; r++ {
+		for _, step := range []types.Step{types.Step1, types.Step2, types.Step3} {
+			for p := 1; p <= n; p++ {
+				if r == 1 && step == types.Step1 && p == n {
+					continue
+				}
+				m := sm(r, step, types.Zero)
+				if step == types.Step3 {
+					m = dm(r, types.Zero)
+				}
+				v.Record(types.ProcessID(p), m)
+			}
+		}
+	}
+	v.PruneBelow(rounds - 1)
+	talliedBefore := v.Tallied()
+	m := sm(1, types.Step1, types.One)
+	if !v.Justified(m) {
+		t.Fatal("round-1 step-1 message not justified after windowing (it is unconditionally justified)")
+	}
+	folded := v.Record(types.ProcessID(n), m)
+	if len(folded) != 1 || folded[0].Sender != types.ProcessID(n) {
+		t.Fatalf("late below-floor message folded as %v, want exactly its own fold", folded)
+	}
+	if v.Tallied() != talliedBefore+1 {
+		t.Errorf("Tallied = %d, want %d", v.Tallied(), talliedBefore+1)
+	}
+}
