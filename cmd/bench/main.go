@@ -92,8 +92,12 @@ func run(args []string, out io.Writer) error {
 		every      = fs.Int("every", 0, "-sweep: runs between checkpoint writes (0 = default)")
 		stopAfter  = fs.Int64("stop-after", 0, "-sweep: stop after this many runs this invocation, saving a checkpoint (0 = run to completion)")
 		noPrune    = fs.Bool("no-prune", false, "-sweep: disable per-round state pruning in the correct nodes (memory comparison; behaviour-neutral)")
-		window     = fs.Int("window", 0, "-sweep: per-round retention window of the correct nodes (0 = default 1; behaviour-neutral, aggregates identical at any size)")
+		window     = fs.Int("window", 0, "-sweep/-smr: per-round retention window of the correct nodes (0 = default 1; behaviour-neutral, aggregates identical at any size)")
 		lowWater   = fs.Int("lowwater", 0, "-sweep: deliveries between cluster low-watermark scans pruning the coin dealer (0 = default; behaviour-neutral)")
+
+		smrSlots  = fs.Int("smr", 0, "run a replicated-log workload of this many slots (the checkpoint/state-transfer mode)")
+		ckptEvery = fs.Int("ckpt-every", 0, "-smr: checkpoint cadence in slots (0 = checkpointing off); committed digests are identical either way")
+		restart   = fs.Bool("restart", false, "-smr: kill the last replica mid-run and revive it empty (restart-catchup; requires -ckpt-every)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,14 +113,21 @@ func run(args []string, out io.Writer) error {
 	// runs must not pretend to honour -seed or -runs.
 	set := map[string]bool{}
 	fs.Visit(func(fl *flag.Flag) { set[fl.Name] = true })
-	if *sweep == "" {
-		for _, name := range []string{"n", "f", "scenario", "checkpoint", "resume", "every", "stop-after", "no-prune", "window", "lowwater"} {
+	if *sweep != "" && set["smr"] {
+		return fmt.Errorf("-sweep and -smr are mutually exclusive")
+	}
+	if set["smr"] && *smrSlots <= 0 {
+		return fmt.Errorf("-smr wants a positive slot count, got %d", *smrSlots)
+	}
+	if *sweep == "" && *smrSlots == 0 {
+		for _, name := range []string{"n", "f", "scenario", "checkpoint", "resume", "every", "stop-after", "no-prune", "window", "lowwater", "ckpt-every", "restart"} {
 			if set[name] {
-				return fmt.Errorf("-%s requires -sweep", name)
+				return fmt.Errorf("-%s requires -sweep or -smr", name)
 			}
 		}
-	} else {
-		for _, name := range []string{"experiment", "runs", "seed", "quick", "csv"} {
+	}
+	if *sweep != "" {
+		for _, name := range []string{"experiment", "runs", "seed", "quick", "csv", "ckpt-every", "restart"} {
 			if set[name] {
 				return fmt.Errorf("-%s does not apply to -sweep", name)
 			}
@@ -125,13 +136,23 @@ func run(args []string, out io.Writer) error {
 		if *stopAfter > 0 && *checkpoint == "" {
 			return fmt.Errorf("-stop-after requires -checkpoint (stopping without one loses all progress)")
 		}
-	}
-	if *sweep != "" {
 		return runSweep(out, sweepOpts{
 			rangeStr: *sweep, n: *sweepN, f: *sweepF, scenario: *scenario,
 			workers: *workers, checkpoint: *checkpoint, resume: *resume,
 			every: *every, stopAfter: *stopAfter, jsonOut: *jsonOut,
 			noPrune: *noPrune, window: *window, lowWater: *lowWater,
+		})
+	}
+	if *smrSlots > 0 {
+		for _, name := range []string{"experiment", "runs", "quick", "csv", "scenario", "checkpoint", "resume", "every", "stop-after", "no-prune", "lowwater", "workers"} {
+			if set[name] {
+				return fmt.Errorf("-%s does not apply to -smr", name)
+			}
+		}
+		return runSMRCmd(out, smrOpts{
+			slots: *smrSlots, n: *sweepN, f: *sweepF, seed: *seed,
+			ckptEvery: *ckptEvery, window: *window, restart: *restart,
+			jsonOut: *jsonOut,
 		})
 	}
 	opts := experiments.Options{Runs: *runs, Seed: *seed, Quick: *quick, Workers: *workers}
@@ -181,6 +202,90 @@ func run(args []string, out io.Writer) error {
 		enc.SetIndent("", "  ")
 		return enc.Encode(jsonTables)
 	}
+	return nil
+}
+
+// smrOpts carries the -smr flag bundle.
+type smrOpts struct {
+	slots, n, f int
+	seed        int64
+	ckptEvery   int
+	window      int
+	restart     bool
+	jsonOut     bool
+}
+
+// runSMRCmd executes one replicated-log workload (the checkpoint mode). The
+// "digest" lines are the byte-stable comparison surface: CI runs the same
+// workload with -ckpt-every on and off and diffs them — checkpointing must
+// move memory, never what commits.
+func runSMRCmd(out io.Writer, o smrOpts) error {
+	f := o.f
+	if f < 0 {
+		f = quorum.MaxByzantine(o.n)
+	}
+	cfg := runner.SMRConfig{
+		N: o.n, F: f,
+		Slots:           o.slots,
+		Commands:        8,
+		CheckpointEvery: o.ckptEvery,
+		Window:          o.window,
+		Coin:            runner.CoinCommon,
+		Seed:            o.seed,
+	}
+	if o.restart {
+		if o.ckptEvery <= 0 {
+			return fmt.Errorf("-restart requires -ckpt-every (a restarted replica can only catch up via state transfer)")
+		}
+		cfg.Restart = &runner.SMRRestart{CrashAfter: 80 * o.n, ReviveAfter: 160 * o.n}
+	}
+	res, err := runner.RunSMR(cfg)
+	if err != nil {
+		return err
+	}
+	switch {
+	case res.Exhausted:
+		return fmt.Errorf("smr workload exhausted its delivery budget at %d deliveries", res.Deliveries)
+	case res.Mismatches > 0:
+		return fmt.Errorf("smr workload: %d cross-replica log mismatches (agreement violation)", res.Mismatches)
+	case !res.FullStream:
+		return fmt.Errorf("smr workload: reference entry stream gapped; digests void")
+	}
+	if o.jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			N           int    `json:"n"`
+			F           int    `json:"f"`
+			Slots       int    `json:"slots"`
+			Seed        int64  `json:"seed"`
+			CkptEvery   int    `json:"ckptEvery"`
+			LogDigest   string `json:"logDigest"`
+			StateDigest string `json:"stateDigest"`
+			Cut         int    `json:"certifiedCut"`
+			LogRetained int    `json:"logRetained"`
+			RBCRecords  int    `json:"rbcRecords"`
+			RBCBytes    int    `json:"rbcDigestBytes"`
+			DealerSlots int    `json:"dealerSlots"`
+			Transfers   int    `json:"transfers"`
+			VictimDone  int    `json:"victimCommitted"`
+			Deliveries  int    `json:"deliveries"`
+		}{o.n, f, o.slots, o.seed, o.ckptEvery,
+			fmt.Sprintf("%016x", res.LogDigest), fmt.Sprintf("%016x", res.StateDigest),
+			res.CertifiedCut, res.LogRetained, res.RBCRecords, res.RBCDigestBytes,
+			res.DealerSlots, res.Transfers, res.VictimCommitted, res.Deliveries})
+	}
+	fmt.Fprintf(out, "smr workload: n=%d f=%d slots=%d seed=%d ckpt-every=%d window=%d restart=%v\n",
+		o.n, f, o.slots, o.seed, o.ckptEvery, o.window, o.restart)
+	fmt.Fprintf(out, "digest log @%d:   %016x\n", o.slots, res.LogDigest)
+	fmt.Fprintf(out, "digest state @%d: %016x\n", o.slots, res.StateDigest)
+	fmt.Fprintf(out, "residue: log-retained=%d rbc-records=%d rbc-bytes=%d dealer-slots=%d dealer-rounds=%d certified-cut=%d\n",
+		res.LogRetained, res.RBCRecords, res.RBCDigestBytes, res.DealerSlots, res.DealerRounds, res.CertifiedCut)
+	if o.restart {
+		fmt.Fprintf(out, "victim: transfers=%d base=%d committed=%d frontier=%d\n",
+			res.Transfers, res.VictimBase, res.VictimCommitted, res.VictimSlot)
+	}
+	fmt.Fprintf(out, "deliveries=%d messages=%d\n", res.Deliveries, res.Messages)
 	return nil
 }
 

@@ -191,3 +191,96 @@ func TestRunSweepStopOnFinalRun(t *testing.T) {
 		t.Errorf("expected a completed-sweep report:\n%s", sb.String())
 	}
 }
+
+// TestRunSMRDigestsIdenticalAcrossCheckpointing: the -smr mode's digest
+// lines — the CI comparison surface — are byte-identical with checkpointing
+// off and at two cadences, while the residue line shrinks.
+func TestRunSMRDigestsIdenticalAcrossCheckpointing(t *testing.T) {
+	digests := func(args ...string) string {
+		t.Helper()
+		var sb strings.Builder
+		if err := run(args, &sb); err != nil {
+			t.Fatal(err)
+		}
+		var lines []string
+		for _, line := range strings.Split(sb.String(), "\n") {
+			if strings.HasPrefix(line, "digest ") {
+				lines = append(lines, line)
+			}
+		}
+		if len(lines) != 2 {
+			t.Fatalf("want 2 digest lines, got %v", lines)
+		}
+		return strings.Join(lines, "\n")
+	}
+	off := digests("-smr", "64", "-n", "4")
+	on := digests("-smr", "64", "-n", "4", "-ckpt-every", "16")
+	on8 := digests("-smr", "64", "-n", "4", "-ckpt-every", "8")
+	if off != on || off != on8 {
+		t.Errorf("digest lines moved with checkpointing:\noff: %s\non16: %s\non8: %s", off, on, on8)
+	}
+}
+
+// TestRunSMRRestartCatchup: the CLI restart-catchup smoke — the victim must
+// report at least one state transfer.
+func TestRunSMRRestartCatchup(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-smr", "48", "-n", "4", "-ckpt-every", "8", "-restart"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "victim:") || strings.Contains(out, "transfers=0") {
+		t.Errorf("restart run reported no transfer:\n%s", out)
+	}
+}
+
+// TestRunSMRJSON: the machine-readable form round-trips.
+func TestRunSMRJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-smr", "32", "-n", "4", "-ckpt-every", "8", "-json"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		Slots      int    `json:"slots"`
+		LogDigest  string `json:"logDigest"`
+		Cut        int    `json:"certifiedCut"`
+		Deliveries int    `json:"deliveries"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Slots != 32 || len(rec.LogDigest) != 16 || rec.Cut == 0 || rec.Deliveries == 0 {
+		t.Errorf("bad record: %+v", rec)
+	}
+}
+
+// TestRunSMRBadFlags: cross-mode and dependent-flag rejection.
+func TestRunSMRBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-smr", "32", "-sweep", "1:5"},        // mutually exclusive modes
+		{"-smr", "32", "-experiment", "E1"},    // experiment knob in smr mode
+		{"-smr", "32", "-quick"},               // experiment knob in smr mode
+		{"-smr", "32", "-scenario", "reorder"}, // sweep knob in smr mode
+		{"-smr", "32", "-no-prune"},            // sweep knob in smr mode
+		{"-smr", "32", "-restart"},             // restart without -ckpt-every
+		{"-ckpt-every", "8"},                   // forgot -smr
+		{"-restart"},                           // forgot -smr
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// TestRunSMRNonPositiveRejected: -smr 0 / -smr -5 must error, not silently
+// fall through to the full experiment suite.
+func TestRunSMRNonPositiveRejected(t *testing.T) {
+	for _, v := range []string{"0", "-5"} {
+		var sb strings.Builder
+		if err := run([]string{"-smr", v}, &sb); err == nil {
+			t.Errorf("-smr %s accepted", v)
+		}
+	}
+}

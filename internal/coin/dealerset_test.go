@@ -1,0 +1,76 @@
+package coin
+
+import (
+	"testing"
+
+	"repro/internal/quorum"
+)
+
+func TestDealerSetPerSlotDealersAreIndependentAndDeterministic(t *testing.T) {
+	spec := quorum.MustNew(4, 1)
+	a := NewDealerSet(spec, 7)
+	b := NewDealerSet(spec, 7)
+
+	// Same slot, same seed → bit-identical shares; different slots draw
+	// independent randomness (at least one differing share in 8 rounds).
+	differ := false
+	for round := 1; round <= 8; round++ {
+		sa, ma := a.For(3).ShareFor(1, round)
+		sb, mb := b.For(3).ShareFor(1, round)
+		if sa != sb || ma != mb {
+			t.Fatalf("slot 3 round %d: same seed dealt different shares", round)
+		}
+		s2, _ := a.For(4).ShareFor(1, round)
+		if s2 != sa {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Fatal("slots 3 and 4 dealt identical sharings across 8 rounds")
+	}
+	if a.For(3) != a.For(3) {
+		t.Fatal("For is not memoized")
+	}
+}
+
+func TestDealerSetReleaseBelowBoundsRetention(t *testing.T) {
+	spec := quorum.MustNew(4, 1)
+	s := NewDealerSet(spec, 11)
+	for slot := 0; slot < 64; slot++ {
+		s.For(slot).ShareFor(1, 1) // deal one round per slot
+	}
+	if got := s.DealersRetained(); got != 64 {
+		t.Fatalf("retained %d dealers, want 64", got)
+	}
+	if got := s.RoundsRetained(); got != 64 {
+		t.Fatalf("retained %d dealt rounds, want 64", got)
+	}
+	if got := s.ReleaseBelow(48); got != 48 {
+		t.Fatalf("released %d dealers, want 48", got)
+	}
+	if got := s.DealersRetained(); got != 16 {
+		t.Fatalf("retained %d dealers after release, want 16", got)
+	}
+	// Release is monotone; a lower cut releases nothing.
+	if got := s.ReleaseBelow(10); got != 0 {
+		t.Fatalf("lower release dropped %d dealers", got)
+	}
+
+	// A straggler's late lookup below the cut reconstructs the dealer
+	// deterministically: identical shares, verifiable MACs.
+	fresh := NewDealerSet(spec, 11)
+	share, mac := s.For(5).ShareFor(2, 1)
+	wantShare, wantMAC := fresh.For(5).ShareFor(2, 1)
+	if share != wantShare || mac != wantMAC {
+		t.Fatal("re-created dealer dealt different shares than the original")
+	}
+	if !s.For(5).VerifyShare(2, 1, share, mac) {
+		t.Fatal("re-created dealer rejects its own share")
+	}
+	// The re-created dealer is memoized again and released by the floor on
+	// the next release call.
+	s.ReleaseBelow(49)
+	if got := s.DealersRetained(); got != 15 {
+		t.Fatalf("retained %d dealers after re-release, want 15", got)
+	}
+}

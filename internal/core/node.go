@@ -342,6 +342,32 @@ func (n *Node) RBCCompacted() int { return n.bcast.Compacted() }
 // with pruning on, linear in rounds without.
 func (n *Node) ValidatorSeenRetained() int { return n.val.SeenRetained() }
 
+// RBCDigestBytes returns the bytes this node's broadcaster retains in
+// compact delivered-digest records — the residue windowed pruning keeps
+// forever, one record per terminal instance (see rbc.Broadcaster.DigestBytes).
+func (n *Node) RBCDigestBytes() int { return n.bcast.DigestBytes() }
+
+// JustificationsRetained returns how many per-round justification digests
+// this node's validator retains — the other forever-residue of windowed
+// pruning, one 64-byte digest per touched round.
+func (n *Node) JustificationsRetained() int { return n.val.JustificationsRetained() }
+
+// ReleaseResidueBelow retires the residue windowed pruning keeps forever:
+// the compact RBC delivered-digest records of rounds below floor and the
+// validator's justification digests below floor−1 (round floor's step-1
+// justification reads round floor−1's digest, so that one stays). Late
+// messages for the released rounds are silently refused rather than judged.
+//
+// This hook is never called by the node's own windowing (enterRound): it
+// exists for a checkpointing layer above a long-lived instance, which must
+// hold a protocol-level certificate that every round below floor is settled
+// — the quorum cut of internal/ckpt, under which a process still missing
+// those rounds is served state transfer instead of a replay.
+func (n *Node) ReleaseResidueBelow(floor int) {
+	n.bcast.DropRoundBelow(floor)
+	n.val.ReleaseTalliesBelow(floor - 1)
+}
+
 // onRBC feeds a reliable-broadcast payload through the broadcaster, then
 // records every resulting delivery with the validator and appends newly
 // justified messages to the quorum waits.

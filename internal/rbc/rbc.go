@@ -90,6 +90,11 @@ type Broadcaster struct {
 	// seed's map[string]map[ProcessID]bool nesting.
 	peerIdx map[types.ProcessID]int32
 	words   int
+	// seqFloor and roundFloor are the protocol-level drop watermarks (see
+	// DropSeqBelow/DropRoundBelow): instances below them hold no state at
+	// all, not even a digest record, and all their traffic is a silent no-op.
+	seqFloor   int
+	roundFloor int
 }
 
 // New creates a Broadcaster for process me among peers (which must include
@@ -153,18 +158,13 @@ type instance struct {
 // update. Only terminal instances may be compacted.
 func (in *instance) terminal() bool { return in.echoed && in.readied && in.delivered }
 
-// digest is FNV-1a over the body — the compact fingerprint kept for
-// compacted instances. Not cryptographic: agreement is enforced by the echo
-// quorum intersection before delivery ever happens; the digest only lets a
-// catch-up layer identify what was delivered without retaining the body.
+// digest is the repository's shared FNV-1a over the body — the compact
+// fingerprint kept for compacted instances. Not cryptographic: agreement is
+// enforced by the echo quorum intersection before delivery ever happens;
+// the digest only lets a catch-up layer identify what was delivered without
+// retaining the body.
 func digest(body string) uint64 {
-	const offset, prime = 14695981039346656037, 1099511628211
-	h := uint64(offset)
-	for i := 0; i < len(body); i++ {
-		h ^= uint64(body[i])
-		h *= prime
-	}
-	return h
+	return types.FNV1aString(types.FNV1aInit, body)
 }
 
 func (b *Broadcaster) inst(id types.InstanceID) *instance {
@@ -238,8 +238,13 @@ func (b *Broadcaster) AppendHandle(out []types.Message, from types.ProcessID, p 
 	// Compacted instances answer every late message with silence — exactly
 	// what their retained terminal state would have produced (see the
 	// windowing contract): no SEND reaction (echoed), no READY (readied), no
-	// delivery (delivered). One map probe, no allocation, no regrowth.
+	// delivery (delivered). One map probe, no allocation, no regrowth. The
+	// same silence covers instances below a checkpoint drop watermark, whose
+	// records are gone entirely.
 	if _, done := b.compacted[p.ID]; done {
+		return out, nil
+	}
+	if b.dropped(p.ID) {
 		return out, nil
 	}
 	switch p.Phase {
@@ -378,3 +383,91 @@ func (b *Broadcaster) Instances() int { return len(b.instances) }
 // digest records (diagnostics; each record costs a map entry and 8 bytes,
 // not tallies and payloads).
 func (b *Broadcaster) Compacted() int { return len(b.compacted) }
+
+// compactedRecordBytes is the accounted cost of one delivered-digest record:
+// the InstanceID key (sender + three tag ints) plus the uint64 digest. Map
+// overhead is excluded — the counter tracks growth shape, not allocator
+// detail.
+const compactedRecordBytes = 40
+
+// DigestBytes returns the bytes retained by the compact delivered-digest
+// records — the residue windowed pruning deliberately keeps forever, growing
+// one record per terminal instance. A checkpointing owner retires it with
+// DropSeqBelow/DropRoundBelow; without one it is the measurable unbounded
+// remainder on infinite executions (experiment E12).
+func (b *Broadcaster) DigestBytes() int { return len(b.compacted) * compactedRecordBytes }
+
+// DropSeqBelow releases every instance and delivered-digest record in the
+// roundless (sequence) namespace with Tag.Seq below seq, live or compacted,
+// terminal or not, and returns how many it dropped. The bound becomes a
+// watermark: later traffic for the released range is a silent no-op and
+// never regrows state (without a watermark a late SEND would re-create a
+// fresh instance and echo — visibly different from the silence a compacted
+// record gives).
+//
+// This is a *protocol-level* release, stronger than the windowing contract:
+// a dropped instance no longer answers Delivered/DeliveredDigest, and a
+// half-finished broadcast below the bound is abandoned. The caller must hold
+// a checkpoint certificate covering the dropped range — a quorum's statement
+// that the slots below seq are settled and any process still missing them
+// will be served state transfer, not RBC catch-up (internal/ckpt).
+func (b *Broadcaster) DropSeqBelow(seq int) int {
+	if seq <= b.seqFloor {
+		return 0
+	}
+	b.seqFloor = seq
+	dropped := 0
+	for id := range b.instances {
+		if b.belowSeqFloor(id) {
+			delete(b.instances, id)
+			dropped++
+		}
+	}
+	for id := range b.compacted {
+		if b.belowSeqFloor(id) {
+			delete(b.compacted, id)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// DropRoundBelow is DropSeqBelow for the round-tagged namespace (consensus
+// step instances): it releases every instance and record with Tag.Round
+// below round, under the same checkpoint-certificate obligation, and stops
+// late traffic below the watermark from regrowing state. The consensus core
+// exposes it via Node.ReleaseResidueBelow.
+func (b *Broadcaster) DropRoundBelow(round int) int {
+	if round <= b.roundFloor {
+		return 0
+	}
+	b.roundFloor = round
+	dropped := 0
+	for id := range b.instances {
+		if b.belowRoundFloor(id) {
+			delete(b.instances, id)
+			dropped++
+		}
+	}
+	for id := range b.compacted {
+		if b.belowRoundFloor(id) {
+			delete(b.compacted, id)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+func (b *Broadcaster) belowSeqFloor(id types.InstanceID) bool {
+	return id.Tag.Round == 0 && id.Tag.Step == 0 && id.Tag.Seq < b.seqFloor
+}
+
+func (b *Broadcaster) belowRoundFloor(id types.InstanceID) bool {
+	return id.Tag.Round != 0 && id.Tag.Round < b.roundFloor
+}
+
+// dropped reports whether the instance lies below a protocol-level drop
+// watermark (checked on every message before any state is touched).
+func (b *Broadcaster) dropped(id types.InstanceID) bool {
+	return b.belowSeqFloor(id) || b.belowRoundFloor(id)
+}

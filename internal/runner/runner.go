@@ -274,6 +274,15 @@ type Result struct {
 	// instances released to compact delivered-digest records by windowed
 	// pruning (0 with pruning disabled).
 	RBCCompacted int
+	// RBCDigestBytes sums the bytes the correct Bracha nodes retain in
+	// compact delivered-digest records at the end of the run — the residue
+	// windowed pruning keeps forever, retired only by protocol-level
+	// checkpointing (internal/ckpt, experiment E12).
+	RBCDigestBytes int
+	// JustificationsRetained sums the per-round justification digests the
+	// correct Bracha nodes' validators retain at the end of the run — the
+	// other forever-residue of windowed pruning.
+	JustificationsRetained int
 	// DealerRoundsRetained is the common-coin dealer's memoized sharing
 	// count at the end of the run (0 for other coins) — bounded by the
 	// cluster round spread under low-watermark pruning, linear in rounds
@@ -453,6 +462,8 @@ func Run(cfg Config) (*Result, error) {
 		if cn, ok := nd.(*core.Node); ok {
 			res.PrunedLate += cn.Stats().PrunedLate
 			res.RBCCompacted += cn.RBCCompacted()
+			res.RBCDigestBytes += cn.RBCDigestBytes()
+			res.JustificationsRetained += cn.JustificationsRetained()
 		}
 		if v, ok := nd.Decided(); ok {
 			obs.Decisions[id] = []types.Value{v}

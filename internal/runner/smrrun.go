@@ -1,0 +1,468 @@
+package runner
+
+import (
+	"fmt"
+
+	"repro/internal/ckpt"
+	"repro/internal/coin"
+	"repro/internal/quorum"
+	"repro/internal/sim"
+	"repro/internal/smr"
+	"repro/internal/types"
+)
+
+// This file is the replicated-log (SMR) workload harness: the run mode
+// behind the checkpoint experiments (E12), the `bench -smr` CLI, and the
+// restart-catchup scenario. Where Run drives one consensus instance to a
+// decision, RunSMR drives a whole log — n replicas committing Slots slots,
+// optionally checkpointing every CheckpointEvery slots, optionally with one
+// replica killed mid-run and revived with empty state (sim.Restart), forced
+// to catch up through ckpt state transfer.
+//
+// The harness tails every replica's log per delivery through the LogLen/
+// LogSince accessors (O(new entries), not O(committed slots)), maintaining:
+//
+//   - a canonical entry per slot (first observer wins) against which every
+//     other replica's entries are checked — Mismatches counts cross-replica
+//     log disagreements, the SMR form of an agreement violation;
+//   - the chained log digest and a shadow state machine for the reference
+//     replica (p1), captured exactly at the Slots boundary — the run-to-run
+//     comparison point that must be bitwise identical whatever the
+//     checkpoint interval, which CI enforces via `bench -smr`.
+//
+// Replicas run unbounded (MaxSlots 0) and the harness stops the network
+// once every live replica's frontier reached Slots (and, in restart runs,
+// the revived victim has committed MinCommits entries itself) — the
+// non-halting formulation, so peers keep serving state transfer while the
+// victim catches up.
+
+// SMRConfig describes one replicated-log workload run.
+type SMRConfig struct {
+	N int // total processes
+	F int // fault bound
+	// Slots is the commit frontier every live replica must reach (> 0).
+	Slots int
+	// Commands preloads this many "set" commands per rotation member
+	// (further slots commit noops).
+	Commands int
+	// CheckpointEvery is the checkpoint cadence in slots (0 = off).
+	CheckpointEvery int
+	// Window is the per-round retention window of the inner consensus
+	// instances (0 = core default).
+	Window int
+	// Coin selects the per-slot coin: CoinLocal, CoinIdeal, or CoinCommon
+	// (per-slot dealers via coin.DealerSet, released below certified cuts).
+	Coin CoinKind
+	// Seed drives the run; everything is a pure function of (config, seed).
+	Seed int64
+	// Crashed trailing processes are absent for the whole run (silent).
+	Crashed int
+	// Restart, when set, wraps the last live replica in a deterministic
+	// kill/revive (requires checkpointing: a restarted replica's in-flight
+	// messages are gone, so only state transfer can bring it back).
+	Restart *SMRRestart
+	// SpareRotation excludes the last live replica from the proposer
+	// rotation without restarting it — the control configuration for the
+	// kill/restart determinism property, whose committed log must be
+	// comparable (same proposers, same commands) to a Restart run's.
+	SpareRotation bool
+	// MaxDeliveries bounds the run (0 = a Slots- and n-scaled default).
+	MaxDeliveries int
+}
+
+// SMRRestart is the deterministic kill/revive schedule of the victim (the
+// last live, non-proposing replica).
+type SMRRestart struct {
+	// CrashAfter is how many deliveries the victim processes before dying.
+	CrashAfter int
+	// ReviveAfter is how many further deliveries evaporate before a fresh
+	// replica (empty log, empty state) takes over.
+	ReviveAfter int
+	// MinCommits is how many entries the revived victim must commit itself
+	// before the run may stop (0 = 3): "catches up and commits subsequent
+	// slots", made a stop condition.
+	MinCommits int
+}
+
+// SMRResult is what one replicated-log run produced.
+type SMRResult struct {
+	Config SMRConfig
+
+	// LogDigest and StateDigest are the reference replica's chained log
+	// digest and shadow-machine state digest at exactly the Slots boundary
+	// — identical across checkpoint intervals, worker counts, and machines
+	// for a given (config, seed).
+	LogDigest   uint64
+	StateDigest uint64
+	// FullStream reports that the reference replica's entry stream was
+	// observed gap-free from slot 0 (always true in practice; a false value
+	// voids the digests).
+	FullStream bool
+	// Mismatches counts cross-replica committed-entry disagreements (the
+	// agreement check; must be 0).
+	Mismatches int
+	// Slots observed committed per replica index, and the max certified cut.
+	Committed    []int
+	CertifiedCut int
+
+	// Victim telemetry (Restart runs).
+	VictimID        types.ProcessID
+	Transfers       int // state transfers the victim installed
+	VictimBase      int // the victim's final log base (its last installed cut)
+	VictimCommitted int // entries the revived victim committed itself
+	// VictimSlot, VictimLogDigest, and VictimStateDigest capture the
+	// victim's final frontier and its full-history log/state digests at it
+	// — comparable bitwise against an uninterrupted run stopped at the same
+	// frontier (the kill/restart determinism property).
+	VictimSlot        int
+	VictimLogDigest   uint64
+	VictimStateDigest uint64
+
+	// Residue at the end of the run, summed across live replicas: the
+	// memory the checkpoint subsystem exists to bound (E12).
+	RBCDigestBytes int // dissemination digest-record bytes
+	RBCRecords     int // dissemination digest records
+	RBCLive        int // live dissemination instances
+	LogRetained    int // committed entries still held
+	DealerSlots    int // per-slot dealers retained (CoinCommon)
+	DealerRounds   int // dealt rounds retained across them (CoinCommon)
+
+	Messages   int
+	Deliveries int
+	EndTime    sim.Time
+	Exhausted  bool
+}
+
+// smrObserver tails one replica's log.
+type smrObserver struct {
+	rep     *smr.Replica
+	wrapper *sim.Restart // non-nil for the victim
+	next    int          // next absolute slot not yet observed
+	gapped  bool         // a truncation or install outran observation
+	revived bool         // the victim's revival was noticed (cursor reset)
+}
+
+// current returns the live replica behind this observer: nil while the
+// victim is down (the pre-crash instance is discarded state, not a replica
+// to read), the fresh instance after revival.
+func (o *smrObserver) current() *smr.Replica {
+	if o.wrapper != nil {
+		if o.wrapper.Down() {
+			return nil
+		}
+		if rep, ok := o.wrapper.Inner().(*smr.Replica); ok {
+			o.rep = rep
+		}
+	}
+	return o.rep
+}
+
+// RunSMR executes one replicated-log workload.
+func RunSMR(cfg SMRConfig) (*SMRResult, error) {
+	spec, err := quorum.New(cfg.N, cfg.F)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	if cfg.Slots <= 0 {
+		return nil, fmt.Errorf("%w: SMR run needs Slots > 0", ErrBadConfig)
+	}
+	if cfg.Restart != nil && cfg.CheckpointEvery <= 0 {
+		return nil, fmt.Errorf("%w: a restarted replica can only catch up via checkpoint state transfer; set CheckpointEvery", ErrBadConfig)
+	}
+	if cfg.Coin == 0 {
+		cfg.Coin = CoinLocal
+	}
+	peers := types.Processes(cfg.N)
+	live := peers[:cfg.N-cfg.Crashed]
+	if len(live) < 2 {
+		return nil, fmt.Errorf("%w: %d live replicas", ErrBadConfig, len(live))
+	}
+	rotation := live
+	var victim types.ProcessID
+	if cfg.Restart != nil {
+		victim = live[len(live)-1]
+	}
+	if cfg.Restart != nil || cfg.SpareRotation {
+		rotation = live[:len(live)-1] // the victim must not hold up slots
+	}
+
+	budget := cfg.MaxDeliveries
+	if budget <= 0 {
+		budget = 400 * cfg.Slots * cfg.N // ~hundreds of deliveries per slot at small n
+		if budget < sim.DefaultMaxDeliveries {
+			budget = sim.DefaultMaxDeliveries
+		}
+	}
+	net, err := sim.New(sim.Config{
+		Scheduler:     sim.UniformDelay{Min: 1, Max: 20},
+		Seed:          cfg.Seed,
+		MaxDeliveries: budget,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var dealers *coin.DealerSet
+	if cfg.Coin == CoinCommon {
+		dealers = coin.NewDealerSet(spec, cfg.Seed+1)
+	}
+	newCoin := func(p types.ProcessID) func(int) coin.Coin {
+		switch cfg.Coin {
+		case CoinIdeal:
+			return func(slot int) coin.Coin { return coin.NewIdeal(cfg.Seed + int64(slot)) }
+		case CoinCommon:
+			return func(slot int) coin.Coin { return coin.NewCommon(p, peers, dealers.For(slot)) }
+		default: // CoinLocal
+			return func(slot int) coin.Coin {
+				return coin.NewLocal(cfg.Seed + int64(p)*1000 + int64(slot))
+			}
+		}
+	}
+	secret := []byte(fmt.Sprintf("smr-ckpt-%d", cfg.Seed))
+
+	observers := make([]*smrObserver, len(live))
+	cuts := make([]int, len(live)) // per-replica certified cut (monotone)
+	releaseDealers := func() {
+		if dealers == nil {
+			return
+		}
+		low := cuts[0]
+		for _, c := range cuts[1:] {
+			if c < low {
+				low = c
+			}
+		}
+		// The dealer set is cluster-shared: release by the minimum certified
+		// cut across replicas, the same low-watermark shape as round-level
+		// dealer pruning (and re-creation below the floor is deterministic
+		// anyway; see coin.DealerSet).
+		dealers.ReleaseBelow(low)
+	}
+
+	canonical := make(map[int]smr.Entry, cfg.Slots)
+	mismatches := 0
+	refDigest := ckpt.InitialLogDigest
+	refMachine := smr.NewKVMachine()
+	refCount := 0
+	var digestAt, stateAt uint64
+	victimCommitted := 0
+
+	// drain tails one replica's new entries into the canonical map and the
+	// reference digest chain. Called per delivery and from OnCertified
+	// (pre-truncation), so no entry is released unobserved.
+	drain := func(i int) {
+		o := observers[i]
+		if o == nil {
+			return
+		}
+		rep := o.current()
+		if rep == nil {
+			return // victim is down
+		}
+		if o.wrapper != nil && o.wrapper.Restarted() && !o.revived {
+			// Fresh victim: restart the tail from slot 0 so everything it
+			// commits — including slots its pre-crash self already committed
+			// — is checked against the canonical log.
+			o.revived = true
+			o.next = 0
+		}
+		ents := rep.LogSince(o.next)
+		if len(ents) == 0 {
+			if b := rep.Base(); b > o.next {
+				// The replica jumped past slots this observer never saw
+				// (state transfer installed a cut). Expected for the victim;
+				// for the reference replica it would void the digest chain,
+				// so it is flagged rather than mis-chained.
+				if i == 0 {
+					o.gapped = true
+				}
+				o.next = b
+			}
+			return
+		}
+		if ents[0].Slot > o.next && i == 0 {
+			o.gapped = true
+		}
+		for _, e := range ents {
+			if have, ok := canonical[e.Slot]; ok {
+				if have != e {
+					mismatches++
+				}
+			} else {
+				canonical[e.Slot] = e
+			}
+			if i == 0 && !o.gapped && e.Slot == refCount {
+				refDigest = ckpt.FoldEntry(refDigest, e.Slot, e.Proposer, e.Command)
+				if e.Command != "" && e.Command != smr.Noop {
+					refMachine.Apply(e.Command)
+				}
+				refCount++
+				if refCount == cfg.Slots {
+					digestAt = refDigest
+					stateAt = ckpt.Digest(refMachine.Snapshot())
+				}
+			}
+			if o.wrapper != nil && o.wrapper.Restarted() {
+				victimCommitted++
+			}
+		}
+		o.next = ents[len(ents)-1].Slot + 1
+	}
+
+	build := func(i int, p types.ProcessID) (*smr.Replica, error) {
+		rcfg := smr.Config{
+			Me: p, Peers: peers, Spec: spec,
+			NewCoin:  newCoin(p),
+			Rotation: rotation,
+			Machine:  smr.NewKVMachine(),
+			Window:   cfg.Window,
+		}
+		if cfg.CheckpointEvery > 0 {
+			rcfg.CheckpointEvery = cfg.CheckpointEvery
+			rcfg.CheckpointSecret = secret
+			rcfg.OnCertified = func(cut int) {
+				drain(i)
+				if cut > cuts[i] {
+					cuts[i] = cut
+					releaseDealers()
+				}
+			}
+		}
+		return smr.New(rcfg)
+	}
+
+	commandsFor := func(p types.ProcessID) []string {
+		cmds := make([]string, cfg.Commands)
+		for c := range cmds {
+			cmds[c] = fmt.Sprintf("set k%d-%d v%d-%d", p, c, p, c)
+		}
+		return cmds
+	}
+
+	for i, p := range live {
+		i, p := i, p
+		if p == victim && cfg.Restart != nil {
+			observers[i] = &smrObserver{}
+			wrapper := sim.NewRestart(func() sim.Node {
+				rep, err := build(i, p)
+				if err != nil {
+					// The identical config already built every other
+					// replica; a failure here is a harness bug, not input.
+					panic(fmt.Sprintf("runner: building victim %v: %v", p, err))
+				}
+				observers[i].rep = rep
+				return rep
+			}, cfg.Restart.CrashAfter, cfg.Restart.ReviveAfter)
+			observers[i].wrapper = wrapper
+			if err := net.Add(wrapper); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		rep, err := build(i, p)
+		if err != nil {
+			return nil, err
+		}
+		observers[i] = &smrObserver{rep: rep}
+		for _, cmd := range commandsFor(p) {
+			rep.Submit(cmd)
+		}
+		if err := net.Add(rep); err != nil {
+			return nil, err
+		}
+	}
+
+	minCommits := 0
+	if cfg.Restart != nil {
+		minCommits = cfg.Restart.MinCommits
+		if minCommits <= 0 {
+			minCommits = 3
+		}
+	}
+	stop := func() bool {
+		done := true
+		for i := range observers {
+			drain(i)
+			rep := observers[i].current()
+			if rep == nil || rep.Slot() < cfg.Slots {
+				done = false
+			}
+		}
+		if cfg.Restart != nil && victimCommitted < minCommits {
+			done = false
+		}
+		return done
+	}
+	stats, err := net.Run(stop)
+	if err != nil {
+		return nil, err
+	}
+	for i := range observers {
+		drain(i)
+	}
+
+	res := &SMRResult{
+		Config:      cfg,
+		LogDigest:   digestAt,
+		StateDigest: stateAt,
+		FullStream:  !observers[0].gapped && refCount >= cfg.Slots,
+		Mismatches:  mismatches,
+		Committed:   make([]int, len(live)),
+		VictimID:    victim,
+		Messages:    stats.Sent,
+		Deliveries:  stats.Delivered,
+		EndTime:     stats.End,
+		Exhausted:   stats.Exhausted,
+	}
+	for i, o := range observers {
+		rep := o.current()
+		if rep == nil {
+			// The victim died and never revived (budget ran out
+			// mid-outage): its telemetry stays zero rather than reporting
+			// the discarded pre-crash instance's state as final.
+			continue
+		}
+		res.Committed[i] = rep.Slot()
+		if cut := rep.CertifiedCut(); cut > res.CertifiedCut {
+			res.CertifiedCut = cut
+		}
+		res.RBCDigestBytes += rep.RBCDigestBytes()
+		res.RBCRecords += rep.RBCCompacted()
+		res.RBCLive += rep.RBCLiveInstances()
+		res.LogRetained += rep.LogLen()
+		if o.wrapper != nil {
+			res.Transfers = rep.Transfers()
+			res.VictimBase = rep.Base()
+			res.VictimSlot = rep.Slot()
+			res.VictimLogDigest = rep.LogDigest()
+			res.VictimStateDigest, _ = rep.StateDigest()
+		}
+	}
+	res.VictimCommitted = victimCommitted
+	if dealers != nil {
+		res.DealerSlots = dealers.DealersRetained()
+		res.DealerRounds = dealers.RoundsRetained()
+	}
+	return res, nil
+}
+
+// RestartCatchupSpec is the canonical restart-catchup scenario: n replicas
+// checkpointing every `every` slots, the last live replica killed after a
+// third of the expected traffic and revived an interval's worth of
+// deliveries later — long past its window, with everything sent in between
+// gone — so only certificate-verified state transfer can bring it back.
+// The stop condition demands the victim then commits slots itself.
+func RestartCatchupSpec(n, slots, every int, seed int64) SMRConfig {
+	return SMRConfig{
+		N: n, F: quorum.MaxByzantine(n),
+		Slots:           slots,
+		Commands:        4,
+		CheckpointEvery: every,
+		Coin:            CoinLocal,
+		Seed:            seed,
+		Restart: &SMRRestart{
+			CrashAfter:  80 * n,
+			ReviveAfter: 160 * n,
+		},
+	}
+}

@@ -1,0 +1,130 @@
+package sim
+
+import "repro/internal/types"
+
+// Restart wraps a protocol node in a deterministic crash/recover schedule —
+// the simulator-side half of checkpoint state transfer (internal/ckpt). The
+// wrapped node processes CrashAfter deliveries normally, then crashes: its
+// state is discarded outright, and the next ReviveAfter deliveries evaporate
+// exactly as a dead process's inbox would (in-flight messages to a crashed
+// process are lost, which is precisely what makes post-restart catch-up by
+// replay impossible and state transfer necessary). The delivery after the
+// outage constructs a fresh node from the factory — empty log, empty state,
+// as a rebooted process would come back — and resumes with the fresh node's
+// Start output plus that delivery.
+//
+// Both thresholds count deliveries to this node, so the schedule is a pure
+// function of the run like everything else in the simulator: no clocks, no
+// goroutines, bitwise replayable.
+type Restart struct {
+	factory func() Node
+	inner   Node
+	id      types.ProcessID
+
+	crashAfter  int // deliveries processed before the crash
+	reviveAfter int // further deliveries dropped before the fresh node starts
+
+	processed int
+	dropped   int
+	down      bool
+	restarted bool
+}
+
+// NewRestart wraps factory's node in a crash at crashAfter deliveries and a
+// revival after exactly reviveAfter further deliveries have been dropped
+// (the first delivery beyond the outage is the fresh node's first input). The factory is called once
+// immediately (the initial node) and once at revival; both nodes must report
+// the same ID.
+func NewRestart(factory func() Node, crashAfter, reviveAfter int) *Restart {
+	inner := factory()
+	return &Restart{
+		factory:     factory,
+		inner:       inner,
+		id:          inner.ID(),
+		crashAfter:  crashAfter,
+		reviveAfter: reviveAfter,
+	}
+}
+
+var (
+	_ Node     = (*Restart)(nil)
+	_ Recycler = (*Restart)(nil)
+)
+
+// ID implements Node.
+func (r *Restart) ID() types.ProcessID { return r.id }
+
+// Done implements Node: a crashed process is not done — its inbox must keep
+// draining (into the void) so the revival threshold is reached.
+func (r *Restart) Done() bool {
+	if r.down {
+		return false
+	}
+	return r.inner.Done()
+}
+
+// Down reports whether the node is currently crashed.
+func (r *Restart) Down() bool { return r.down }
+
+// Restarted reports whether the crash/revival cycle has completed.
+func (r *Restart) Restarted() bool { return r.restarted }
+
+// Inner returns the current wrapped node (the fresh one after revival) —
+// for harness inspection only.
+func (r *Restart) Inner() Node { return r.inner }
+
+// Start implements Node.
+func (r *Restart) Start() []types.Message { return r.inner.Start() }
+
+// Deliver implements Node.
+func (r *Restart) Deliver(m types.Message) []types.Message {
+	if r.down {
+		if r.dropped < r.reviveAfter {
+			r.dropped++
+			return nil // the outage: messages to a crashed process are lost
+		}
+		// Revival: a fresh node boots and this delivery is the first it
+		// sees. Its Start and Deliver emissions combine into one result
+		// (allocated once per run — revival is a cold path), and the inner
+		// buffers recycle immediately.
+		r.down = false
+		r.restarted = true
+		r.inner = r.factory()
+		if r.inner.ID() != r.id {
+			panic("sim: restart factory changed the node's ID")
+		}
+		var out []types.Message
+		started := r.inner.Start()
+		out = append(out, started...)
+		r.recycleInner(started)
+		delivered := r.inner.Deliver(m)
+		out = append(out, delivered...)
+		r.recycleInner(delivered)
+		return out
+	}
+	out := r.inner.Deliver(m)
+	r.processed++
+	if !r.restarted && r.processed >= r.crashAfter {
+		// Crash after this delivery completes: the node's entire state —
+		// log, application state, protocol instances — is dropped.
+		r.down = true
+		r.inner = nil
+	}
+	return out
+}
+
+// Recycle implements Recycler, handing consumed slices back to the wrapped
+// node. (The one revival emission is backed by a fresh array; passing it on
+// to the inner node is a plain buffer donation, not an aliasing hazard.)
+func (r *Restart) Recycle(msgs []types.Message) {
+	if r.inner == nil {
+		return
+	}
+	r.recycleInner(msgs)
+}
+
+func (r *Restart) recycleInner(msgs []types.Message) {
+	if rec, ok := r.inner.(Recycler); ok {
+		rec.Recycle(msgs)
+	}
+}

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+// echoNode emits one reply per delivery and counts its lifetime.
+type echoNode struct {
+	id        types.ProcessID
+	delivered int
+	started   bool
+	gen       int
+}
+
+func (n *echoNode) ID() types.ProcessID { return n.id }
+func (n *echoNode) Done() bool          { return false }
+func (n *echoNode) Start() []types.Message {
+	n.started = true
+	return nil
+}
+func (n *echoNode) Deliver(m types.Message) []types.Message {
+	n.delivered++
+	return nil
+}
+
+func TestRestartCrashesDropsAndRevivesDeterministically(t *testing.T) {
+	gen := 0
+	var current *echoNode
+	factory := func() Node {
+		gen++
+		current = &echoNode{id: 9, gen: gen}
+		return current
+	}
+	r := NewRestart(factory, 3, 4)
+	if r.ID() != 9 || r.Down() || r.Restarted() {
+		t.Fatal("fresh wrapper state wrong")
+	}
+	r.Start()
+	if !current.started {
+		t.Fatal("Start not forwarded")
+	}
+	first := current
+
+	m := types.Message{From: 1, To: 9, Payload: &types.PlainPayload{Round: 1, Step: types.Step1}}
+	// Three deliveries process normally, then the crash.
+	for i := 0; i < 3; i++ {
+		r.Deliver(m)
+	}
+	if first.delivered != 3 {
+		t.Fatalf("pre-crash node saw %d deliveries, want 3", first.delivered)
+	}
+	if !r.Down() {
+		t.Fatal("no crash after CrashAfter deliveries")
+	}
+	if r.Done() {
+		t.Fatal("a crashed node must not report done (its inbox keeps draining)")
+	}
+	// Exactly four evaporate; the fifth revives a fresh node and delivers to it.
+	for i := 0; i < 4; i++ {
+		if out := r.Deliver(m); out != nil {
+			t.Fatal("outage delivery produced output")
+		}
+		if !r.Down() {
+			t.Fatal("revived early")
+		}
+	}
+	r.Deliver(m)
+	if r.Down() || !r.Restarted() {
+		t.Fatal("no revival after ReviveAfter dropped deliveries")
+	}
+	if current == first || current.gen != 2 {
+		t.Fatal("revival did not construct a fresh node")
+	}
+	if !current.started || current.delivered != 1 {
+		t.Fatalf("fresh node started=%v delivered=%d, want started with the revival delivery", current.started, current.delivered)
+	}
+	if first.delivered != 3 {
+		t.Fatal("crashed node received post-crash traffic")
+	}
+	// One cycle only: the fresh node keeps running past CrashAfter.
+	for i := 0; i < 10; i++ {
+		r.Deliver(m)
+	}
+	if r.Down() {
+		t.Fatal("wrapper crashed a second time")
+	}
+	if r.Inner() != current {
+		t.Fatal("Inner does not expose the live node")
+	}
+}
+
+func TestRestartFactoryMustKeepID(t *testing.T) {
+	gen := 0
+	factory := func() Node {
+		gen++
+		return &echoNode{id: types.ProcessID(gen)}
+	}
+	r := NewRestart(factory, 1, 1)
+	m := types.Message{From: 1, To: 1, Payload: &types.PlainPayload{Round: 1, Step: types.Step1}}
+	r.Deliver(m) // crash
+	r.Deliver(m) // the one outage delivery evaporates
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ID-changing factory did not panic at revival")
+		}
+	}()
+	r.Deliver(m) // revival with a different ID must panic
+}

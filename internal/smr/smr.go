@@ -20,12 +20,37 @@
 // timeouts (partial synchrony) or the asynchronous-common-subset
 // construction (internal/acs). Configure Rotation with the processes you
 // expect to be live; crashed non-proposers are tolerated up to f as usual.
+//
+// # Checkpointing and state transfer
+//
+// With Config.CheckpointEvery set, the replica layers the protocol-level
+// checkpoint subsystem (internal/ckpt) over the log. Every CheckpointEvery
+// slots it snapshots its Snapshotter machine, folds the log frontier into a
+// Checkpoint{Slot, StateDigest, LogDigest}, and broadcasts a signed vote;
+// 2f+1 matching votes certify the cut. A certified cut becomes the new log
+// base: committed entries below it are truncated (the chained LogDigest
+// still covers them), the dissemination instances and digest records of
+// pre-cut slots are dropped outright, superseded snapshots and votes are
+// released, and Config.OnCertified lets the embedding harness retire
+// cluster-shared per-slot state (coin dealers). Steady-state memory is then
+// O(window + interval) instead of O(slots committed).
+//
+// The catch-up path that makes the release safe: a replica observing
+// traffic at least one checkpoint interval ahead of its own frontier — a
+// restarted process whose in-flight messages are gone, or one lagging past
+// the window — broadcasts a state-transfer request. Peers answer (once per
+// requester and cut) with the latest certificate plus the snapshot at its
+// cut; the replica verifies the votes and the snapshot digest, installs the
+// snapshot as its new base, and rejoins the live slots, committing onward
+// through the ordinary protocol. Nothing uncertified is ever installed, so
+// a Byzantine responder can at worst stay silent.
 package smr
 
 import (
 	"errors"
 	"fmt"
 
+	"repro/internal/ckpt"
 	"repro/internal/coin"
 	"repro/internal/core"
 	"repro/internal/quorum"
@@ -76,6 +101,26 @@ type Config struct {
 	// Window is the per-round retention window handed to every slot's
 	// consensus instance (0 = the core default); see core.Config.Window.
 	Window int
+	// CheckpointEvery enables protocol-level checkpointing with the given
+	// cut cadence in slots (0 = off). Requires Machine to implement
+	// Snapshotter and a shared CheckpointSecret. See the package doc's
+	// checkpointing section.
+	CheckpointEvery int
+	// CheckpointSecret is the master secret from which the checkpoint
+	// subsystem derives its pairwise vote-authentication link keys
+	// (trusted setup, as for the transport keyring: each process is dealt
+	// only its own links). All replicas of a deployment must share the
+	// same master; required when CheckpointEvery > 0.
+	CheckpointSecret []byte
+	// OnCertified, when set, is called each time this replica's highest
+	// certified cut advances, with the release floor (the certified cut
+	// capped at the replica's own frontier). It fires before the pre-cut
+	// log entries are truncated, so a harness tailing the log via LogSince
+	// can drain them first; embedding harnesses also use it to retire
+	// cluster-shared per-slot state such as coin.DealerSet entries below
+	// the cut. Cuts installed by state transfer fire it too (with the
+	// installed cut; the log was already empty).
+	OnCertified func(cut int)
 	// Recorder, when enabled, receives protocol events.
 	Recorder *trace.Recorder
 }
@@ -95,7 +140,20 @@ type Replica struct {
 	queue   []string
 	waiting map[int]bool // slots whose proposal we already disseminated
 
-	log []Entry
+	// log holds the committed entries from base upward; entries below base
+	// were truncated at a certified checkpoint cut and are summarized by
+	// logDigest, the chained digest over the complete history [0, slot).
+	log       []Entry
+	base      int
+	logDigest uint64
+
+	// Checkpointing state (nil/zero with CheckpointEvery == 0).
+	tracker      *ckpt.Tracker
+	snap         Snapshotter
+	others       []types.ProcessID // peers excluding this replica (vote fan-out)
+	frontier     int               // highest slot named by live traffic
+	sinceRequest int               // deliveries until the next transfer request may fire
+	transfers    int               // state transfers installed
 
 	// The embedded recycled output buffer (see sim.OutBuffer). Together
 	// with the append-style RBC path and the inner consensus node's own
@@ -111,6 +169,8 @@ var (
 	ErrNoCoinFactory = errors.New("smr: config requires NewCoin")
 	ErrNoMachine     = errors.New("smr: config requires a state machine")
 	ErrBadPeers      = errors.New("smr: peers must include me and match spec size")
+	ErrNoSnapshotter = errors.New("smr: checkpointing requires a Snapshotter machine")
+	ErrNoCkptSecret  = errors.New("smr: checkpointing requires a cluster secret")
 )
 
 // New creates a replica.
@@ -137,14 +197,37 @@ func New(cfg Config) (*Replica, error) {
 	if len(cfg.Rotation) == 0 {
 		cfg.Rotation = cfg.Peers
 	}
-	return &Replica{
-		cfg:     cfg,
-		spec:    cfg.Spec,
-		values:  rbc.New(cfg.Me, cfg.Peers, cfg.Spec),
-		cands:   make(map[int]string),
-		pending: make(map[int][]types.Message),
-		waiting: make(map[int]bool),
-	}, nil
+	r := &Replica{
+		cfg:       cfg,
+		spec:      cfg.Spec,
+		values:    rbc.New(cfg.Me, cfg.Peers, cfg.Spec),
+		cands:     make(map[int]string),
+		pending:   make(map[int][]types.Message),
+		waiting:   make(map[int]bool),
+		logDigest: ckpt.InitialLogDigest,
+	}
+	if cfg.CheckpointEvery > 0 {
+		snap, ok := cfg.Machine.(Snapshotter)
+		if !ok {
+			return nil, fmt.Errorf("%w: %T", ErrNoSnapshotter, cfg.Machine)
+		}
+		if len(cfg.CheckpointSecret) == 0 {
+			return nil, ErrNoCkptSecret
+		}
+		tracker, err := ckpt.NewTracker(cfg.Me, cfg.Spec,
+			ckpt.NewAuthority(cfg.CheckpointSecret, cfg.Me, cfg.Peers), cfg.CheckpointEvery)
+		if err != nil {
+			return nil, err
+		}
+		r.snap = snap
+		r.tracker = tracker
+		for _, p := range cfg.Peers {
+			if p != cfg.Me {
+				r.others = append(r.others, p)
+			}
+		}
+	}
+	return r, nil
 }
 
 var (
@@ -172,11 +255,77 @@ func (r *Replica) Submit(cmd string) {
 	r.queue = append(r.queue, cmd)
 }
 
-// Log returns the committed entries so far (copy).
+// Log returns the retained committed entries (copy) — the full log without
+// checkpointing, the suffix above the last certified cut with it. Callers
+// that poll per delivery should use LogLen/LogSince instead: Log copies the
+// whole retained log on every call.
 func (r *Replica) Log() []Entry { return append([]Entry(nil), r.log...) }
+
+// LogLen returns how many committed entries the replica retains, without
+// copying anything — the O(1) "did anything commit since I looked" probe
+// for per-delivery polling.
+func (r *Replica) LogLen() int { return len(r.log) }
+
+// LogSince returns a copy of the retained entries with Slot >= slot. A
+// poller that tracks the next slot it has not seen pays O(new entries) per
+// call instead of Log's O(committed slots). Entries below the retention
+// base (truncated at a certified cut) are gone; LogSince silently starts at
+// the base, which Base() exposes so callers can detect the gap.
+func (r *Replica) LogSince(slot int) []Entry {
+	idx := slot - r.base
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(r.log) {
+		return nil
+	}
+	return append([]Entry(nil), r.log[idx:]...)
+}
+
+// Base returns the first retained slot: 0 without checkpointing, the last
+// installed or certified cut with it.
+func (r *Replica) Base() int { return r.base }
+
+// LogDigest returns the chained digest over the replica's complete
+// committed history [0, Slot()) — including entries truncated at checkpoint
+// cuts, whose contribution the certified cut pinned (see ckpt.FoldEntry).
+func (r *Replica) LogDigest() uint64 { return r.logDigest }
 
 // Slot returns the next undecided slot index.
 func (r *Replica) Slot() int { return r.slot }
+
+// CertifiedCut returns the latest certified checkpoint cut this replica
+// knows (0 if none or checkpointing is off).
+func (r *Replica) CertifiedCut() int {
+	if r.tracker == nil {
+		return 0
+	}
+	cert, ok := r.tracker.Latest()
+	if !ok {
+		return 0
+	}
+	return cert.Slot
+}
+
+// Transfers returns how many state transfers this replica has installed.
+func (r *Replica) Transfers() int { return r.transfers }
+
+// StateDigest returns the digest of the machine's current snapshot (ok =
+// false when the machine is not a Snapshotter).
+func (r *Replica) StateDigest() (uint64, bool) {
+	if r.snap == nil {
+		if s, ok := r.cfg.Machine.(Snapshotter); ok {
+			return ckpt.Digest(s.Snapshot()), true
+		}
+		return 0, false
+	}
+	return ckpt.Digest(r.snap.Snapshot()), true
+}
+
+// RBCDigestBytes returns the bytes the dissemination layer retains in
+// compact delivered-digest records — the per-slot residue checkpointing
+// retires (see rbc.Broadcaster.DigestBytes).
+func (r *Replica) RBCDigestBytes() int { return r.values.DigestBytes() }
 
 // RBCLiveInstances and RBCCompacted expose the dissemination layer's
 // windowing state: full-fidelity instances retained vs slots released to
@@ -219,6 +368,7 @@ func (r *Replica) Deliver(m types.Message) []types.Message {
 		if !ok {
 			break
 		}
+		r.noteFrontier(p.ID.Tag.Seq - dissemNS)
 		var deliveries []rbc.Delivery
 		out, deliveries = r.values.AppendHandle(out, m.From, p)
 		for _, d := range deliveries {
@@ -231,6 +381,7 @@ func (r *Replica) Deliver(m types.Message) []types.Message {
 			}
 		}
 	case trafficBinary:
+		r.noteFrontier(inst - 1)
 		switch {
 		case inst == r.slot+1 && r.bin != nil:
 			out = r.deliverBin(out, m)
@@ -241,8 +392,171 @@ func (r *Replica) Deliver(m types.Message) []types.Message {
 		if r.bin != nil {
 			out = r.deliverBin(out, m)
 		}
+	case trafficCkpt:
+		if r.tracker != nil {
+			out = r.onCkpt(out, m)
+		}
 	}
+	out = r.maybeRequest(out)
 	return r.step(out)
+}
+
+// noteFrontier tracks the highest slot named by live traffic — the
+// behind-detection input of the catch-up path. Slot numbers in
+// dissemination and consensus traffic are unauthenticated claims (and a
+// Byzantine voter can self-sign a vote for any cut), so the frontier is
+// treated as a hint, never a suppressant: it decides *whether* this replica
+// looks behind, while the retry cadence below decides *when* requests fire.
+// An inflated frontier therefore costs bounded periodic requests — answered
+// at most once per cut by each peer — and can never prevent a genuinely
+// lagging replica from requesting.
+func (r *Replica) noteFrontier(slot int) {
+	if r.tracker != nil && slot > r.frontier {
+		r.frontier = slot
+	}
+}
+
+// maybeRequest broadcasts a state-transfer request when this replica sits a
+// full checkpoint interval behind the observed frontier — a restarted
+// process (whose in-flight messages died with it) or one lagging past the
+// window. Retries are paced by deliveries, not frontier growth: one request
+// per ~interval's worth of cluster traffic while the gap persists, so an
+// unanswered request (no cut certified yet, responder crashed) retries
+// unconditionally rather than waiting on a signal an adversary could have
+// pre-spent.
+func (r *Replica) maybeRequest(out []types.Message) []types.Message {
+	if r.tracker == nil || r.frontier-r.slot < r.tracker.Interval() {
+		return out
+	}
+	if r.sinceRequest > 0 {
+		r.sinceRequest--
+		return out
+	}
+	r.sinceRequest = r.tracker.Interval() * len(r.cfg.Peers) * 4
+	req := &types.CkptRequestPayload{Slot: r.slot}
+	return types.AppendBroadcast(out, r.cfg.Me, r.others, req)
+}
+
+// onCkpt handles the three checkpoint-plane payloads.
+func (r *Replica) onCkpt(out []types.Message, m types.Message) []types.Message {
+	switch p := m.Payload.(type) {
+	case *types.CkptVotePayload:
+		cert, advanced, verified := r.tracker.NoteVote(m.From, p)
+		if advanced {
+			out = r.afterCertified(out, cert)
+		}
+		if verified {
+			// A verified vote also reveals the frontier: its voter claims
+			// to have committed through p.Slot. Unverified votes reveal
+			// nothing and must not touch any state.
+			r.noteFrontier(p.Slot)
+		}
+	case *types.CkptRequestPayload:
+		// Serve state transfer once per (requester, cut): latest
+		// certificate plus the snapshot at its cut, if we are ahead of the
+		// requester and hold both.
+		cert, ok := r.tracker.Latest()
+		if !ok || cert.Slot <= p.Slot {
+			break
+		}
+		payload, ok := r.tracker.CertPayload(true)
+		if !ok || !r.tracker.ShouldServe(m.From) {
+			break
+		}
+		out = append(out, types.Message{From: r.cfg.Me, To: m.From, Payload: payload})
+	case *types.CkptCertPayload:
+		cert, ok := r.tracker.VerifyCertPayload(p)
+		if !ok {
+			break // forged votes, sub-quorum, or snapshot/digest mismatch
+		}
+		if p.Snapshot != "" && cert.Slot > r.slot {
+			out = r.install(out, cert, p.Snapshot)
+		} else if r.tracker.Adopt(cert, p.Snapshot) {
+			// A bare certificate (or one not worth installing) still
+			// advances our certified cut and releases residue.
+			out = r.afterCertified(out, cert)
+		}
+	}
+	return out
+}
+
+// afterCertified releases everything a freshly certified cut settles. The
+// release floor is the cut capped at our own frontier: a cut certified
+// ahead of this replica's progress (the cluster outran us) must not touch
+// the live slots we are still working through.
+func (r *Replica) afterCertified(out []types.Message, cert ckpt.Certificate) []types.Message {
+	floor := cert.Slot
+	if floor > r.slot {
+		floor = r.slot
+	}
+	// The hook fires before truncation, so an embedding harness that tails
+	// the log (LogSince) can drain the entries the cut is about to release.
+	if r.cfg.OnCertified != nil {
+		r.cfg.OnCertified(floor)
+	}
+	r.truncateLog(floor)
+	r.values.DropSeqBelow(dissemNS + floor)
+	r.record(trace.Event{Kind: trace.KindNote, P: r.cfg.Me,
+		Note: fmt.Sprintf("ckpt certified cut %d (floor %d)", cert.Slot, floor)})
+	return out
+}
+
+// truncateLog drops committed entries below the floor; logDigest keeps
+// covering them (the certificate pinned the prefix digest).
+func (r *Replica) truncateLog(floor int) {
+	if floor <= r.base {
+		return
+	}
+	k := floor - r.base
+	if k > len(r.log) {
+		k = len(r.log)
+	}
+	r.log = r.log[:copy(r.log, r.log[k:])]
+	r.base = floor
+}
+
+// install applies a verified state transfer: the snapshot becomes the new
+// log base and the replica rejoins at the cut.
+func (r *Replica) install(out []types.Message, cert ckpt.Certificate, snapshot string) []types.Message {
+	if err := r.snap.Restore(snapshot); err != nil {
+		// VerifyCertPayload checked the digest, so only a machine that
+		// cannot parse its own snapshot format ends here; installing
+		// nothing is the safe outcome.
+		r.record(trace.Event{Kind: trace.KindNote, P: r.cfg.Me,
+			Note: fmt.Sprintf("ckpt install at %d failed: %v", cert.Slot, err)})
+		return out
+	}
+	r.transfers++
+	r.bin = nil
+	r.slot = cert.Slot
+	r.base = cert.Slot
+	r.log = r.log[:0]
+	r.logDigest = cert.LogDigest
+	for s := range r.cands {
+		if s < r.slot {
+			delete(r.cands, s)
+		}
+	}
+	for s := range r.waiting {
+		if s < r.slot {
+			delete(r.waiting, s)
+		}
+	}
+	for inst := range r.pending {
+		if inst <= r.slot {
+			delete(r.pending, inst) // binary instance s+1 serves slot s
+		}
+	}
+	r.values.DropSeqBelow(dissemNS + r.slot)
+	r.tracker.Adopt(cert, snapshot)
+	if r.cfg.OnCertified != nil {
+		r.cfg.OnCertified(r.slot)
+	}
+	r.record(trace.Event{Kind: trace.KindNote, P: r.cfg.Me,
+		Note: fmt.Sprintf("ckpt installed cut %d via state transfer", cert.Slot)})
+	// It may be our turn at the cut, and buffered candidates/decides for
+	// the slots above it resume in step().
+	return r.propose(out)
 }
 
 // deliverBin feeds one message to the current slot's consensus instance,
@@ -261,6 +575,7 @@ const (
 	trafficValues trafficKind = iota + 1
 	trafficBinary
 	trafficCoin
+	trafficCkpt
 )
 
 func classify(m types.Message) (int, trafficKind) {
@@ -274,6 +589,8 @@ func classify(m types.Message) (int, trafficKind) {
 		return p.Instance, trafficBinary
 	case *types.CoinSharePayload:
 		return 0, trafficCoin
+	case *types.CkptVotePayload, *types.CkptRequestPayload, *types.CkptCertPayload:
+		return 0, trafficCkpt
 	default:
 		return 0, trafficBinary
 	}
@@ -311,18 +628,18 @@ func (r *Replica) step(out []types.Message) []types.Message {
 		if !decided || !r.bin.Done() {
 			return out
 		}
+		entry := Entry{Slot: r.slot, Proposer: r.proposer(r.slot)}
 		if v == types.One {
-			cmd := r.cands[r.slot]
-			r.log = append(r.log, Entry{Slot: r.slot, Proposer: r.proposer(r.slot), Command: cmd})
-			if cmd != Noop {
-				if err := r.cfg.Machine.Apply(cmd); err != nil {
+			entry.Command = r.cands[r.slot]
+			if entry.Command != Noop {
+				if err := r.cfg.Machine.Apply(entry.Command); err != nil {
 					r.record(trace.Event{Kind: trace.KindNote, P: r.cfg.Me,
 						Note: fmt.Sprintf("apply slot %d: %v", r.slot, err)})
 				}
 			}
-		} else {
-			r.log = append(r.log, Entry{Slot: r.slot, Proposer: r.proposer(r.slot), Command: ""})
 		}
+		r.log = append(r.log, entry)
+		r.logDigest = ckpt.FoldEntry(r.logDigest, entry.Slot, entry.Proposer, entry.Command)
 		// Per-slot pruning, the log layer's version of the per-round
 		// invariant: a slot's candidate, dissemination flag, and RBC
 		// dissemination instance are dead once the slot commits, so a long
@@ -339,7 +656,30 @@ func (r *Replica) step(out []types.Message) []types.Message {
 		delete(r.waiting, r.slot)
 		r.slot++
 		r.bin = nil
+		if r.tracker != nil && r.slot%r.cfg.CheckpointEvery == 0 {
+			out = r.voteCheckpoint(out)
+		}
 		out = r.propose(out)
+	}
+	return out
+}
+
+// voteCheckpoint takes this replica's checkpoint at the cut it just
+// committed through — snapshot, digests, signed vote — retains the snapshot
+// for state transfer, and broadcasts the vote. If the local vote completes
+// a quorum (the rest of the cluster voted first), certification fires
+// immediately.
+func (r *Replica) voteCheckpoint(out []types.Message) []types.Message {
+	snapshot := r.snap.Snapshot()
+	c := ckpt.Checkpoint{
+		Slot:        r.slot,
+		StateDigest: ckpt.Digest(snapshot),
+		LogDigest:   r.logDigest,
+	}
+	vote, cert, advanced := r.tracker.RecordLocal(c, snapshot)
+	out = types.AppendBroadcast(out, r.cfg.Me, r.others, vote)
+	if advanced {
+		out = r.afterCertified(out, cert)
 	}
 	return out
 }

@@ -74,21 +74,27 @@ type Kind uint8
 // Payload kinds. The RBC kinds wrap the three phases of Bracha reliable
 // broadcast; the remaining kinds are top-level protocol messages.
 const (
-	KindRBCSend   Kind = iota + 1 // initial broadcast by the RBC sender
-	KindRBCEcho                   // echo of a witnessed send
-	KindRBCReady                  // ready amplification
-	KindCoinShare                 // Rabin common-coin share
-	KindDecide                    // decide-amplification gadget
-	KindPlain                     // unvalidated point-to-point (Ben-Or baseline)
+	KindRBCSend     Kind = iota + 1 // initial broadcast by the RBC sender
+	KindRBCEcho                     // echo of a witnessed send
+	KindRBCReady                    // ready amplification
+	KindCoinShare                   // Rabin common-coin share
+	KindDecide                      // decide-amplification gadget
+	KindPlain                       // unvalidated point-to-point (Ben-Or baseline)
+	KindCkptVote                    // checkpoint vote (protocol-level log checkpointing)
+	KindCkptRequest                 // state-transfer request from a lagging replica
+	KindCkptCert                    // checkpoint certificate, optionally carrying a snapshot
 )
 
 var kindNames = map[Kind]string{
-	KindRBCSend:   "RBC-SEND",
-	KindRBCEcho:   "RBC-ECHO",
-	KindRBCReady:  "RBC-READY",
-	KindCoinShare: "COIN",
-	KindDecide:    "DECIDE",
-	KindPlain:     "PLAIN",
+	KindRBCSend:     "RBC-SEND",
+	KindRBCEcho:     "RBC-ECHO",
+	KindRBCReady:    "RBC-READY",
+	KindCoinShare:   "COIN",
+	KindDecide:      "DECIDE",
+	KindPlain:       "PLAIN",
+	KindCkptVote:    "CKPT-VOTE",
+	KindCkptRequest: "CKPT-REQ",
+	KindCkptCert:    "CKPT-CERT",
 }
 
 // String implements fmt.Stringer.
@@ -100,7 +106,7 @@ func (k Kind) String() string {
 }
 
 // Valid reports whether k is a known payload kind.
-func (k Kind) Valid() bool { return k >= KindRBCSend && k <= KindPlain }
+func (k Kind) Valid() bool { return k >= KindRBCSend && k <= KindCkptCert }
 
 // Payload is implemented by every protocol message payload.
 type Payload interface {
@@ -218,6 +224,74 @@ func (p *PlainPayload) String() string {
 	return fmt.Sprintf("PLAIN[r%d/%s v=%s%s]", p.Round, p.Step, p.V, suffix)
 }
 
+// CkptVotePayload is one replica's checkpoint vote: "my log through slot
+// Slot (exclusive) and the state it produced digest to these values". Votes
+// are broadcast when a replica's commit frontier crosses a checkpoint cut;
+// 2f+1 votes on the same (Slot, StateDigest, LogDigest) form a certificate.
+// MACs is the vote's PBFT-style MAC vector — one entry per cluster member
+// in peer order, each under the pairwise (voter, receiver) link key
+// (internal/ckpt) — which is what makes certificates transferable: every
+// receiver of a relayed vote verifies its own entry.
+type CkptVotePayload struct {
+	Slot        int
+	StateDigest uint64
+	LogDigest   uint64
+	MACs        []string
+}
+
+// Kind implements Payload.
+func (p *CkptVotePayload) Kind() Kind { return KindCkptVote }
+
+// String implements fmt.Stringer.
+func (p *CkptVotePayload) String() string {
+	return fmt.Sprintf("CKPT-VOTE[slot=%d state=%x log=%x]", p.Slot, p.StateDigest, p.LogDigest)
+}
+
+// CkptRequestPayload asks a peer for state transfer: "my next undecided slot
+// is Slot; if you hold a certified checkpoint above it, send certificate and
+// snapshot". Sent by replicas that observe traffic at least one checkpoint
+// interval ahead of their own frontier (restarted, or lagging past the
+// window).
+type CkptRequestPayload struct {
+	Slot int
+}
+
+// Kind implements Payload.
+func (p *CkptRequestPayload) Kind() Kind { return KindCkptRequest }
+
+// String implements fmt.Stringer.
+func (p *CkptRequestPayload) String() string {
+	return fmt.Sprintf("CKPT-REQ[slot=%d]", p.Slot)
+}
+
+// CkptCertPayload carries a checkpoint certificate: the checkpoint plus the
+// certifying votes (voter identities and their full MAC vectors,
+// index-aligned — the vectors travel whole so the receiver can verify its
+// own entries and later re-serve the certificate to others). Snapshot is
+// empty on a bare certificate announcement and holds the serialized
+// application state at the cut in a state-transfer response; the receiver
+// verifies the snapshot against StateDigest before installing.
+type CkptCertPayload struct {
+	Slot        int
+	StateDigest uint64
+	LogDigest   uint64
+	Voters      []ProcessID
+	VoteMACs    [][]string
+	Snapshot    string
+}
+
+// Kind implements Payload.
+func (p *CkptCertPayload) Kind() Kind { return KindCkptCert }
+
+// String implements fmt.Stringer.
+func (p *CkptCertPayload) String() string {
+	snap := ""
+	if p.Snapshot != "" {
+		snap = fmt.Sprintf(" snap=%dB", len(p.Snapshot))
+	}
+	return fmt.Sprintf("CKPT-CERT[slot=%d voters=%d%s]", p.Slot, len(p.Voters), snap)
+}
+
 // Message is a point-to-point message between two processes. From is
 // authenticated by the transport layer (the simulator by construction, TCP by
 // HMAC): a Byzantine process cannot impersonate another process, exactly the
@@ -278,4 +352,37 @@ func Processes(n int) []ProcessID {
 		ps[i] = ProcessID(i + 1)
 	}
 	return ps
+}
+
+// FNV-1a is the repository's shared non-cryptographic fingerprint: the RBC
+// delivered-digest records and the checkpoint subsystem's chained log
+// digest both use it, and they must stay algorithm-identical — a
+// checkpoint argues about the same histories the RBC records summarize.
+// Not collision resistant by design: in both uses, agreement is enforced
+// by a quorum (echo intersection, 2f+1 checkpoint votes) before any digest
+// is trusted, and the digest is never the acceptance gate for
+// adversary-supplied bytes (the checkpoint *state* digest, which is,
+// truncates SHA-256 instead — see ckpt.Digest). Allocation-free and
+// inlinable, so hot paths fold bytes directly.
+const (
+	FNV1aInit  uint64 = 14695981039346656037
+	FNV1aPrime uint64 = 1099511628211
+)
+
+// FNV1aString folds s into the running digest h (seed with FNV1aInit).
+func FNV1aString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= FNV1aPrime
+	}
+	return h
+}
+
+// FNV1aUint64 folds v's eight big-endian bytes into the running digest h.
+func FNV1aUint64(h, v uint64) uint64 {
+	for shift := 56; shift >= 0; shift -= 8 {
+		h ^= (v >> uint(shift)) & 0xFF
+		h *= FNV1aPrime
+	}
+	return h
 }

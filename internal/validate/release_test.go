@@ -1,0 +1,71 @@
+package validate
+
+import (
+	"testing"
+
+	"repro/internal/quorum"
+	"repro/internal/types"
+)
+
+// feedRound drives a full round of unanimous-v traffic from n senders
+// through the validator, so every step's digest exists.
+func feedRound(v *Validator, n, round int, val types.Value) {
+	for step := types.Step1; step <= types.Step3; step++ {
+		for p := 1; p <= n; p++ {
+			m := types.StepMessage{Round: round, Step: step, V: val, D: step == types.Step3}
+			v.Record(types.ProcessID(p), m)
+		}
+	}
+}
+
+func TestReleaseTalliesBelowDropsDigestsAndRefusesLateMessages(t *testing.T) {
+	v := New(quorum.MustNew(4, 1))
+	for r := 1; r <= 5; r++ {
+		feedRound(v, 4, r, types.One)
+	}
+	if got := v.JustificationsRetained(); got != 5 {
+		t.Fatalf("retained %d digests, want 5", got)
+	}
+
+	if got := v.ReleaseTalliesBelow(3); got != 2 {
+		t.Fatalf("released %d digests, want 2 (rounds 1, 2)", got)
+	}
+	if got := v.JustificationsRetained(); got != 3 {
+		t.Fatalf("retained %d digests after release, want 3", got)
+	}
+
+	// Messages at or below the watermark are refused (round 3's step-1
+	// justification would need round 2's digest, which is gone).
+	before := v.Tallied()
+	for r := 1; r <= 3; r++ {
+		if acc := v.Record(99, types.StepMessage{Round: r, Step: types.Step2, V: types.One}); len(acc) != 0 {
+			t.Fatalf("round %d message accepted below the release watermark", r)
+		}
+	}
+	if v.Tallied() != before || v.Pending() != 0 || v.JustificationsRetained() != 3 {
+		t.Fatal("refused messages mutated validator state")
+	}
+
+	// Rounds above the watermark still justify normally: a round-4 step-1
+	// adoption reads round 3's digest, which was retained.
+	if !v.Justified(types.StepMessage{Round: 4, Step: types.Step1, V: types.One}) {
+		t.Fatal("round above the watermark lost its justification basis")
+	}
+}
+
+func TestReleaseTalliesBelowDropsPendingAndIsMonotone(t *testing.T) {
+	v := New(quorum.MustNew(4, 1))
+	feedRound(v, 4, 1, types.One)
+	// A round-3 message with no round-2 history stays pending.
+	v.Record(2, types.StepMessage{Round: 3, Step: types.Step2, V: types.One})
+	if v.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", v.Pending())
+	}
+	v.ReleaseTalliesBelow(3)
+	if v.Pending() != 0 {
+		t.Fatal("pending message at the watermark survived release")
+	}
+	if got := v.ReleaseTalliesBelow(2); got != 0 {
+		t.Fatalf("lower re-release dropped %d digests (watermark must be monotone)", got)
+	}
+}

@@ -33,6 +33,11 @@ var (
 // hostile length prefixes long before io limits would.
 const MaxBodyLen = 1 << 20
 
+// MaxCertVoters bounds the voter list of a checkpoint certificate. Honest
+// certificates carry exactly 2f+1 < n entries; the bound stops a hostile
+// count prefix from forcing a giant allocation before length checks bite.
+const MaxCertVoters = 1 << 16
+
 // EncodePayload serializes any protocol payload into a fresh buffer. Hot
 // paths that can reuse a destination should call AppendPayload instead; the
 // two produce byte-identical output.
@@ -79,6 +84,44 @@ func AppendPayload(dst []byte, p types.Payload) ([]byte, error) {
 		buf = appendInt(buf, int(v.Step))
 		buf = append(buf, byte(v.V), flags(v.D, v.Q))
 		return buf, nil
+	case *types.CkptVotePayload:
+		if len(v.MACs) > MaxCertVoters {
+			return dst, fmt.Errorf("%w: %d vote MAC entries", ErrTooLarge, len(v.MACs))
+		}
+		buf := append(dst, byte(types.KindCkptVote))
+		buf = appendInt(buf, v.Slot)
+		buf = appendUint64(buf, v.StateDigest)
+		buf = appendUint64(buf, v.LogDigest)
+		return appendStrings(buf, v.MACs), nil
+	case *types.CkptRequestPayload:
+		buf := append(dst, byte(types.KindCkptRequest))
+		return appendInt(buf, v.Slot), nil
+	case *types.CkptCertPayload:
+		if len(v.Voters) != len(v.VoteMACs) {
+			return dst, fmt.Errorf("%w: %d voters, %d MAC vectors", ErrBadValue, len(v.Voters), len(v.VoteMACs))
+		}
+		if len(v.Voters) > MaxCertVoters {
+			return dst, fmt.Errorf("%w: %d cert voters", ErrTooLarge, len(v.Voters))
+		}
+		if len(v.Snapshot) > MaxBodyLen {
+			// Decoders reject oversized fields unconditionally; failing at
+			// the producer keeps a too-big application snapshot a loud
+			// error instead of a transfer that silently never lands.
+			return dst, fmt.Errorf("%w: %d-byte snapshot", ErrTooLarge, len(v.Snapshot))
+		}
+		buf := append(dst, byte(types.KindCkptCert))
+		buf = appendInt(buf, v.Slot)
+		buf = appendUint64(buf, v.StateDigest)
+		buf = appendUint64(buf, v.LogDigest)
+		buf = binary.AppendUvarint(buf, uint64(len(v.Voters)))
+		for i, voter := range v.Voters {
+			if len(v.VoteMACs[i]) > MaxCertVoters {
+				return dst, fmt.Errorf("%w: %d MAC entries for voter %v", ErrTooLarge, len(v.VoteMACs[i]), voter)
+			}
+			buf = appendInt(buf, int(voter))
+			buf = appendStrings(buf, v.VoteMACs[i])
+		}
+		return appendString(buf, v.Snapshot), nil
 	case nil:
 		return dst, fmt.Errorf("%w: nil payload", ErrBadValue)
 	default:
@@ -185,6 +228,78 @@ func decodePayload(buf []byte) (types.Payload, []byte, error) {
 		}
 		p := &types.PlainPayload{Round: round, Step: types.Step(step), V: v, D: d, Q: q}
 		return p, buf[2:], nil
+	case types.KindCkptVote:
+		slot, buf, err := readInt(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		state, buf, err := readUint64(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		log, buf, err := readUint64(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		macs, buf, err := readStrings(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &types.CkptVotePayload{Slot: slot, StateDigest: state, LogDigest: log, MACs: macs}, buf, nil
+	case types.KindCkptRequest:
+		slot, buf, err := readInt(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &types.CkptRequestPayload{Slot: slot}, buf, nil
+	case types.KindCkptCert:
+		slot, buf, err := readInt(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		state, buf, err := readUint64(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		log, buf, err := readUint64(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		count, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, nil, ErrTruncated
+		}
+		if count > MaxCertVoters {
+			return nil, nil, fmt.Errorf("%w: %d cert voters", ErrTooLarge, count)
+		}
+		buf = buf[n:]
+		var voters []types.ProcessID
+		var voteMACs [][]string
+		if count > 0 {
+			voters = make([]types.ProcessID, 0, count)
+			voteMACs = make([][]string, 0, count)
+		}
+		for i := uint64(0); i < count; i++ {
+			voter, rest, err := readInt(buf)
+			if err != nil {
+				return nil, nil, err
+			}
+			macs, rest, err := readStrings(rest)
+			if err != nil {
+				return nil, nil, err
+			}
+			voters = append(voters, types.ProcessID(voter))
+			voteMACs = append(voteMACs, macs)
+			buf = rest
+		}
+		snap, buf, err := readBytes(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &types.CkptCertPayload{
+			Slot: slot, StateDigest: state, LogDigest: log,
+			Voters: voters, VoteMACs: voteMACs, Snapshot: string(snap),
+		}, buf, nil
 	default:
 		return nil, nil, fmt.Errorf("%w: %d", ErrUnknownKind, kind)
 	}
@@ -337,6 +452,55 @@ func PutBuffer(b *[]byte) {
 
 func appendInt(buf []byte, v int) []byte {
 	return binary.AppendVarint(buf, int64(v))
+}
+
+// appendUint64 and readUint64 carry checkpoint digests, which use the full
+// unsigned range and must not pass through the zig-zag signed path.
+func appendUint64(buf []byte, v uint64) []byte {
+	return binary.AppendUvarint(buf, v)
+}
+
+// appendStrings and readStrings carry checkpoint MAC vectors: a count
+// prefix followed by length-prefixed strings. The count is bounded like the
+// voter list it parallels.
+func appendStrings(buf []byte, ss []string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ss)))
+	for _, s := range ss {
+		buf = appendString(buf, s)
+	}
+	return buf
+}
+
+func readStrings(buf []byte) ([]string, []byte, error) {
+	count, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, nil, ErrTruncated
+	}
+	if count > MaxCertVoters {
+		return nil, nil, fmt.Errorf("%w: %d MAC entries", ErrTooLarge, count)
+	}
+	buf = buf[n:]
+	var ss []string
+	if count > 0 {
+		ss = make([]string, 0, count)
+	}
+	for i := uint64(0); i < count; i++ {
+		s, rest, err := readBytes(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		ss = append(ss, string(s))
+		buf = rest
+	}
+	return ss, buf, nil
+}
+
+func readUint64(buf []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, nil, ErrTruncated
+	}
+	return v, buf[n:], nil
 }
 
 // appendString is appendBytes for string fields, avoiding the []byte(s)

@@ -33,6 +33,16 @@ func allPayloads() []types.Payload {
 		&types.PlainPayload{Round: 4, Step: types.Step2, V: types.One, D: true},
 		&types.PlainPayload{Round: 1, Step: types.Step1, V: types.Zero, Q: true},
 		&types.PlainPayload{Round: 7, Step: types.Step3, V: types.One},
+		&types.CkptVotePayload{Slot: 64, StateDigest: 0xDEADBEEFCAFE, LogDigest: ^uint64(0), MACs: []string{"m1", "m2", "", "m4"}},
+		&types.CkptVotePayload{Slot: 0, StateDigest: 0, LogDigest: 0},
+		&types.CkptRequestPayload{Slot: 37},
+		&types.CkptCertPayload{
+			Slot: 128, StateDigest: 1, LogDigest: 2,
+			Voters:   []types.ProcessID{1, 3, 4},
+			VoteMACs: [][]string{{"a1", "a2"}, {"b1", "b2"}, {"c1", "c2"}},
+			Snapshot: "k=v\n",
+		},
+		&types.CkptCertPayload{Slot: 8, StateDigest: 9, LogDigest: 10},
 	}
 }
 
@@ -78,6 +88,7 @@ func TestEncodeRejectsInvalid(t *testing.T) {
 		want error
 	}{
 		{"nil payload", nil, ErrBadValue},
+		{"cert voters/MAC-vectors mismatch", &types.CkptCertPayload{Voters: []types.ProcessID{1}}, ErrBadValue},
 		{"bad RBC phase", &types.RBCPayload{Phase: types.KindDecide}, ErrBadValue},
 		{"bad decide value", &types.DecidePayload{V: 7}, ErrBadValue},
 		{"bad plain value", &types.PlainPayload{V: 9}, ErrBadValue},
