@@ -59,6 +59,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/adversary"
 	"repro/internal/experiments"
 	"repro/internal/quorum"
 	"repro/internal/runner"
@@ -95,9 +96,11 @@ func run(args []string, out io.Writer) error {
 		window     = fs.Int("window", 0, "-sweep/-smr: per-round retention window of the correct nodes (0 = default 1; behaviour-neutral, aggregates identical at any size)")
 		lowWater   = fs.Int("lowwater", 0, "-sweep: deliveries between cluster low-watermark scans pruning the coin dealer (0 = default; behaviour-neutral)")
 
-		smrSlots  = fs.Int("smr", 0, "run a replicated-log workload of this many slots (the checkpoint/state-transfer mode)")
-		ckptEvery = fs.Int("ckpt-every", 0, "-smr: checkpoint cadence in slots (0 = checkpointing off); committed digests are identical either way")
-		restart   = fs.Bool("restart", false, "-smr: kill the last replica mid-run and revive it empty (restart-catchup; requires -ckpt-every)")
+		smrSlots   = fs.Int("smr", 0, "run a replicated-log workload of this many slots (the checkpoint/state-transfer mode)")
+		ckptEvery  = fs.Int("ckpt-every", 0, "-smr: checkpoint cadence in slots (0 = checkpointing off); committed digests are identical either way")
+		restart    = fs.Bool("restart", false, "-smr: kill the last replica mid-run and revive it empty (restart-catchup; requires -ckpt-every)")
+		ckptDir    = fs.String("ckpt-dir", "", "-smr: durable checkpoint store directory (replicas persist and, on a rerun over the same directory, boot from their records; requires -ckpt-every)")
+		ckptAttack = fs.String("ckpt-attack", "", "-smr: checkpoint-plane attack one replica mounts (see -scenarios; requires -ckpt-every); committed digests must match the attack-free run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -120,14 +123,14 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-smr wants a positive slot count, got %d", *smrSlots)
 	}
 	if *sweep == "" && *smrSlots == 0 {
-		for _, name := range []string{"n", "f", "scenario", "checkpoint", "resume", "every", "stop-after", "no-prune", "window", "lowwater", "ckpt-every", "restart"} {
+		for _, name := range []string{"n", "f", "scenario", "checkpoint", "resume", "every", "stop-after", "no-prune", "window", "lowwater", "ckpt-every", "restart", "ckpt-dir", "ckpt-attack"} {
 			if set[name] {
 				return fmt.Errorf("-%s requires -sweep or -smr", name)
 			}
 		}
 	}
 	if *sweep != "" {
-		for _, name := range []string{"experiment", "runs", "seed", "quick", "csv", "ckpt-every", "restart"} {
+		for _, name := range []string{"experiment", "runs", "seed", "quick", "csv", "ckpt-every", "restart", "ckpt-dir", "ckpt-attack"} {
 			if set[name] {
 				return fmt.Errorf("-%s does not apply to -sweep", name)
 			}
@@ -152,6 +155,7 @@ func run(args []string, out io.Writer) error {
 		return runSMRCmd(out, smrOpts{
 			slots: *smrSlots, n: *sweepN, f: *sweepF, seed: *seed,
 			ckptEvery: *ckptEvery, window: *window, restart: *restart,
+			ckptDir: *ckptDir, ckptAttack: *ckptAttack,
 			jsonOut: *jsonOut,
 		})
 	}
@@ -212,6 +216,8 @@ type smrOpts struct {
 	ckptEvery   int
 	window      int
 	restart     bool
+	ckptDir     string
+	ckptAttack  string
 	jsonOut     bool
 }
 
@@ -232,12 +238,27 @@ func runSMRCmd(out io.Writer, o smrOpts) error {
 		Window:          o.window,
 		Coin:            runner.CoinCommon,
 		Seed:            o.seed,
+		CkptDir:         o.ckptDir,
 	}
 	if o.restart {
 		if o.ckptEvery <= 0 {
 			return fmt.Errorf("-restart requires -ckpt-every (a restarted replica can only catch up via state transfer)")
 		}
 		cfg.Restart = &runner.SMRRestart{CrashAfter: 80 * o.n, ReviveAfter: 160 * o.n}
+	}
+	if o.ckptDir != "" && o.ckptEvery <= 0 {
+		return fmt.Errorf("-ckpt-dir requires -ckpt-every (there is nothing to persist without checkpoints)")
+	}
+	if o.ckptAttack != "" {
+		if o.ckptEvery <= 0 {
+			return fmt.Errorf("-ckpt-attack requires -ckpt-every (the attacks target the checkpoint plane)")
+		}
+		attack, err := adversary.ParseCkptAttack(o.ckptAttack)
+		if err != nil {
+			return err
+		}
+		cfg.Attack = attack
+		cfg.Byzantine = 1
 	}
 	res, err := runner.RunSMR(cfg)
 	if err != nil {
@@ -269,11 +290,18 @@ func runSMRCmd(out io.Writer, o smrOpts) error {
 			DealerSlots int    `json:"dealerSlots"`
 			Transfers   int    `json:"transfers"`
 			VictimDone  int    `json:"victimCommitted"`
+			Restored    int    `json:"restoredCuts"`
+			StoreErrors int    `json:"storeErrors"`
+			Retries     int    `json:"transferRetries"`
+			Stale       int    `json:"staleResponses"`
+			Unverified  int    `json:"unverifiableResponses"`
 			Deliveries  int    `json:"deliveries"`
 		}{o.n, f, o.slots, o.seed, o.ckptEvery,
 			fmt.Sprintf("%016x", res.LogDigest), fmt.Sprintf("%016x", res.StateDigest),
 			res.CertifiedCut, res.LogRetained, res.RBCRecords, res.RBCDigestBytes,
-			res.DealerSlots, res.Transfers, res.VictimCommitted, res.Deliveries})
+			res.DealerSlots, res.Transfers, res.VictimCommitted,
+			res.RestoredCuts, res.StoreErrors, res.TransferRetries,
+			res.StaleResponses, res.UnverifiableResponses, res.Deliveries})
 	}
 	fmt.Fprintf(out, "smr workload: n=%d f=%d slots=%d seed=%d ckpt-every=%d window=%d restart=%v\n",
 		o.n, f, o.slots, o.seed, o.ckptEvery, o.window, o.restart)
@@ -285,11 +313,19 @@ func runSMRCmd(out io.Writer, o smrOpts) error {
 		fmt.Fprintf(out, "victim: transfers=%d base=%d committed=%d frontier=%d\n",
 			res.Transfers, res.VictimBase, res.VictimCommitted, res.VictimSlot)
 	}
+	if o.ckptDir != "" {
+		fmt.Fprintf(out, "store: restored-cuts=%d store-errors=%d\n", res.RestoredCuts, res.StoreErrors)
+	}
+	if o.ckptAttack != "" {
+		fmt.Fprintf(out, "attack %s: installs=%d retries=%d stale=%d unverifiable=%d\n",
+			o.ckptAttack, res.TotalInstalls, res.TransferRetries, res.StaleResponses, res.UnverifiableResponses)
+	}
 	fmt.Fprintf(out, "deliveries=%d messages=%d\n", res.Deliveries, res.Messages)
 	return nil
 }
 
-// listScenarios prints the property-scenario battery.
+// listScenarios prints the property-scenario battery and the
+// checkpoint-adversary battery (the -ckpt-attack names).
 func listScenarios(out io.Writer) error {
 	for _, sc := range runner.Scenarios() {
 		kind := "consensus"
@@ -297,6 +333,10 @@ func listScenarios(out io.Writer) error {
 			kind = "rbc"
 		}
 		fmt.Fprintf(out, "%-18s %-10s %s\n", sc.Name, kind, sc.Doc)
+	}
+	for _, sc := range runner.CkptScenarios() {
+		fmt.Fprintf(out, "%-18s %-10s -smr -ckpt-every … -ckpt-attack %s (scenario schedule: %v)\n",
+			sc.Name, "ckpt", sc.Attack, sc.Sched)
 	}
 	return nil
 }

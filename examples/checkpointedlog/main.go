@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"log"
 
+	"repro/internal/adversary"
 	"repro/internal/runner"
 )
 
@@ -62,6 +63,35 @@ func run() error {
 	fmt.Printf("          then committed %d slots itself up to frontier %d\n",
 		res.VictimCommitted, res.VictimSlot)
 	fmt.Printf("          full-history log digest %016x — bitwise equal to an\n", res.VictimLogDigest)
-	fmt.Printf("          uninterrupted replica's, with zero slots replayed.\n")
+	fmt.Printf("          uninterrupted replica's, with zero slots replayed.\n\n")
+
+	// Round two: the same kill/revive, but now one of the victim's peers is
+	// Byzantine — it answers every transfer request with a stale
+	// certificate, wasting the catch-up round. The victim detects the
+	// staleness, marks the responder bad for the epoch, and re-requests
+	// from the next peer immediately; and because the attacker's underlying
+	// replica still commits honestly, the hostile run's digests must equal
+	// the clean run's bitwise.
+	hostile := cfg
+	hostile.Attack = adversary.CkptStaleResponder
+	hostile.Byzantine = 1
+	hres, err := runner.RunSMR(hostile)
+	if err != nil {
+		return err
+	}
+	if hres.Mismatches != 0 || hres.Exhausted {
+		return fmt.Errorf("hostile run: mismatches=%d exhausted=%v", hres.Mismatches, hres.Exhausted)
+	}
+	fmt.Printf("hostile:  rerun with a stale-responder among the victim's peers\n")
+	fmt.Printf("          victim saw %d stale response(s), retried past them %d time(s),\n",
+		hres.StaleResponses, hres.VictimRetries)
+	fmt.Printf("          still installed %d transfer(s) and committed %d slots itself\n",
+		hres.Transfers, hres.VictimCommitted)
+	if hres.LogDigest != res.LogDigest || hres.StateDigest != res.StateDigest {
+		return fmt.Errorf("hostile run digests diverged: log %016x/%016x state %016x/%016x",
+			hres.LogDigest, res.LogDigest, hres.StateDigest, res.StateDigest)
+	}
+	fmt.Printf("          digests bitwise equal to the clean run: the attack changed\n")
+	fmt.Printf("          traffic, never what commits.\n")
 	return nil
 }

@@ -207,15 +207,23 @@ func (a *Authority) VerifyCert(cert Certificate, spec quorum.Spec) bool {
 	return valid >= spec.Decide()
 }
 
-// maxPendingCuts bounds the distinct uncertified cuts a tracker holds votes
-// for. Honest clusters have at most a handful in flight (the spread between
-// the slowest voter's cut and the fastest's); the cap is what stops a
-// Byzantine voter minting votes for unboundedly many far-future cuts from
-// growing the vote table. Eviction is deterministic — the largest tracked
-// cut goes first, and new cuts beyond a full table are rejected — so spam
-// can only displace other spam: certification always proceeds at the lowest
-// pending cuts, which is where honest votes are.
-const maxPendingCuts = 64
+// DefaultMaxPendingCuts bounds the distinct uncertified cuts a tracker holds
+// votes for (overridable per tracker via SetMaxPendingCuts). Honest clusters
+// have at most a handful in flight (the spread between the slowest voter's
+// cut and the fastest's); the cap is what stops a Byzantine voter minting
+// votes for unboundedly many far-future cuts from growing the vote table.
+// Eviction is deterministic — the largest tracked cut goes first, and new
+// cuts beyond a full table are rejected — so spam can only displace other
+// spam: certification always proceeds at the lowest pending cuts, which is
+// where honest votes are.
+const DefaultMaxPendingCuts = 64
+
+// maxServesPerCut bounds how many full state-transfer responses one replica
+// sends a single requester for a single cut, however many retry nonces the
+// requester burns. Three covers the honest worst case — the first response
+// evaporating in the requester's outage, plus one crash/retry cycle — while
+// keeping a Byzantine re-requester's amplification a small constant.
+const maxServesPerCut = 3
 
 // Tracker is one replica's checkpoint state: it folds votes into pending
 // cuts, certifies at quorum, retains the snapshots this replica took at its
@@ -226,19 +234,27 @@ type Tracker struct {
 	spec quorum.Spec
 	auth *Authority
 
-	interval int
+	interval   int
+	maxPending int
 
 	votes     map[int]*cutVotes // pending votes by cut slot
 	latest    Certificate
 	certified bool
 
 	snapshots map[int]string // serialized app state at locally reached cuts
-	served    map[serveKey]bool
+	served    map[serveKey]*serveRec
 }
 
 type serveKey struct {
 	to  types.ProcessID
 	cut int
+}
+
+// serveRec tracks the transfers already sent for one (requester, cut) pair:
+// the highest request nonce answered and how many responses went out.
+type serveRec struct {
+	lastNonce int
+	count     int
 }
 
 // cutVotes accumulates one cut's votes: first vote per voter wins, counted
@@ -262,18 +278,31 @@ func NewTracker(me types.ProcessID, spec quorum.Spec, a *Authority, interval int
 		return nil, fmt.Errorf("ckpt: interval %d, want > 0", interval)
 	}
 	return &Tracker{
-		me:        me,
-		spec:      spec,
-		auth:      a,
-		interval:  interval,
-		votes:     make(map[int]*cutVotes),
-		snapshots: make(map[int]string),
-		served:    make(map[serveKey]bool),
+		me:         me,
+		spec:       spec,
+		auth:       a,
+		interval:   interval,
+		maxPending: DefaultMaxPendingCuts,
+		votes:      make(map[int]*cutVotes),
+		snapshots:  make(map[int]string),
+		served:     make(map[serveKey]*serveRec),
 	}, nil
 }
 
 // Interval returns the checkpoint cadence in slots.
 func (t *Tracker) Interval() int { return t.interval }
+
+// SetMaxPendingCuts overrides the pending-cut cap (DefaultMaxPendingCuts).
+// Values below one are ignored: a tracker must always be able to hold at
+// least the cut it is certifying.
+func (t *Tracker) SetMaxPendingCuts(n int) {
+	if n >= 1 {
+		t.maxPending = n
+	}
+}
+
+// MaxPendingCuts returns the active pending-cut cap.
+func (t *Tracker) MaxPendingCuts() int { return t.maxPending }
 
 // RecordLocal registers this replica's own checkpoint at a cut it just
 // committed through: the snapshot is retained for state transfer, the vote
@@ -319,7 +348,7 @@ func (t *Tracker) noteVote(from types.ProcessID, c Checkpoint, macs []string) (C
 	}
 	cv := t.votes[c.Slot]
 	if cv == nil {
-		if len(t.votes) >= maxPendingCuts && !t.evictFor(c.Slot) {
+		if len(t.votes) >= t.maxPending && !t.evictFor(c.Slot) {
 			return Certificate{}, false
 		}
 		cv = &cutVotes{voters: make(map[types.ProcessID]voteRec)}
@@ -465,17 +494,29 @@ func (t *Tracker) CertPayload(withSnapshot bool) (*types.CkptCertPayload, bool) 
 }
 
 // ShouldServe reports whether a state transfer of the latest cut to the
-// given requester is new, and marks it served. One full response per
-// (requester, cut): repeated or Byzantine re-requests cost nothing.
-func (t *Tracker) ShouldServe(to types.ProcessID) bool {
+// given requester should go out, and marks it served. The first request for
+// a (requester, cut) pair is always served; afterwards only a strictly
+// higher nonce — the requester's retry counter, incremented per request —
+// gets another response, and never more than maxServesPerCut in total. A
+// genuine retry (the previous response was lost in the requester's outage,
+// or came back stale/unverifiable from a Byzantine responder) therefore
+// gets through, while replayed or duplicated requests stay deduplicated and
+// a hostile re-requester is amplification-bounded by a small constant.
+func (t *Tracker) ShouldServe(to types.ProcessID, nonce int) bool {
 	if !t.certified {
 		return false
 	}
 	k := serveKey{to: to, cut: t.latest.Slot}
-	if t.served[k] {
+	rec := t.served[k]
+	if rec == nil {
+		t.served[k] = &serveRec{lastNonce: nonce, count: 1}
+		return true
+	}
+	if nonce <= rec.lastNonce || rec.count >= maxServesPerCut {
 		return false
 	}
-	t.served[k] = true
+	rec.lastNonce = nonce
+	rec.count++
 	return true
 }
 
@@ -488,8 +529,15 @@ func (t *Tracker) floor() int {
 }
 
 // PendingCuts returns how many uncertified cuts hold votes (diagnostics;
-// bounded by maxPendingCuts).
+// bounded by the pending-cut cap).
 func (t *Tracker) PendingCuts() int { return len(t.votes) }
+
+// SnapshotAt returns the retained snapshot at a cut this replica reached
+// locally or installed by transfer (ok = false when released or never held).
+func (t *Tracker) SnapshotAt(cut int) (string, bool) {
+	s, ok := t.snapshots[cut]
+	return s, ok
+}
 
 // SnapshotsRetained returns how many cut snapshots the tracker holds
 // (diagnostics; bounded by the pending cuts above the certified one, plus

@@ -161,8 +161,8 @@ func TestFarFutureVoteSpamBounded(t *testing.T) {
 		c := Checkpoint{Slot: 8 * i * 100}
 		tr.NoteVote(4, vote(4, c))
 	}
-	if got := tr.PendingCuts(); got > maxPendingCuts {
-		t.Fatalf("vote table grew to %d cuts, cap %d", got, maxPendingCuts)
+	if got := tr.PendingCuts(); got > DefaultMaxPendingCuts {
+		t.Fatalf("vote table grew to %d cuts, cap %d", got, DefaultMaxPendingCuts)
 	}
 	// Honest certification at a low cut still proceeds: the spam evicts
 	// itself (largest first), never the lowest pending cuts.
@@ -273,13 +273,13 @@ func TestShouldServeDedupsPerRequesterAndCut(t *testing.T) {
 	for _, v := range []types.ProcessID{2, 3} {
 		tr.NoteVote(v, vote(v, c))
 	}
-	if !tr.ShouldServe(4) {
+	if !tr.ShouldServe(4, 0) {
 		t.Fatal("first request refused")
 	}
-	if tr.ShouldServe(4) {
-		t.Fatal("repeat request served twice at one cut")
+	if tr.ShouldServe(4, 0) {
+		t.Fatal("replayed nonce served twice at one cut")
 	}
-	if !tr.ShouldServe(3) {
+	if !tr.ShouldServe(3, 0) {
 		t.Fatal("distinct requester refused")
 	}
 	// A new cut resets the dedup for the new cut only.
@@ -288,8 +288,43 @@ func TestShouldServeDedupsPerRequesterAndCut(t *testing.T) {
 	for _, v := range []types.ProcessID{2, 3} {
 		tr.NoteVote(v, vote(v, c2))
 	}
-	if !tr.ShouldServe(4) {
+	if !tr.ShouldServe(4, 0) {
 		t.Fatal("request at the new cut refused")
+	}
+}
+
+func TestShouldServeRetryNoncesAndCap(t *testing.T) {
+	tr := newTestTracker(t, 1)
+	c := Checkpoint{Slot: 8, StateDigest: 1, LogDigest: 1}
+	tr.RecordLocal(c, "snap")
+	for _, v := range []types.ProcessID{2, 3} {
+		tr.NoteVote(v, vote(v, c))
+	}
+	if !tr.ShouldServe(4, 5) {
+		t.Fatal("first request refused")
+	}
+	if tr.ShouldServe(4, 5) {
+		t.Fatal("replayed nonce re-served")
+	}
+	if tr.ShouldServe(4, 3) {
+		t.Fatal("older nonce re-served")
+	}
+	if !tr.ShouldServe(4, 6) {
+		t.Fatal("genuine retry (higher nonce) refused")
+	}
+	if !tr.ShouldServe(4, 9) {
+		t.Fatal("third response (under the cap) refused")
+	}
+	// The amplification cap: however many fresh nonces the requester burns,
+	// responses per (requester, cut) stop at maxServesPerCut.
+	for nonce := 10; nonce < 30; nonce++ {
+		if tr.ShouldServe(4, nonce) {
+			t.Fatalf("nonce %d served beyond the per-cut cap", nonce)
+		}
+	}
+	// Another requester is unaffected by 4's burn.
+	if !tr.ShouldServe(3, 0) {
+		t.Fatal("distinct requester refused after another's cap")
 	}
 }
 
@@ -333,5 +368,35 @@ func TestSnapshotRetentionBounded(t *testing.T) {
 	}
 	if got := tr.PendingCuts(); got != 0 {
 		t.Fatalf("retained %d pending cuts, want 0", got)
+	}
+}
+
+func TestPendingCutCapConfigurable(t *testing.T) {
+	tr := newTestTracker(t, 1)
+	tr.SetMaxPendingCuts(4)
+	if got := tr.MaxPendingCuts(); got != 4 {
+		t.Fatalf("cap = %d after SetMaxPendingCuts(4)", got)
+	}
+	// Out-of-range overrides are ignored: a tracker must always be able to
+	// hold at least the cut it is certifying.
+	tr.SetMaxPendingCuts(0)
+	tr.SetMaxPendingCuts(-3)
+	if got := tr.MaxPendingCuts(); got != 4 {
+		t.Fatalf("cap = %d after invalid overrides, want 4", got)
+	}
+	// Spam far-future cuts well past the tightened cap.
+	for i := 1; i <= 200; i++ {
+		tr.NoteVote(4, vote(4, Checkpoint{Slot: 8 * (i + 10)}))
+	}
+	if got := tr.PendingCuts(); got > 4 {
+		t.Fatalf("vote table grew to %d cuts under cap 4", got)
+	}
+	// Honest certification at the lowest cut still proceeds: eviction is
+	// largest-first, so spam displaces spam, never the honest cut.
+	c := Checkpoint{Slot: 8, StateDigest: 1, LogDigest: 1}
+	noteVote(t, tr, 2, c)
+	noteVote(t, tr, 3, c)
+	if _, adv := noteVote(t, tr, 1, c); !adv {
+		t.Fatal("spam displaced the honest cut under a tight cap")
 	}
 }

@@ -1,0 +1,266 @@
+package ckpt
+
+// The durable snapshot store: crash-safe persistence of one replica's
+// latest certified checkpoint, so a whole-cluster power cycle recovers from
+// disk instead of stalling forever (every replica's in-flight messages are
+// gone, and with nobody ahead there is no peer to transfer from).
+//
+// One record holds {certificate+snapshot, committed log suffix}. The
+// certificate is the wire-encoded CkptCertPayload with the snapshot
+// attached — exactly the bytes a state-transfer response would carry, so a
+// load is verified by the same VerifyCertPayload gate as a network transfer
+// and a corrupted file can never install more than a hostile responder
+// could (nothing). The suffix records the entries the replica had committed
+// at or above the cut when it saved; a restored replica resumes *at the
+// cut* (the suffix slots re-commit through ordinary consensus, which under
+// heterogeneous reboots is the only live resumption point) and uses the
+// suffix as a cross-restart divergence detector.
+//
+// Write path: encode body, prepend magic/version/SHA-256 header, write to a
+// temp file, fsync, rename over the record. A kill -9 at any instant leaves
+// either the old record (rename not reached) or the new one (rename
+// atomic); a torn temp file is never looked at. Load path: magic, version,
+// checksum, then a strict decode that rejects truncation and trailing
+// bytes; any failure returns ErrCorrupt and the replica starts empty,
+// falling back to network state transfer.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Store errors.
+var (
+	// ErrNoRecord reports a missing record file (a fresh deployment, not a
+	// failure).
+	ErrNoRecord = errors.New("ckpt: no durable record")
+	// ErrCorrupt reports a record that failed the checksum or the strict
+	// decode — a torn write, bit rot, or tampering. Callers fall back to
+	// network state transfer.
+	ErrCorrupt = errors.New("ckpt: durable record corrupt")
+)
+
+const (
+	storeVersion = 1
+	// storeHeaderLen is magic (4) + version (1) + SHA-256 of the body (32).
+	storeHeaderLen = 4 + 1 + sha256.Size
+	// maxSuffixEntries bounds the decoded suffix before any allocation, like
+	// every other hostile-length guard in the wire codec.
+	maxSuffixEntries = 1 << 20
+)
+
+var storeMagic = [4]byte{'R', 'C', 'K', 'P'}
+
+// LogEntry mirrors one committed log entry in a durable record. (It is the
+// smr layer's Entry shape; the checkpoint package sits below smr and keeps
+// its own copy of the triple.)
+type LogEntry struct {
+	Slot     int
+	Proposer types.ProcessID
+	Command  string
+}
+
+// Record is what one replica persists: its latest certificate with the
+// snapshot at the cut, plus the log suffix it had committed at save time.
+type Record struct {
+	Cert   types.CkptCertPayload
+	Suffix []LogEntry
+}
+
+// Store reads and writes one replica's durable checkpoint record at a fixed
+// path.
+type Store struct {
+	path string
+}
+
+// NewStore names the record file. Nothing touches the filesystem until Save
+// or Load.
+func NewStore(path string) *Store { return &Store{path: path} }
+
+// Path returns the record file path.
+func (s *Store) Path() string { return s.path }
+
+// Save atomically replaces the record: temp file, fsync, rename. The record
+// must carry a snapshot — a certificate alone cannot restore a machine.
+func (s *Store) Save(rec *Record) error {
+	if rec == nil || rec.Cert.Snapshot == "" {
+		return fmt.Errorf("ckpt: store save needs a certificate with a snapshot")
+	}
+	body, err := appendRecord(nil, rec)
+	if err != nil {
+		return err
+	}
+	sum := sha256.Sum256(body)
+	buf := make([]byte, 0, storeHeaderLen+len(body))
+	buf = append(buf, storeMagic[:]...)
+	buf = append(buf, storeVersion)
+	buf = append(buf, sum[:]...)
+	buf = append(buf, body...)
+
+	// The record's directory is created on first save, so pointing a fresh
+	// deployment at a not-yet-existing store directory works; the temp file
+	// always lives beside the record, keeping the rename on one filesystem.
+	if dir := filepath.Dir(s.path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("ckpt: store save: %w", err)
+		}
+	}
+	tmp := s.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("ckpt: store save: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("ckpt: store save: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("ckpt: store save: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ckpt: store save: %w", err)
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ckpt: store save: %w", err)
+	}
+	return nil
+}
+
+// Load reads and strictly validates the record. ErrNoRecord means no file;
+// ErrCorrupt wraps every integrity failure (bad magic, version, checksum,
+// truncated or trailing bytes, malformed fields). The caller must still
+// verify the certificate itself (VerifyCertPayload): the checksum detects
+// corruption, only the MAC quorum authenticates the content.
+func (s *Store) Load() (*Record, error) {
+	data, err := os.ReadFile(s.path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, ErrNoRecord
+		}
+		return nil, fmt.Errorf("ckpt: store load: %w", err)
+	}
+	if len(data) < storeHeaderLen {
+		return nil, fmt.Errorf("%w: %d-byte file", ErrCorrupt, len(data))
+	}
+	if !bytes.Equal(data[:4], storeMagic[:]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if data[4] != storeVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrCorrupt, data[4])
+	}
+	body := data[storeHeaderLen:]
+	sum := sha256.Sum256(body)
+	if !bytes.Equal(data[5:storeHeaderLen], sum[:]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	rec, rest, err := readRecord(body)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrCorrupt)
+	}
+	if rec.Cert.Snapshot == "" {
+		return nil, fmt.Errorf("%w: record without snapshot", ErrCorrupt)
+	}
+	return rec, nil
+}
+
+// appendRecord encodes a record body: length-prefixed wire certificate,
+// then the suffix entries.
+func appendRecord(buf []byte, rec *Record) ([]byte, error) {
+	cert, err := wire.EncodePayload(&rec.Cert)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: store save: %w", err)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(cert)))
+	buf = append(buf, cert...)
+	buf = binary.AppendUvarint(buf, uint64(len(rec.Suffix)))
+	for _, e := range rec.Suffix {
+		if e.Slot < 0 || e.Proposer < 0 {
+			return nil, fmt.Errorf("ckpt: store save: negative suffix field")
+		}
+		buf = binary.AppendUvarint(buf, uint64(e.Slot))
+		buf = binary.AppendUvarint(buf, uint64(int64(e.Proposer)))
+		buf = binary.AppendUvarint(buf, uint64(len(e.Command)))
+		buf = append(buf, e.Command...)
+	}
+	return buf, nil
+}
+
+// readRecord decodes a record body.
+func readRecord(buf []byte) (*Record, []byte, error) {
+	certLen, buf, err := readLen(buf, wire.MaxBodyLen*2)
+	if err != nil {
+		return nil, nil, err
+	}
+	if certLen > len(buf) {
+		return nil, nil, fmt.Errorf("certificate truncated")
+	}
+	p, err := wire.DecodePayload(buf[:certLen])
+	if err != nil {
+		return nil, nil, err
+	}
+	cert, ok := p.(*types.CkptCertPayload)
+	if !ok {
+		return nil, nil, fmt.Errorf("record holds %T, want certificate", p)
+	}
+	buf = buf[certLen:]
+	count, buf, err := readLen(buf, maxSuffixEntries)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec := &Record{Cert: *cert}
+	if count > 0 {
+		rec.Suffix = make([]LogEntry, 0, min(count, 4096))
+	}
+	for i := 0; i < count; i++ {
+		slot, rest, err := readLen(buf, 1<<40)
+		if err != nil {
+			return nil, nil, err
+		}
+		proposer, rest, err := readLen(rest, 1<<40)
+		if err != nil {
+			return nil, nil, err
+		}
+		cmdLen, rest, err := readLen(rest, wire.MaxBodyLen)
+		if err != nil {
+			return nil, nil, err
+		}
+		if cmdLen > len(rest) {
+			return nil, nil, fmt.Errorf("suffix entry truncated")
+		}
+		rec.Suffix = append(rec.Suffix, LogEntry{
+			Slot:     slot,
+			Proposer: types.ProcessID(proposer),
+			Command:  string(rest[:cmdLen]),
+		})
+		buf = rest[cmdLen:]
+	}
+	return rec, buf, nil
+}
+
+// readLen reads one bounded non-negative uvarint.
+func readLen(buf []byte, max int) (int, []byte, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("truncated varint")
+	}
+	if v > uint64(max) {
+		return 0, nil, fmt.Errorf("length %d exceeds %d", v, max)
+	}
+	return int(v), buf[n:], nil
+}

@@ -1,0 +1,251 @@
+package runner
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/adversary"
+)
+
+// checkCkptScenario runs one checkpoint-adversary scenario at one scale and
+// seed against its attack-free control and asserts the full property set:
+// no agreement violations, a gap-free reference stream, no suffix
+// divergence, catch-up completing where a victim is in play, the pending-cut
+// cap holding where one is set — and the control run's digests reproduced
+// bitwise (the attack may change traffic, never what commits).
+func checkCkptScenario(t *testing.T, sc CkptScenario, n, slots, every int, seed int64) {
+	t.Helper()
+	control, err := RunSMR(sc.Control(n, slots, every, seed))
+	if err != nil {
+		t.Fatalf("%s n=%d seed %d: control: %v", sc.Name, n, seed, err)
+	}
+	if !control.FullStream || control.Mismatches != 0 || control.Exhausted {
+		t.Fatalf("%s n=%d seed %d: bad control run: full=%v mismatches=%d exhausted=%v",
+			sc.Name, n, seed, control.FullStream, control.Mismatches, control.Exhausted)
+	}
+	res, err := RunSMR(sc.Spec(n, slots, every, seed))
+	if err != nil {
+		t.Fatalf("%s n=%d seed %d: %v", sc.Name, n, seed, err)
+	}
+	if res.Exhausted {
+		t.Fatalf("%s n=%d seed %d: delivery budget exhausted (liveness lost under attack)", sc.Name, n, seed)
+	}
+	if res.Mismatches != 0 {
+		t.Errorf("%s n=%d seed %d: %d cross-replica log mismatches", sc.Name, n, seed, res.Mismatches)
+	}
+	if !res.FullStream {
+		t.Errorf("%s n=%d seed %d: reference stream gapped", sc.Name, n, seed)
+	}
+	if res.SuffixDivergence != 0 {
+		t.Errorf("%s n=%d seed %d: %d suffix divergences", sc.Name, n, seed, res.SuffixDivergence)
+	}
+	if res.LogDigest != control.LogDigest {
+		t.Errorf("%s n=%d seed %d: log digest %016x, control %016x",
+			sc.Name, n, seed, res.LogDigest, control.LogDigest)
+	}
+	if res.StateDigest != control.StateDigest {
+		t.Errorf("%s n=%d seed %d: state digest %016x, control %016x",
+			sc.Name, n, seed, res.StateDigest, control.StateDigest)
+	}
+	for i, c := range res.Committed {
+		if c < slots {
+			t.Errorf("%s n=%d seed %d: replica %d stopped at slot %d < %d", sc.Name, n, seed, i, c, slots)
+		}
+	}
+	if sc.Restart && res.Transfers < 1 {
+		t.Errorf("%s n=%d seed %d: victim installed no state transfer", sc.Name, n, seed)
+	}
+	if sc.MaxPendingCuts > 0 && res.PendingCutsMax > sc.MaxPendingCuts {
+		t.Errorf("%s n=%d seed %d: pending cuts peaked at %d, cap %d",
+			sc.Name, n, seed, res.PendingCutsMax, sc.MaxPendingCuts)
+	}
+}
+
+// TestCkptScenariosHoldQuick is the quick checkpoint-adversary battery:
+// every scenario, every seed, at n=16 (n=8 and one seed under -short).
+func TestCkptScenariosHoldQuick(t *testing.T) {
+	n, slots, seeds := 16, 24, []int64{1, 2, 3}
+	if testing.Short() {
+		n, seeds = 8, []int64{1}
+	}
+	for _, sc := range CkptScenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			for _, seed := range seeds {
+				checkCkptScenario(t, sc, n, slots, 8, seed)
+			}
+		})
+	}
+}
+
+// TestCkptScenariosHoldFrontier re-runs the battery at the frontier scale.
+// An n=64 slot costs ~n³ deliveries, so the scenarios run in parallel and
+// the whole battery needs go test -timeout headroom (CI and the harness
+// runbook use -timeout 60m).
+func TestCkptScenariosHoldFrontier(t *testing.T) {
+	if os.Getenv("REPRO_HARNESS_FULL") == "" {
+		t.Skip("set REPRO_HARNESS_FULL=1 to run the n=64 checkpoint-adversary battery")
+	}
+	for _, sc := range CkptScenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range []int64{1, 2} {
+				checkCkptScenario(t, sc, 64, 16, 8, seed)
+			}
+		})
+	}
+}
+
+// TestVictimRetriesPastHostileResponders pins the retry/fallback loop
+// end-to-end: with a stale or corrupt responder among the victim's peers,
+// the victim must still catch up and commit — and across the battery the
+// hostile responses and reactive retries must actually have fired (a battery
+// that never routes a request to the attacker tests nothing).
+func TestVictimRetriesPastHostileResponders(t *testing.T) {
+	hostileHits := 0
+	for _, kind := range []adversary.CkptAttack{adversary.CkptStaleResponder, adversary.CkptCorruptResponder} {
+		for _, seed := range seedsUnderTest(t, 6) {
+			// A tight interval over a long run keeps the revived victim
+			// trailing the frontier through several paced requests, and the
+			// attacker sits early in the responder rotation — so the hostile
+			// response and the reactive retry fire on every seed.
+			cfg := RestartCatchupSpec(4, 96, 4, seed)
+			cfg.Attack = kind
+			cfg.Byzantine = 1
+			res, err := RunSMR(cfg)
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", kind, seed, err)
+			}
+			if res.Exhausted || res.Mismatches != 0 || !res.FullStream {
+				t.Errorf("%v seed %d: exhausted=%v mismatches=%d full=%v",
+					kind, seed, res.Exhausted, res.Mismatches, res.FullStream)
+			}
+			if res.Transfers < 1 || res.VictimCommitted < 3 {
+				t.Errorf("%v seed %d: victim never caught up (transfers=%d committed=%d)",
+					kind, seed, res.Transfers, res.VictimCommitted)
+			}
+			hostileHits += res.StaleResponses + res.UnverifiableResponses + res.VictimRetries
+		}
+	}
+	if hostileHits == 0 {
+		t.Error("no hostile response was ever served or retried past: the battery has no fallback coverage")
+	}
+}
+
+// TestSMRPowerCycleRecoversFromDisk is the whole-cluster power-cycle gate:
+// a run persisting to a durable store directory, stopped at slot 24, then
+// restarted over the same directory to slot 48, must reproduce the
+// uninterrupted 48-slot run's digests bitwise — every replica boots from its
+// own record (heterogeneous cuts), the ones behind catch up via announced
+// certificates and state transfer, and re-committed suffix slots never
+// contradict the persisted log.
+func TestSMRPowerCycleRecoversFromDisk(t *testing.T) {
+	for _, seed := range seedsUnderTest(t, 4) {
+		dir := t.TempDir()
+		base := SMRConfig{N: 4, F: 1, Slots: 48, Commands: 4, CheckpointEvery: 8, Seed: seed}
+		uninterrupted, err := RunSMR(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !uninterrupted.FullStream || uninterrupted.Mismatches != 0 {
+			t.Fatalf("seed %d: bad uninterrupted run: %+v", seed, uninterrupted)
+		}
+
+		phase1 := base
+		phase1.Slots = 24
+		phase1.CkptDir = dir
+		p1, err := RunSMR(phase1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p1.StoreErrors != 0 || p1.RestoredCuts != 0 {
+			t.Fatalf("seed %d: phase 1 storeErrors=%d restored=%d", seed, p1.StoreErrors, p1.RestoredCuts)
+		}
+		if p1.Mismatches != 0 || p1.Exhausted {
+			t.Fatalf("seed %d: bad phase 1 run: %+v", seed, p1)
+		}
+
+		phase2 := base
+		phase2.CkptDir = dir
+		p2, err := RunSMR(phase2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p2.RestoredCuts != 4 {
+			t.Errorf("seed %d: %d of 4 replicas booted from disk", seed, p2.RestoredCuts)
+		}
+		if p2.StoreErrors != 0 {
+			t.Errorf("seed %d: phase 2 survived %d store errors, want 0", seed, p2.StoreErrors)
+		}
+		if p2.SuffixDivergence != 0 {
+			t.Errorf("seed %d: %d re-committed entries contradicted the persisted suffix", seed, p2.SuffixDivergence)
+		}
+		if p2.Mismatches != 0 || !p2.FullStream || p2.Exhausted {
+			t.Errorf("seed %d: phase 2 mismatches=%d full=%v exhausted=%v",
+				seed, p2.Mismatches, p2.FullStream, p2.Exhausted)
+		}
+		if p2.LogDigest != uninterrupted.LogDigest {
+			t.Errorf("seed %d: power-cycled log digest %016x, uninterrupted %016x",
+				seed, p2.LogDigest, uninterrupted.LogDigest)
+		}
+		if p2.StateDigest != uninterrupted.StateDigest {
+			t.Errorf("seed %d: power-cycled state digest %016x, uninterrupted %016x",
+				seed, p2.StateDigest, uninterrupted.StateDigest)
+		}
+	}
+}
+
+// TestSMRStoreCorruptionFallsBackToNetwork: a replica whose durable record
+// was corrupted on disk (torn write, bit rot) boots empty, reports the
+// rejected load, and catches up through network state transfer — and the
+// cluster's digests are unaffected.
+func TestSMRStoreCorruptionFallsBackToNetwork(t *testing.T) {
+	seed := int64(3)
+	dir := t.TempDir()
+	base := SMRConfig{N: 4, F: 1, Slots: 48, Commands: 4, CheckpointEvery: 8, Seed: seed}
+	uninterrupted, err := RunSMR(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	phase1 := base
+	phase1.Slots = 24
+	phase1.CkptDir = dir
+	if _, err := RunSMR(phase1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bit-rot replica 2's record: its checksum must fail at boot.
+	path := filepath.Join(dir, "replica-2.ckpt")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	phase2 := base
+	phase2.CkptDir = dir
+	p2, err := RunSMR(phase2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.StoreErrors == 0 {
+		t.Error("corrupted record loaded without a store error")
+	}
+	if p2.RestoredCuts != 3 {
+		t.Errorf("%d of 4 replicas booted from disk, want 3 (one record corrupted)", p2.RestoredCuts)
+	}
+	if p2.Mismatches != 0 || !p2.FullStream || p2.Exhausted || p2.SuffixDivergence != 0 {
+		t.Errorf("phase 2 mismatches=%d full=%v exhausted=%v divergence=%d",
+			p2.Mismatches, p2.FullStream, p2.Exhausted, p2.SuffixDivergence)
+	}
+	if p2.LogDigest != uninterrupted.LogDigest || p2.StateDigest != uninterrupted.StateDigest {
+		t.Errorf("digests diverged after corrupted-record fallback: log %016x/%016x state %016x/%016x",
+			p2.LogDigest, uninterrupted.LogDigest, p2.StateDigest, uninterrupted.StateDigest)
+	}
+}

@@ -2,7 +2,9 @@ package runner
 
 import (
 	"fmt"
+	"path/filepath"
 
+	"repro/internal/adversary"
 	"repro/internal/ckpt"
 	"repro/internal/coin"
 	"repro/internal/quorum"
@@ -66,8 +68,70 @@ type SMRConfig struct {
 	// kill/restart determinism property, whose committed log must be
 	// comparable (same proposers, same commands) to a Restart run's.
 	SpareRotation bool
+	// Attack, when nonzero, turns Byzantine live replicas into
+	// checkpoint-plane attackers of the given kind (adversary.CkptByzantine;
+	// requires CheckpointEvery > 0). Attackers run genuine replicas
+	// underneath — they stay in the proposer rotation and commit honestly —
+	// so an attack run's committed log, and therefore its digests, must
+	// match the attack-free control run's bitwise.
+	Attack adversary.CkptAttack
+	// Byzantine is how many attackers run the Attack (default 1 when Attack
+	// is set; at most F). They occupy the live slots right after the
+	// reference replica, early in every catching-up replica's responder
+	// rotation — so transfer requests actually reach them.
+	Byzantine int
+	// Sched selects the delivery schedule the attack composes with: 0 or
+	// SchedUniform (fair uniform delays), SchedReorder, SchedStraggler (the
+	// second live replica's links slowed until it lags past the checkpoint
+	// window), or SchedSplitHeal (half/half partition healed at healTime).
+	Sched SchedulerKind
+	// CkptDir, when set, gives every honest replica a durable snapshot
+	// store at <dir>/replica-<id>.ckpt (requires CheckpointEvery > 0):
+	// replicas persist their latest certified checkpoint and, on a later
+	// run over the same directory, boot from it — the whole-cluster
+	// power-cycle recovery path.
+	CkptDir string
+	// MaxPendingCuts overrides the checkpoint tracker's pending-cut cap
+	// (0 = ckpt.DefaultMaxPendingCuts).
+	MaxPendingCuts int
 	// MaxDeliveries bounds the run (0 = a Slots- and n-scaled default).
 	MaxDeliveries int
+}
+
+// smrStragglerLag is the extra delay on every link touching the SMR
+// straggler — enough, against 1..20 base delays, to drop it a checkpoint
+// interval behind the frontier under load (the straggler-prune pressure
+// schedule) without pushing the run into its delivery budget.
+const smrStragglerLag sim.Time = 60
+
+// scheduler builds the sim scheduler for this config. The straggler is the
+// first honest live replica after the reference and the attackers (never
+// the reference, never an attacker — the point is an *honest* replica
+// lagging behind the checkpoint window), slowed on every link; the
+// partition splits the live replicas in half and heals at healTime, after
+// which the held cross-half traffic arrives in a burst.
+func (cfg SMRConfig) scheduler(live []types.ProcessID) sim.Scheduler {
+	base := sim.UniformDelay{Min: 1, Max: 20}
+	switch cfg.Sched {
+	case SchedReorder:
+		return sim.ReorderDelay{Span: 24}
+	case SchedStraggler:
+		straggler := live[(1+cfg.Byzantine)%len(live)]
+		var links [][2]types.ProcessID
+		for _, q := range live {
+			if q != straggler {
+				links = append(links, [2]types.ProcessID{straggler, q}, [2]types.ProcessID{q, straggler})
+			}
+		}
+		return sim.Compose{Base: base, Rules: []sim.Rule{sim.DelayLinks(smrStragglerLag, links...)}}
+	case SchedSplitHeal:
+		half := len(live) / 2
+		return sim.Compose{Base: base, Rules: []sim.Rule{
+			sim.HealPartition(healTime, live[:half], live[half:]),
+		}}
+	default:
+		return base
+	}
 }
 
 // SMRRestart is the deterministic kill/revive schedule of the victim (the
@@ -105,8 +169,20 @@ type SMRResult struct {
 	Committed    []int
 	CertifiedCut int
 
+	// Robustness telemetry, summed over the replicas alive at the end of
+	// the run (attackers report their honest inner replica's counters).
+	TotalInstalls         int // state transfers installed cluster-wide
+	TransferRetries       int // reactive re-requests after stale/unverifiable responses
+	StaleResponses        int // full transfer responses at or below the receiver's frontier
+	UnverifiableResponses int // certificate payloads that failed verification
+	StoreErrors           int // durable-store failures survived (rejected loads, failed saves)
+	SuffixDivergence      int // re-committed entries contradicting a durable log suffix (must be 0)
+	PendingCutsMax        int // largest per-replica pending-cut table at the end (cap-bounded)
+	RestoredCuts          int // replicas that booted from a durable record
+
 	// Victim telemetry (Restart runs).
 	VictimID        types.ProcessID
+	VictimRetries   int // the victim's own reactive re-requests
 	Transfers       int // state transfers the victim installed
 	VictimBase      int // the victim's final log base (its last installed cut)
 	VictimCommitted int // entries the revived victim committed itself
@@ -169,6 +245,23 @@ func RunSMR(cfg SMRConfig) (*SMRResult, error) {
 	if cfg.Restart != nil && cfg.CheckpointEvery <= 0 {
 		return nil, fmt.Errorf("%w: a restarted replica can only catch up via checkpoint state transfer; set CheckpointEvery", ErrBadConfig)
 	}
+	if (cfg.Attack != 0 || cfg.CkptDir != "") && cfg.CheckpointEvery <= 0 {
+		return nil, fmt.Errorf("%w: checkpoint attacks and durable stores need CheckpointEvery", ErrBadConfig)
+	}
+	if cfg.Attack != 0 && cfg.Byzantine == 0 {
+		cfg.Byzantine = 1
+	}
+	if cfg.Attack == 0 {
+		cfg.Byzantine = 0
+	}
+	if cfg.Byzantine > cfg.F {
+		return nil, fmt.Errorf("%w: %d attackers exceed the fault bound f=%d", ErrBadConfig, cfg.Byzantine, cfg.F)
+	}
+	switch cfg.Sched {
+	case 0, SchedUniform, SchedReorder, SchedStraggler, SchedSplitHeal:
+	default:
+		return nil, fmt.Errorf("%w: SMR runs support uniform/reorder/straggler/split-heal schedules, not %v", ErrBadConfig, cfg.Sched)
+	}
 	if cfg.Coin == 0 {
 		cfg.Coin = CoinLocal
 	}
@@ -185,16 +278,41 @@ func RunSMR(cfg SMRConfig) (*SMRResult, error) {
 	if cfg.Restart != nil || cfg.SpareRotation {
 		rotation = live[:len(live)-1] // the victim must not hold up slots
 	}
+	// Attackers occupy the live slots right after the reference replica: the
+	// reference (first live) stays honest, so the digest chain reads an
+	// honest log; the victim (last live) stays honest, so catch-up is tested
+	// against the attack rather than run by it; and sitting early in the
+	// responder rotation means a catching-up replica's transfer requests
+	// actually reach the attackers instead of always being rescued by honest
+	// peers first.
+	attacker := make([]bool, len(live))
+	if cfg.Byzantine > 0 {
+		hi := len(live)
+		if cfg.Restart != nil || cfg.SpareRotation {
+			hi--
+		}
+		if 1+cfg.Byzantine > hi {
+			return nil, fmt.Errorf("%w: %d attackers leave no honest reference replica", ErrBadConfig, cfg.Byzantine)
+		}
+		for k := 1; k <= cfg.Byzantine; k++ {
+			attacker[k] = true
+		}
+	}
 
 	budget := cfg.MaxDeliveries
 	if budget <= 0 {
-		budget = 400 * cfg.Slots * cfg.N // ~hundreds of deliveries per slot at small n
+		// Each slot runs a full ACS — n parallel broadcasts of O(n²)
+		// deliveries each — so a healthy run costs ~n³ deliveries per slot
+		// (measured ~7·n³ at n=16..64). Budget roughly twice that, floored
+		// at the sim default so small-n runs keep generous headroom; a run
+		// that exhausts it has genuinely lost liveness.
+		budget = 16 * cfg.Slots * cfg.N * cfg.N * cfg.N
 		if budget < sim.DefaultMaxDeliveries {
 			budget = sim.DefaultMaxDeliveries
 		}
 	}
 	net, err := sim.New(sim.Config{
-		Scheduler:     sim.UniformDelay{Min: 1, Max: 20},
+		Scheduler:     cfg.scheduler(live),
 		Seed:          cfg.Seed,
 		MaxDeliveries: budget,
 	})
@@ -221,7 +339,8 @@ func RunSMR(cfg SMRConfig) (*SMRResult, error) {
 	secret := []byte(fmt.Sprintf("smr-ckpt-%d", cfg.Seed))
 
 	observers := make([]*smrObserver, len(live))
-	cuts := make([]int, len(live)) // per-replica certified cut (monotone)
+	machines := make([]*smr.KVMachine, len(live)) // each replica's live machine
+	cuts := make([]int, len(live))                // per-replica certified cut (monotone)
 	releaseDealers := func() {
 		if dealers == nil {
 			return
@@ -271,10 +390,24 @@ func RunSMR(cfg SMRConfig) (*SMRResult, error) {
 			if b := rep.Base(); b > o.next {
 				// The replica jumped past slots this observer never saw
 				// (state transfer installed a cut). Expected for the victim;
-				// for the reference replica it would void the digest chain,
-				// so it is flagged rather than mis-chained.
-				if i == 0 {
-					o.gapped = true
+				// the reference replica's chain re-seeds from the installed
+				// certificate — its LogDigest is the full-history digest at
+				// the cut and the machine was just restored to the certified
+				// state — and is voided only if no certificate explains the
+				// jump.
+				if i == 0 && !o.gapped && refCount < cfg.Slots {
+					cert, ok := rep.LatestCert()
+					if ok && cert.Slot == b && b <= cfg.Slots &&
+						refMachine.Restore(machines[0].Snapshot()) == nil {
+						refDigest = cert.LogDigest
+						refCount = b
+						if refCount == cfg.Slots {
+							digestAt = refDigest
+							stateAt = ckpt.Digest(refMachine.Snapshot())
+						}
+					} else {
+						o.gapped = true
+					}
 				}
 				o.next = b
 			}
@@ -309,17 +442,22 @@ func RunSMR(cfg SMRConfig) (*SMRResult, error) {
 		o.next = ents[len(ents)-1].Slot + 1
 	}
 
-	build := func(i int, p types.ProcessID) (*smr.Replica, error) {
+	buildCfg := func(i int, p types.ProcessID) smr.Config {
+		machines[i] = smr.NewKVMachine()
 		rcfg := smr.Config{
 			Me: p, Peers: peers, Spec: spec,
 			NewCoin:  newCoin(p),
 			Rotation: rotation,
-			Machine:  smr.NewKVMachine(),
+			Machine:  machines[i],
 			Window:   cfg.Window,
 		}
 		if cfg.CheckpointEvery > 0 {
 			rcfg.CheckpointEvery = cfg.CheckpointEvery
 			rcfg.CheckpointSecret = secret
+			rcfg.MaxPendingCuts = cfg.MaxPendingCuts
+			if cfg.CkptDir != "" {
+				rcfg.Store = ckpt.NewStore(filepath.Join(cfg.CkptDir, fmt.Sprintf("replica-%d.ckpt", p)))
+			}
 			rcfg.OnCertified = func(cut int) {
 				drain(i)
 				if cut > cuts[i] {
@@ -328,7 +466,10 @@ func RunSMR(cfg SMRConfig) (*SMRResult, error) {
 				}
 			}
 		}
-		return smr.New(rcfg)
+		return rcfg
+	}
+	build := func(i int, p types.ProcessID) (*smr.Replica, error) {
+		return smr.New(buildCfg(i, p))
 	}
 
 	commandsFor := func(p types.ProcessID) []string {
@@ -359,12 +500,65 @@ func RunSMR(cfg SMRConfig) (*SMRResult, error) {
 			}
 			continue
 		}
+		if attacker[i] {
+			rcfg := buildCfg(i, p)
+			// Attackers never persist: their honest inner replica exists to
+			// keep the cluster comparable, not to exercise the store.
+			rcfg.Store = nil
+			byz, err := adversary.NewCkptByzantine(cfg.Attack, rcfg)
+			if err != nil {
+				return nil, err
+			}
+			// The inner replica commits honestly, so its log joins the
+			// cross-replica agreement check like any other.
+			observers[i] = &smrObserver{rep: byz.Inner()}
+			for _, cmd := range commandsFor(p) {
+				byz.Inner().Submit(cmd)
+			}
+			if err := net.Add(byz); err != nil {
+				return nil, err
+			}
+			continue
+		}
 		rep, err := build(i, p)
 		if err != nil {
 			return nil, err
 		}
-		observers[i] = &smrObserver{rep: rep}
-		for _, cmd := range commandsFor(p) {
+		o := &smrObserver{rep: rep}
+		observers[i] = o
+		cmds := commandsFor(p)
+		if b := rep.Base(); b > 0 {
+			// The replica booted from its durable record and resumes at the
+			// cut: the observer tails from there, the reference digest chain
+			// re-seeds from the restored certificate and machine, and the
+			// command queue drops the proposals the pre-crash self already
+			// consumed (so re-proposed slots carry the same commands an
+			// uninterrupted run would).
+			o.next = b
+			if i == 0 {
+				if b <= cfg.Slots && refMachine.Restore(machines[0].Snapshot()) == nil {
+					refDigest = rep.LogDigest()
+					refCount = b
+					if refCount == cfg.Slots {
+						digestAt = refDigest
+						stateAt = ckpt.Digest(refMachine.Snapshot())
+					}
+				} else {
+					o.gapped = true
+				}
+			}
+			consumed := 0
+			for s := 0; s < b; s++ {
+				if rotation[s%len(rotation)] == p {
+					consumed++
+				}
+			}
+			if consumed > len(cmds) {
+				consumed = len(cmds)
+			}
+			cmds = cmds[consumed:]
+		}
+		for _, cmd := range cmds {
 			rep.Submit(cmd)
 		}
 		if err := net.Add(rep); err != nil {
@@ -430,8 +624,21 @@ func RunSMR(cfg SMRConfig) (*SMRResult, error) {
 		res.RBCRecords += rep.RBCCompacted()
 		res.RBCLive += rep.RBCLiveInstances()
 		res.LogRetained += rep.LogLen()
+		res.TotalInstalls += rep.Transfers()
+		res.TransferRetries += rep.TransferRetries()
+		res.StaleResponses += rep.StaleResponses()
+		res.UnverifiableResponses += rep.UnverifiableResponses()
+		res.StoreErrors += rep.StoreErrors()
+		res.SuffixDivergence += rep.SuffixDivergence()
+		if pc := rep.PendingCuts(); pc > res.PendingCutsMax {
+			res.PendingCutsMax = pc
+		}
+		if rep.RestoredCut() > 0 {
+			res.RestoredCuts++
+		}
 		if o.wrapper != nil {
 			res.Transfers = rep.Transfers()
+			res.VictimRetries = rep.TransferRetries()
 			res.VictimBase = rep.Base()
 			res.VictimSlot = rep.Slot()
 			res.VictimLogDigest = rep.LogDigest()

@@ -38,12 +38,18 @@
 // The catch-up path that makes the release safe: a replica observing
 // traffic at least one checkpoint interval ahead of its own frontier — a
 // restarted process whose in-flight messages are gone, or one lagging past
-// the window — broadcasts a state-transfer request. Peers answer (once per
-// requester and cut) with the latest certificate plus the snapshot at its
-// cut; the replica verifies the votes and the snapshot digest, installs the
-// snapshot as its new base, and rejoins the live slots, committing onward
-// through the ordinary protocol. Nothing uncertified is ever installed, so
-// a Byzantine responder can at worst stay silent.
+// the window — sends a targeted state-transfer request to one peer at a
+// time, rotating deterministically. The peer answers with the latest
+// certificate plus the snapshot at its cut (deduplicated per requester,
+// cut, and retry nonce); the replica verifies the votes and the snapshot
+// digest, installs the snapshot as its new base, and rejoins the live
+// slots, committing onward through the ordinary protocol. Nothing
+// uncertified is ever installed, and a response that comes back stale or
+// unverifiable falls over to the next peer immediately (bounded per
+// responder), so a Byzantine responder can delay one round-trip but never
+// stall catch-up. With Config.Store set the latest certified checkpoint
+// also persists to disk, which is what lets a whole-cluster power cycle
+// recover with nobody left to transfer from.
 package smr
 
 import (
@@ -112,6 +118,19 @@ type Config struct {
 	// only its own links). All replicas of a deployment must share the
 	// same master; required when CheckpointEvery > 0.
 	CheckpointSecret []byte
+	// MaxPendingCuts overrides the checkpoint tracker's pending-cut cap
+	// (0 = ckpt.DefaultMaxPendingCuts): how many distinct uncertified cuts
+	// may hold votes before deterministic largest-first eviction kicks in.
+	MaxPendingCuts int
+	// Store, when set, persists the latest certified checkpoint (certificate,
+	// snapshot, committed log suffix) through atomic temp-file+rename writes,
+	// and New restores from it: the replica verifies the stored certificate
+	// exactly like a network transfer, installs the snapshot, and resumes at
+	// the cut — which is what lets a whole-cluster power cycle recover with
+	// no peer ahead to transfer from. A missing, torn, or corrupted record
+	// falls back to an empty start and network state transfer. Requires
+	// CheckpointEvery > 0.
+	Store *ckpt.Store
 	// OnCertified, when set, is called each time this replica's highest
 	// certified cut advances, with the release floor (the certified cut
 	// capped at the replica's own frontier). It fires before the pre-cut
@@ -155,6 +174,23 @@ type Replica struct {
 	sinceRequest int               // deliveries until the next transfer request may fire
 	transfers    int               // state transfers installed
 
+	// Transfer retry/fallback state: requests are targeted (one peer at a
+	// time, rotating deterministically by nonce), and a response that comes
+	// back stale or unverifiable immediately re-requests from the next peer
+	// — bounded per catch-up epoch by the per-responder dedup in reqBad.
+	reqNonce       int                      // strictly increasing request counter (the wire nonce)
+	reqBad         map[types.ProcessID]bool // responders that answered badly this epoch
+	retries        int                      // reactive re-requests sent after a bad response
+	staleResponses int                      // full responses at or below our own frontier
+	badResponses   int                      // responses that failed certificate/snapshot verification
+
+	// Durable-store state (nil/zero without Config.Store).
+	store            *ckpt.Store
+	storeErrors      int                   // failed saves, corrupt or unverifiable loads
+	restoredCut      int                   // cut installed from disk at boot (0 = none)
+	restoreSuffix    map[int]ckpt.LogEntry // persisted suffix entries awaiting re-commit
+	suffixDivergence int                   // re-committed entries that contradicted the suffix
+
 	// The embedded recycled output buffer (see sim.OutBuffer). Together
 	// with the append-style RBC path and the inner consensus node's own
 	// recycling (emissions are copied into out and the slice handed back,
@@ -171,6 +207,7 @@ var (
 	ErrBadPeers      = errors.New("smr: peers must include me and match spec size")
 	ErrNoSnapshotter = errors.New("smr: checkpointing requires a Snapshotter machine")
 	ErrNoCkptSecret  = errors.New("smr: checkpointing requires a cluster secret")
+	ErrStoreNoCkpt   = errors.New("smr: a durable store requires checkpointing")
 )
 
 // New creates a replica.
@@ -206,6 +243,9 @@ func New(cfg Config) (*Replica, error) {
 		waiting:   make(map[int]bool),
 		logDigest: ckpt.InitialLogDigest,
 	}
+	if cfg.Store != nil && cfg.CheckpointEvery <= 0 {
+		return nil, ErrStoreNoCkpt
+	}
 	if cfg.CheckpointEvery > 0 {
 		snap, ok := cfg.Machine.(Snapshotter)
 		if !ok {
@@ -219,6 +259,9 @@ func New(cfg Config) (*Replica, error) {
 		if err != nil {
 			return nil, err
 		}
+		if cfg.MaxPendingCuts > 0 {
+			tracker.SetMaxPendingCuts(cfg.MaxPendingCuts)
+		}
 		r.snap = snap
 		r.tracker = tracker
 		for _, p := range cfg.Peers {
@@ -226,8 +269,63 @@ func New(cfg Config) (*Replica, error) {
 				r.others = append(r.others, p)
 			}
 		}
+		r.store = cfg.Store
+		r.restoreFromStore()
 	}
 	return r, nil
+}
+
+// restoreFromStore boots the replica from its durable record, if one exists
+// and survives the same verification gate as a network state transfer:
+// checksum and strict decode in the store, then the certificate's MAC
+// quorum and the snapshot digest here. On success the replica resumes *at
+// the cut* — slot, base, log digest, and machine state all jump there — and
+// the persisted log suffix becomes a cross-restart divergence detector:
+// the suffix slots re-commit through ordinary consensus, and any
+// re-committed entry that contradicts the persisted one is counted in
+// suffixDivergence. Every failure (no record, torn file, corruption,
+// unverifiable certificate, unrestorable snapshot) degrades to an empty
+// start and network state transfer.
+func (r *Replica) restoreFromStore() {
+	if r.store == nil {
+		return
+	}
+	rec, err := r.store.Load()
+	if err != nil {
+		if !errors.Is(err, ckpt.ErrNoRecord) {
+			r.storeErrors++
+			r.record(trace.Event{Kind: trace.KindNote, P: r.cfg.Me,
+				Note: fmt.Sprintf("ckpt store load rejected: %v", err)})
+		}
+		return
+	}
+	cert, ok := r.tracker.VerifyCertPayload(&rec.Cert)
+	if !ok || cert.Slot <= 0 {
+		r.storeErrors++
+		r.record(trace.Event{Kind: trace.KindNote, P: r.cfg.Me,
+			Note: "ckpt store record failed certificate verification"})
+		return
+	}
+	if err := r.snap.Restore(rec.Cert.Snapshot); err != nil {
+		r.storeErrors++
+		r.record(trace.Event{Kind: trace.KindNote, P: r.cfg.Me,
+			Note: fmt.Sprintf("ckpt store restore failed: %v", err)})
+		return
+	}
+	r.slot = cert.Slot
+	r.base = cert.Slot
+	r.logDigest = cert.LogDigest
+	r.frontier = cert.Slot
+	r.restoredCut = cert.Slot
+	r.tracker.Adopt(cert, rec.Cert.Snapshot)
+	if len(rec.Suffix) > 0 {
+		r.restoreSuffix = make(map[int]ckpt.LogEntry, len(rec.Suffix))
+		for _, e := range rec.Suffix {
+			if e.Slot >= cert.Slot {
+				r.restoreSuffix[e.Slot] = e
+			}
+		}
+	}
 }
 
 var (
@@ -243,8 +341,20 @@ func (r *Replica) Done() bool {
 	return r.cfg.MaxSlots > 0 && r.slot >= r.cfg.MaxSlots
 }
 
-// Start implements sim.Node.
-func (r *Replica) Start() []types.Message { return r.propose(r.Take()) }
+// Start implements sim.Node. A replica restored from its durable store also
+// announces its certified cut (a bare certificate, no snapshot): after a
+// whole-cluster power cycle the replicas may boot at different persisted
+// cuts, and the announcement is what lets the ones behind discover the gap
+// and catch up through ordinary state transfer.
+func (r *Replica) Start() []types.Message {
+	out := r.propose(r.Take())
+	if r.restoredCut > 0 {
+		if p, ok := r.tracker.CertPayload(false); ok {
+			out = types.AppendBroadcast(out, r.cfg.Me, r.others, p)
+		}
+	}
+	return out
+}
 
 // Submit enqueues a command for this replica's future proposing turns. It
 // never sends anything itself: dissemination happens when a turn begins (at
@@ -256,9 +366,10 @@ func (r *Replica) Submit(cmd string) {
 }
 
 // Log returns the retained committed entries (copy) — the full log without
-// checkpointing, the suffix above the last certified cut with it. Callers
-// that poll per delivery should use LogLen/LogSince instead: Log copies the
-// whole retained log on every call.
+// checkpointing, the suffix above the last certified cut with it. It copies
+// the whole retained log on every call and exists for test assertions only;
+// every non-test caller polls through LogLen (O(1) probe) and LogSince
+// (O(new entries) tail reads).
 func (r *Replica) Log() []Entry { return append([]Entry(nil), r.log...) }
 
 // LogLen returns how many committed entries the replica retains, without
@@ -309,6 +420,65 @@ func (r *Replica) CertifiedCut() int {
 
 // Transfers returns how many state transfers this replica has installed.
 func (r *Replica) Transfers() int { return r.transfers }
+
+// TransferRetries returns how many reactive re-requests this replica sent
+// after a stale or unverifiable transfer response.
+func (r *Replica) TransferRetries() int { return r.retries }
+
+// StaleResponses counts full transfer responses (certificate plus snapshot)
+// that arrived at or below this replica's own frontier — what a
+// stale-certificate responder serves.
+func (r *Replica) StaleResponses() int { return r.staleResponses }
+
+// UnverifiableResponses counts certificate payloads that failed
+// verification: forged votes, sub-quorum certificates, or a snapshot that
+// does not digest to the certified state.
+func (r *Replica) UnverifiableResponses() int { return r.badResponses }
+
+// StoreErrors counts durable-store failures survived: rejected or
+// unverifiable records at boot and failed saves (each falls back to the
+// network path).
+func (r *Replica) StoreErrors() int { return r.storeErrors }
+
+// RestoredCut returns the cut installed from the durable store at boot
+// (0 = booted empty).
+func (r *Replica) RestoredCut() int { return r.restoredCut }
+
+// SuffixDivergence counts re-committed entries that contradicted the
+// durable record's log suffix — must stay 0, by agreement plus the
+// certificate pinning the prefix.
+func (r *Replica) SuffixDivergence() int { return r.suffixDivergence }
+
+// PendingCuts returns how many uncertified cuts the checkpoint tracker
+// holds votes for (0 with checkpointing off; bounded by the pending-cut
+// cap however much a Byzantine voter spams).
+func (r *Replica) PendingCuts() int {
+	if r.tracker == nil {
+		return 0
+	}
+	return r.tracker.PendingCuts()
+}
+
+// LatestCert returns this replica's highest certified checkpoint
+// certificate (ok = false when none or checkpointing is off).
+func (r *Replica) LatestCert() (ckpt.Certificate, bool) {
+	if r.tracker == nil {
+		return ckpt.Certificate{}, false
+	}
+	return r.tracker.Latest()
+}
+
+// TransferPayload builds the wire form of this replica's latest certificate
+// — with the retained snapshot at the cut when withSnapshot is set — or ok
+// = false when it holds no certificate (or no snapshot for it). Harnesses
+// and fault injectors use it; the replica itself serves transfers through
+// the request path.
+func (r *Replica) TransferPayload(withSnapshot bool) (*types.CkptCertPayload, bool) {
+	if r.tracker == nil {
+		return nil, false
+	}
+	return r.tracker.CertPayload(withSnapshot)
+}
 
 // StateDigest returns the digest of the machine's current snapshot (ok =
 // false when the machine is not a Snapshotter).
@@ -416,25 +586,88 @@ func (r *Replica) noteFrontier(slot int) {
 	}
 }
 
-// maybeRequest broadcasts a state-transfer request when this replica sits a
-// full checkpoint interval behind the observed frontier — a restarted
-// process (whose in-flight messages died with it) or one lagging past the
-// window. Retries are paced by deliveries, not frontier growth: one request
-// per ~interval's worth of cluster traffic while the gap persists, so an
-// unanswered request (no cut certified yet, responder crashed) retries
+// lagging reports whether this replica sits a full checkpoint interval
+// behind the observed frontier — a restarted process (whose in-flight
+// messages died with it) or one lagging past the window.
+func (r *Replica) lagging() bool {
+	return r.tracker != nil && r.frontier-r.slot >= r.tracker.Interval()
+}
+
+// maybeRequest sends a state-transfer request while this replica is
+// lagging. Requests are *targeted*, one peer per request, rotating
+// deterministically with the nonce, and paced by deliveries rather than
+// frontier growth: one request per ~interval's worth of cluster traffic
+// while the gap persists, so an unanswered request (no cut certified yet,
+// responder crashed or Byzantine-silent) rotates to the next peer
 // unconditionally rather than waiting on a signal an adversary could have
-// pre-spent.
+// pre-spent. A response that comes back stale or unverifiable does not wait
+// for the pacer — noteBadResponse re-requests from the next peer
+// immediately, once per responder per catch-up epoch.
 func (r *Replica) maybeRequest(out []types.Message) []types.Message {
-	if r.tracker == nil || r.frontier-r.slot < r.tracker.Interval() {
+	if !r.lagging() {
 		return out
 	}
 	if r.sinceRequest > 0 {
 		r.sinceRequest--
 		return out
 	}
-	r.sinceRequest = r.tracker.Interval() * len(r.cfg.Peers) * 4
-	req := &types.CkptRequestPayload{Slot: r.slot}
-	return types.AppendBroadcast(out, r.cfg.Me, r.others, req)
+	return r.sendRequest(out)
+}
+
+// sendRequest targets the next responder in the rotation with a fresh
+// nonce and resets the pacer.
+func (r *Replica) sendRequest(out []types.Message) []types.Message {
+	r.sinceRequest = r.tracker.Interval() * len(r.cfg.Peers)
+	target, ok := r.nextResponder()
+	if !ok {
+		return out
+	}
+	req := &types.CkptRequestPayload{Slot: r.slot, Nonce: r.reqNonce}
+	r.reqNonce++
+	return append(out, types.Message{From: r.cfg.Me, To: target, Payload: req})
+}
+
+// nextResponder picks the request target: the nonce rotation's next peer,
+// skipping responders that already answered badly this epoch. When every
+// peer has been marked bad the set resets — the fallback loop must stay
+// live, and a lost response (not the responder's fault) looks identical to
+// a hostile one from here.
+func (r *Replica) nextResponder() (types.ProcessID, bool) {
+	if len(r.others) == 0 {
+		return 0, false
+	}
+	start := r.reqNonce % len(r.others)
+	for i := 0; i < len(r.others); i++ {
+		p := r.others[(start+i)%len(r.others)]
+		if !r.reqBad[p] {
+			return p, true
+		}
+	}
+	clear(r.reqBad)
+	return r.others[start], true
+}
+
+// noteBadResponse reacts to a transfer response that cannot help: stale
+// (a full response at or below our own frontier) or unverifiable (forged
+// votes or a poisoned snapshot). While lagging, the responder is marked and
+// the request falls over to the next peer immediately; the per-responder
+// mark bounds reactive retries to one per peer per catch-up epoch (the
+// marks clear when a transfer installs).
+func (r *Replica) noteBadResponse(out []types.Message, from types.ProcessID, stale bool) []types.Message {
+	if stale {
+		r.staleResponses++
+	} else {
+		r.badResponses++
+	}
+	if !r.lagging() || r.reqBad[from] {
+		return out
+	}
+	if r.reqBad == nil {
+		r.reqBad = make(map[types.ProcessID]bool, len(r.others))
+	}
+	r.reqBad[from] = true
+	r.retries++
+	return r.sendRequest(out)
 }
 
 // onCkpt handles the three checkpoint-plane payloads.
@@ -452,26 +685,42 @@ func (r *Replica) onCkpt(out []types.Message, m types.Message) []types.Message {
 			r.noteFrontier(p.Slot)
 		}
 	case *types.CkptRequestPayload:
-		// Serve state transfer once per (requester, cut): latest
-		// certificate plus the snapshot at its cut, if we are ahead of the
-		// requester and hold both.
+		// Serve state transfer — latest certificate plus the snapshot at
+		// its cut — if we are ahead of the requester and hold both. The
+		// tracker dedups per (requester, cut, nonce): retries with fresh
+		// nonces get re-served up to a small cap, replays cost nothing.
 		cert, ok := r.tracker.Latest()
 		if !ok || cert.Slot <= p.Slot {
 			break
 		}
 		payload, ok := r.tracker.CertPayload(true)
-		if !ok || !r.tracker.ShouldServe(m.From) {
+		if !ok || !r.tracker.ShouldServe(m.From, p.Nonce) {
 			break
 		}
 		out = append(out, types.Message{From: r.cfg.Me, To: m.From, Payload: payload})
 	case *types.CkptCertPayload:
 		cert, ok := r.tracker.VerifyCertPayload(p)
 		if !ok {
-			break // forged votes, sub-quorum, or snapshot/digest mismatch
+			// Forged votes, sub-quorum, or snapshot/digest mismatch: count
+			// it and, if we are waiting on a transfer, fall over to the
+			// next responder.
+			out = r.noteBadResponse(out, m.From, false)
+			break
 		}
+		// A verified certificate is solid evidence the cluster committed
+		// through its cut — unlike raw slot numbers in consensus traffic,
+		// which are unauthenticated hints.
+		r.noteFrontier(cert.Slot)
 		if p.Snapshot != "" && cert.Slot > r.slot {
 			out = r.install(out, cert, p.Snapshot)
-		} else if r.tracker.Adopt(cert, p.Snapshot) {
+			break
+		}
+		if p.Snapshot != "" && cert.Slot <= r.slot {
+			// A full response that cannot advance us: what a stale-
+			// certificate responder serves a catching-up replica.
+			out = r.noteBadResponse(out, m.From, true)
+		}
+		if r.tracker.Adopt(cert, p.Snapshot) {
 			// A bare certificate (or one not worth installing) still
 			// advances our certified cut and releases residue.
 			out = r.afterCertified(out, cert)
@@ -496,9 +745,38 @@ func (r *Replica) afterCertified(out []types.Message, cert ckpt.Certificate) []t
 	}
 	r.truncateLog(floor)
 	r.values.DropSeqBelow(dissemNS + floor)
+	r.persist()
 	r.record(trace.Event{Kind: trace.KindNote, P: r.cfg.Me,
 		Note: fmt.Sprintf("ckpt certified cut %d (floor %d)", cert.Slot, floor)})
 	return out
+}
+
+// persist saves the latest certificate, its snapshot, and the retained log
+// suffix to the durable store. Skipped when the snapshot at the cut is not
+// held (certified from others' votes before reaching the cut locally — the
+// older record on disk stays the recovery point until voteCheckpoint
+// arms this cut). A failed save is counted and survived: the in-memory
+// replica is still correct, only the recovery point ages.
+func (r *Replica) persist() {
+	if r.store == nil {
+		return
+	}
+	p, ok := r.tracker.CertPayload(true)
+	if !ok {
+		return
+	}
+	rec := &ckpt.Record{Cert: *p}
+	if len(r.log) > 0 {
+		rec.Suffix = make([]ckpt.LogEntry, 0, len(r.log))
+		for _, e := range r.log {
+			rec.Suffix = append(rec.Suffix, ckpt.LogEntry{Slot: e.Slot, Proposer: e.Proposer, Command: e.Command})
+		}
+	}
+	if err := r.store.Save(rec); err != nil {
+		r.storeErrors++
+		r.record(trace.Event{Kind: trace.KindNote, P: r.cfg.Me,
+			Note: fmt.Sprintf("ckpt store save failed: %v", err)})
+	}
 }
 
 // truncateLog drops committed entries below the floor; logDigest keeps
@@ -527,6 +805,15 @@ func (r *Replica) install(out []types.Message, cert ckpt.Certificate, snapshot s
 		return out
 	}
 	r.transfers++
+	// Proposing turns the jump skips consume their queued commands: the
+	// cluster committed those slots without us (as noops, or as whatever a
+	// pre-crash instance disseminated), so re-proposing a consumed command
+	// at a later slot would diverge from the log the cluster actually built.
+	for s := r.slot; s < cert.Slot && len(r.queue) > 0; s++ {
+		if r.proposer(s) == r.cfg.Me && !r.waiting[s] {
+			r.queue = r.queue[1:]
+		}
+	}
 	r.bin = nil
 	r.slot = cert.Slot
 	r.base = cert.Slot
@@ -549,6 +836,15 @@ func (r *Replica) install(out []types.Message, cert ckpt.Certificate, snapshot s
 	}
 	r.values.DropSeqBelow(dissemNS + r.slot)
 	r.tracker.Adopt(cert, snapshot)
+	// A fresh catch-up epoch: the responders marked bad were judged against
+	// the previous cut, and the installed snapshot is the new recovery point.
+	clear(r.reqBad)
+	for s := range r.restoreSuffix {
+		if s < r.slot {
+			delete(r.restoreSuffix, s) // these slots will never re-commit here
+		}
+	}
+	r.persist()
 	if r.cfg.OnCertified != nil {
 		r.cfg.OnCertified(r.slot)
 	}
@@ -640,6 +936,22 @@ func (r *Replica) step(out []types.Message) []types.Message {
 		}
 		r.log = append(r.log, entry)
 		r.logDigest = ckpt.FoldEntry(r.logDigest, entry.Slot, entry.Proposer, entry.Command)
+		if r.restoreSuffix != nil {
+			// Cross-restart divergence detector: a slot the pre-crash replica
+			// had committed re-commits now (the restore resumed at the cut),
+			// and must re-commit identically — agreement across the crash.
+			if want, ok := r.restoreSuffix[entry.Slot]; ok {
+				if want.Proposer != entry.Proposer || want.Command != entry.Command {
+					r.suffixDivergence++
+					r.record(trace.Event{Kind: trace.KindNote, P: r.cfg.Me,
+						Note: fmt.Sprintf("ckpt suffix divergence at slot %d", entry.Slot)})
+				}
+				delete(r.restoreSuffix, entry.Slot)
+				if len(r.restoreSuffix) == 0 {
+					r.restoreSuffix = nil
+				}
+			}
+		}
 		// Per-slot pruning, the log layer's version of the per-round
 		// invariant: a slot's candidate, dissemination flag, and RBC
 		// dissemination instance are dead once the slot commits, so a long
@@ -680,6 +992,11 @@ func (r *Replica) voteCheckpoint(out []types.Message) []types.Message {
 	out = types.AppendBroadcast(out, r.cfg.Me, r.others, vote)
 	if advanced {
 		out = r.afterCertified(out, cert)
+	} else if latest, ok := r.tracker.Latest(); ok && latest.Slot == c.Slot {
+		// The cluster certified this cut before we reached it (afterCertified
+		// already fired with a capped floor); reaching it arms the snapshot,
+		// so the durable recovery point can advance now.
+		r.persist()
 	}
 	return out
 }

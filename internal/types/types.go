@@ -251,9 +251,14 @@ func (p *CkptVotePayload) String() string {
 // is Slot; if you hold a certified checkpoint above it, send certificate and
 // snapshot". Sent by replicas that observe traffic at least one checkpoint
 // interval ahead of their own frontier (restarted, or lagging past the
-// window).
+// window). Nonce is the requester's retry counter, strictly increasing
+// across its requests: responders serve a (requester, cut) pair again only
+// for a higher nonce than they last answered, which lets a genuine retry
+// (the previous response was lost, stale, or unverifiable) through while a
+// replayed or duplicated request stays deduplicated.
 type CkptRequestPayload struct {
-	Slot int
+	Slot  int
+	Nonce int
 }
 
 // Kind implements Payload.
@@ -261,7 +266,7 @@ func (p *CkptRequestPayload) Kind() Kind { return KindCkptRequest }
 
 // String implements fmt.Stringer.
 func (p *CkptRequestPayload) String() string {
-	return fmt.Sprintf("CKPT-REQ[slot=%d]", p.Slot)
+	return fmt.Sprintf("CKPT-REQ[slot=%d nonce=%d]", p.Slot, p.Nonce)
 }
 
 // CkptCertPayload carries a checkpoint certificate: the checkpoint plus the

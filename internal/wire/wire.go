@@ -95,7 +95,8 @@ func AppendPayload(dst []byte, p types.Payload) ([]byte, error) {
 		return appendStrings(buf, v.MACs), nil
 	case *types.CkptRequestPayload:
 		buf := append(dst, byte(types.KindCkptRequest))
-		return appendInt(buf, v.Slot), nil
+		buf = appendInt(buf, v.Slot)
+		return appendInt(buf, v.Nonce), nil
 	case *types.CkptCertPayload:
 		if len(v.Voters) != len(v.VoteMACs) {
 			return dst, fmt.Errorf("%w: %d voters, %d MAC vectors", ErrBadValue, len(v.Voters), len(v.VoteMACs))
@@ -251,7 +252,11 @@ func decodePayload(buf []byte) (types.Payload, []byte, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		return &types.CkptRequestPayload{Slot: slot}, buf, nil
+		nonce, buf, err := readInt(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &types.CkptRequestPayload{Slot: slot, Nonce: nonce}, buf, nil
 	case types.KindCkptCert:
 		slot, buf, err := readInt(buf)
 		if err != nil {

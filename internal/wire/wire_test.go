@@ -35,7 +35,7 @@ func allPayloads() []types.Payload {
 		&types.PlainPayload{Round: 7, Step: types.Step3, V: types.One},
 		&types.CkptVotePayload{Slot: 64, StateDigest: 0xDEADBEEFCAFE, LogDigest: ^uint64(0), MACs: []string{"m1", "m2", "", "m4"}},
 		&types.CkptVotePayload{Slot: 0, StateDigest: 0, LogDigest: 0},
-		&types.CkptRequestPayload{Slot: 37},
+		&types.CkptRequestPayload{Slot: 37, Nonce: 4},
 		&types.CkptCertPayload{
 			Slot: 128, StateDigest: 1, LogDigest: 2,
 			Voters:   []types.ProcessID{1, 3, 4},
