@@ -1,5 +1,5 @@
 // Command bench regenerates every table and figure of the evaluation
-// (EXPERIMENTS.md): E1–E11 plus the ablations A1–A4. Output is aligned text
+// (EXPERIMENTS.md): E1–E13 plus the ablations A1–A4. Output is aligned text
 // tables by default, CSV with -csv, JSON with -json. Independent runs are
 // fanned across a worker pool (runner.Sweep); -workers 1 forces the old
 // serial behaviour and, by the sweep engine's determinism contract, produces
@@ -44,6 +44,16 @@
 //	      -checkpoint ck.json -resume      # continue after a kill
 //	bench -sweep 1:101 -n 64 -scenario straggler-prune            # pruned …
 //	bench -sweep 1:101 -n 64 -scenario straggler-prune -no-prune  # … vs not
+//
+// The -throughput mode runs the committed-entries grid (runner.RunThroughput):
+// a batch × pipeline-depth sweep over the replicated log, each point sized to
+// commit the target entry count. Stdout (text or -json) carries only
+// deterministic fields — bitwise identical at any -workers value — while the
+// wall-clock entries/sec rate goes to stderr as telemetry:
+//
+//	bench -throughput 64 -n 16                        # default 1,4,16 × 1,2 grid
+//	bench -throughput 64 -n 16 -batch 1,8 -pipeline 2 # explicit axes
+//	bench -throughput 32 -n 4 -json -workers 1        # byte-stable record
 package main
 
 import (
@@ -93,11 +103,15 @@ func run(args []string, out io.Writer) error {
 		every      = fs.Int("every", 0, "-sweep: runs between checkpoint writes (0 = default)")
 		stopAfter  = fs.Int64("stop-after", 0, "-sweep: stop after this many runs this invocation, saving a checkpoint (0 = run to completion)")
 		noPrune    = fs.Bool("no-prune", false, "-sweep: disable per-round state pruning in the correct nodes (memory comparison; behaviour-neutral)")
-		window     = fs.Int("window", 0, "-sweep/-smr: per-round retention window of the correct nodes (0 = default 1; behaviour-neutral, aggregates identical at any size)")
+		window     = fs.Int("window", 0, "-sweep/-smr/-throughput: per-round retention window of the correct nodes (0 = default 1; behaviour-neutral, aggregates identical at any size)")
 		lowWater   = fs.Int("lowwater", 0, "-sweep: deliveries between cluster low-watermark scans pruning the coin dealer (0 = default; behaviour-neutral)")
 
+		throughput = fs.Int("throughput", 0, "committed-entries throughput mode: entry target per grid point across the -batch × -pipeline grid")
+		batchList  = fs.String("batch", "1,4,16", "-throughput: comma-separated batch sizes (commands per proposal body)")
+		pipeList   = fs.String("pipeline", "1,2", "-throughput: comma-separated dissemination pipeline depths")
+
 		smrSlots   = fs.Int("smr", 0, "run a replicated-log workload of this many slots (the checkpoint/state-transfer mode)")
-		ckptEvery  = fs.Int("ckpt-every", 0, "-smr: checkpoint cadence in slots (0 = checkpointing off); committed digests are identical either way")
+		ckptEvery  = fs.Int("ckpt-every", 0, "-smr/-throughput: checkpoint cadence in slots (0 = checkpointing off); committed digests are identical either way")
 		restart    = fs.Bool("restart", false, "-smr: kill the last replica mid-run and revive it empty (restart-catchup; requires -ckpt-every)")
 		ckptDir    = fs.String("ckpt-dir", "", "-smr: durable checkpoint store directory (replicas persist and, on a rerun over the same directory, boot from their records; requires -ckpt-every)")
 		ckptAttack = fs.String("ckpt-attack", "", "-smr: checkpoint-plane attack one replica mounts (see -scenarios; requires -ckpt-every); committed digests must match the attack-free run")
@@ -119,18 +133,24 @@ func run(args []string, out io.Writer) error {
 	if *sweep != "" && set["smr"] {
 		return fmt.Errorf("-sweep and -smr are mutually exclusive")
 	}
+	if set["throughput"] && (*sweep != "" || set["smr"]) {
+		return fmt.Errorf("-throughput is mutually exclusive with -sweep and -smr")
+	}
 	if set["smr"] && *smrSlots <= 0 {
 		return fmt.Errorf("-smr wants a positive slot count, got %d", *smrSlots)
 	}
-	if *sweep == "" && *smrSlots == 0 {
-		for _, name := range []string{"n", "f", "scenario", "checkpoint", "resume", "every", "stop-after", "no-prune", "window", "lowwater", "ckpt-every", "restart", "ckpt-dir", "ckpt-attack"} {
+	if set["throughput"] && *throughput <= 0 {
+		return fmt.Errorf("-throughput wants a positive entry target, got %d", *throughput)
+	}
+	if *sweep == "" && *smrSlots == 0 && *throughput == 0 {
+		for _, name := range []string{"n", "f", "scenario", "checkpoint", "resume", "every", "stop-after", "no-prune", "window", "lowwater", "ckpt-every", "restart", "ckpt-dir", "ckpt-attack", "batch", "pipeline"} {
 			if set[name] {
-				return fmt.Errorf("-%s requires -sweep or -smr", name)
+				return fmt.Errorf("-%s requires -sweep, -smr, or -throughput", name)
 			}
 		}
 	}
 	if *sweep != "" {
-		for _, name := range []string{"experiment", "runs", "seed", "quick", "csv", "ckpt-every", "restart", "ckpt-dir", "ckpt-attack"} {
+		for _, name := range []string{"experiment", "runs", "seed", "quick", "csv", "ckpt-every", "restart", "ckpt-dir", "ckpt-attack", "batch", "pipeline"} {
 			if set[name] {
 				return fmt.Errorf("-%s does not apply to -sweep", name)
 			}
@@ -147,7 +167,7 @@ func run(args []string, out io.Writer) error {
 		})
 	}
 	if *smrSlots > 0 {
-		for _, name := range []string{"experiment", "runs", "quick", "csv", "scenario", "checkpoint", "resume", "every", "stop-after", "no-prune", "lowwater", "workers"} {
+		for _, name := range []string{"experiment", "runs", "quick", "csv", "scenario", "checkpoint", "resume", "every", "stop-after", "no-prune", "lowwater", "workers", "batch", "pipeline"} {
 			if set[name] {
 				return fmt.Errorf("-%s does not apply to -smr", name)
 			}
@@ -157,6 +177,26 @@ func run(args []string, out io.Writer) error {
 			ckptEvery: *ckptEvery, window: *window, restart: *restart,
 			ckptDir: *ckptDir, ckptAttack: *ckptAttack,
 			jsonOut: *jsonOut,
+		})
+	}
+	if *throughput > 0 {
+		for _, name := range []string{"experiment", "runs", "quick", "csv", "scenario", "checkpoint", "resume", "every", "stop-after", "no-prune", "lowwater", "restart", "ckpt-dir", "ckpt-attack"} {
+			if set[name] {
+				return fmt.Errorf("-%s does not apply to -throughput", name)
+			}
+		}
+		batches, err := parseIntList("-batch", *batchList)
+		if err != nil {
+			return err
+		}
+		depths, err := parseIntList("-pipeline", *pipeList)
+		if err != nil {
+			return err
+		}
+		return runThroughputCmd(out, throughputOpts{
+			entries: *throughput, n: *sweepN, f: *sweepF, seed: *seed,
+			batches: batches, depths: depths, ckptEvery: *ckptEvery,
+			window: *window, workers: *workers, jsonOut: *jsonOut,
 		})
 	}
 	opts := experiments.Options{Runs: *runs, Seed: *seed, Quick: *quick, Workers: *workers}
@@ -321,6 +361,117 @@ func runSMRCmd(out io.Writer, o smrOpts) error {
 			o.ckptAttack, res.TotalInstalls, res.TransferRetries, res.StaleResponses, res.UnverifiableResponses)
 	}
 	fmt.Fprintf(out, "deliveries=%d messages=%d\n", res.Deliveries, res.Messages)
+	return nil
+}
+
+// throughputOpts carries the -throughput flag bundle.
+type throughputOpts struct {
+	entries, n, f   int
+	seed            int64
+	batches, depths []int
+	ckptEvery       int
+	window          int
+	workers         int
+	jsonOut         bool
+}
+
+// parseIntList parses a comma-separated list of positive integers (the
+// -batch and -pipeline grid axes).
+func parseIntList(name, s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	vals := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("%s wants positive values, got %d", name, v)
+		}
+		vals = append(vals, v)
+	}
+	return vals, nil
+}
+
+// runThroughputCmd executes one committed-entries throughput grid. Every
+// field on stdout is deterministic — a pure function of (config, seed),
+// bitwise identical at any -workers value, which is exactly what CI diffs.
+// The wall-clock rate is telemetry and goes to stderr, where it cannot
+// contaminate the byte-stable comparison surface.
+func runThroughputCmd(out io.Writer, o throughputOpts) error {
+	f := o.f
+	if f < 0 {
+		f = quorum.MaxByzantine(o.n)
+	}
+	start := time.Now()
+	points, err := runner.RunThroughput(runner.ThroughputConfig{
+		N: o.n, F: f,
+		Entries:         o.entries,
+		Batches:         o.batches,
+		Depths:          o.depths,
+		CheckpointEvery: o.ckptEvery,
+		Window:          o.window,
+		Coin:            runner.CoinCommon,
+		Seed:            o.seed,
+		Workers:         o.workers,
+	})
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	total := 0
+	for _, p := range points {
+		if p.Exhausted {
+			return fmt.Errorf("throughput point batch=%d depth=%d exhausted its delivery budget", p.Batch, p.Depth)
+		}
+		if p.Mismatches > 0 || p.SubmitDropped > 0 || p.DuplicateCommands > 0 {
+			return fmt.Errorf("throughput point batch=%d depth=%d unhealthy: mismatches=%d dropped=%d duplicates=%d",
+				p.Batch, p.Depth, p.Mismatches, p.SubmitDropped, p.DuplicateCommands)
+		}
+		total += p.Entries
+	}
+	fmt.Fprintf(os.Stderr, "bench: throughput grid of %d points committed %d entries in %v wall (%.0f entries/sec; telemetry, not comparable)\n",
+		len(points), total, wall.Round(time.Millisecond), float64(total)/wall.Seconds())
+	if o.jsonOut {
+		type pointJSON struct {
+			Batch       int    `json:"batch"`
+			Depth       int    `json:"depth"`
+			Slots       int    `json:"slots"`
+			Entries     int    `json:"entries"`
+			Deliveries  int    `json:"deliveries"`
+			Messages    int    `json:"messages"`
+			EndTime     int64  `json:"endTime"`
+			PerKDeliv   string `json:"entriesPerKDeliveries"`
+			LogDigest   string `json:"logDigest"`
+			StateDigest string `json:"stateDigest"`
+		}
+		rows := make([]pointJSON, 0, len(points))
+		for _, p := range points {
+			rows = append(rows, pointJSON{
+				p.Batch, p.Depth, p.Slots, p.Entries, p.Deliveries, p.Messages,
+				int64(p.EndTime), fmt.Sprintf("%.3f", p.EntriesPerKDeliveries()),
+				fmt.Sprintf("%016x", p.LogDigest), fmt.Sprintf("%016x", p.StateDigest),
+			})
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			N         int         `json:"n"`
+			F         int         `json:"f"`
+			Entries   int         `json:"entries"`
+			Seed      int64       `json:"seed"`
+			CkptEvery int         `json:"ckptEvery"`
+			Points    []pointJSON `json:"points"`
+		}{o.n, f, o.entries, o.seed, o.ckptEvery, rows})
+	}
+	fmt.Fprintf(out, "throughput: n=%d f=%d entries=%d seed=%d ckpt-every=%d\n", o.n, f, o.entries, o.seed, o.ckptEvery)
+	fmt.Fprintf(out, "%-6s %-6s %-7s %-8s %-11s %-14s %-13s %s\n",
+		"batch", "depth", "slots", "entries", "deliveries", "ent/kdeliv", "virtual-time", "log digest")
+	for _, p := range points {
+		fmt.Fprintf(out, "%-6d %-6d %-7d %-8d %-11d %-14.3f %-13d %016x\n",
+			p.Batch, p.Depth, p.Slots, p.Entries, p.Deliveries,
+			p.EntriesPerKDeliveries(), int64(p.EndTime), p.LogDigest)
+	}
 	return nil
 }
 

@@ -284,3 +284,74 @@ func TestRunSMRNonPositiveRejected(t *testing.T) {
 		}
 	}
 }
+
+// TestRunThroughputText: the throughput grid mode emits one row per
+// (batch, depth) point.
+func TestRunThroughputText(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-throughput", "16", "-n", "4", "-batch", "1,4", "-pipeline", "1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "throughput: n=4") || strings.Count(out, "\n") < 4 {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+// TestRunThroughputJSONWorkerIndependent: the -json record is the CI
+// comparison surface — it must be byte-identical across worker counts
+// (wall-clock telemetry goes to stderr, not here).
+func TestRunThroughputJSONWorkerIndependent(t *testing.T) {
+	render := func(workers string) string {
+		var sb strings.Builder
+		args := []string{"-throughput", "16", "-n", "4", "-batch", "1,4", "-pipeline", "1,2", "-json", "-workers", workers}
+		if err := run(args, &sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	serial, parallel := render("1"), render("4")
+	if serial != parallel {
+		t.Fatalf("throughput JSON depends on -workers:\n%s\nvs\n%s", serial, parallel)
+	}
+	var rec struct {
+		Points []struct {
+			Batch     int    `json:"batch"`
+			Entries   int    `json:"entries"`
+			LogDigest string `json:"logDigest"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal([]byte(serial), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Points) != 4 {
+		t.Fatalf("want 4 grid points, got %d", len(rec.Points))
+	}
+	for _, p := range rec.Points {
+		if p.Entries < 16 || len(p.LogDigest) != 16 {
+			t.Errorf("bad point: %+v", p)
+		}
+	}
+}
+
+// TestRunThroughputBadFlags: cross-mode and malformed-axis rejection.
+func TestRunThroughputBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-throughput", "16", "-sweep", "1:5"},        // mutually exclusive modes
+		{"-throughput", "16", "-smr", "32"},           // mutually exclusive modes
+		{"-throughput", "16", "-quick"},               // experiment knob
+		{"-throughput", "16", "-scenario", "reorder"}, // sweep knob
+		{"-throughput", "16", "-restart"},             // smr knob
+		{"-throughput", "0"},                          // non-positive target
+		{"-throughput", "16", "-batch", "1,0"},        // non-positive axis value
+		{"-throughput", "16", "-pipeline", "x"},       // malformed axis
+		{"-batch", "4"},                               // forgot the mode
+		{"-pipeline", "2"},                            // forgot the mode
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -49,7 +49,11 @@ var (
 )
 
 const (
-	storeVersion = 1
+	// storeVersion 2 added the per-slot batch Index to suffix entries; a
+	// version-1 record is rejected at load like any other unreadable record,
+	// so a replica upgraded across the format change boots empty and catches
+	// up by network state transfer instead of misreading old bytes.
+	storeVersion = 2
 	// storeHeaderLen is magic (4) + version (1) + SHA-256 of the body (32).
 	storeHeaderLen = 4 + 1 + sha256.Size
 	// maxSuffixEntries bounds the decoded suffix before any allocation, like
@@ -63,7 +67,10 @@ var storeMagic = [4]byte{'R', 'C', 'K', 'P'}
 // smr layer's Entry shape; the checkpoint package sits below smr and keeps
 // its own copy of the triple.)
 type LogEntry struct {
-	Slot     int
+	Slot int
+	// Index is the entry's position within its slot's batch (0 for the
+	// first or only entry; batched proposals commit several entries per slot).
+	Index    int
 	Proposer types.ProcessID
 	Command  string
 }
@@ -190,10 +197,11 @@ func appendRecord(buf []byte, rec *Record) ([]byte, error) {
 	buf = append(buf, cert...)
 	buf = binary.AppendUvarint(buf, uint64(len(rec.Suffix)))
 	for _, e := range rec.Suffix {
-		if e.Slot < 0 || e.Proposer < 0 {
+		if e.Slot < 0 || e.Index < 0 || e.Proposer < 0 {
 			return nil, fmt.Errorf("ckpt: store save: negative suffix field")
 		}
 		buf = binary.AppendUvarint(buf, uint64(e.Slot))
+		buf = binary.AppendUvarint(buf, uint64(e.Index))
 		buf = binary.AppendUvarint(buf, uint64(int64(e.Proposer)))
 		buf = binary.AppendUvarint(buf, uint64(len(e.Command)))
 		buf = append(buf, e.Command...)
@@ -232,6 +240,10 @@ func readRecord(buf []byte) (*Record, []byte, error) {
 		if err != nil {
 			return nil, nil, err
 		}
+		index, rest, err := readLen(rest, 1<<40)
+		if err != nil {
+			return nil, nil, err
+		}
 		proposer, rest, err := readLen(rest, 1<<40)
 		if err != nil {
 			return nil, nil, err
@@ -245,6 +257,7 @@ func readRecord(buf []byte) (*Record, []byte, error) {
 		}
 		rec.Suffix = append(rec.Suffix, LogEntry{
 			Slot:     slot,
+			Index:    index,
 			Proposer: types.ProcessID(proposer),
 			Command:  string(rest[:cmdLen]),
 		})

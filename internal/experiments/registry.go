@@ -28,6 +28,7 @@ func All() []Experiment {
 		{ID: "E10", Title: "Table 6 — adversarial property harness", Run: E10PropertyHarness},
 		{ID: "E11", Title: "Table 7 — per-round pruning memory", Run: E11MemoryPruning},
 		{ID: "E12", Title: "Table 8 — checkpoint & state-transfer residue", Run: E12ResidueCheckpointing},
+		{ID: "E13", Title: "Table 9 — batched, pipelined log throughput", Run: E13BatchedThroughput},
 		{ID: "A1", Title: "Ablation — message validation", Run: A1Validation},
 		{ID: "A2", Title: "Ablation — decide gadget", Run: A2Gadget},
 		{ID: "A3", Title: "Ablation — FIFO vs reordering", Run: A3Scheduler},

@@ -47,6 +47,15 @@ type SMRConfig struct {
 	// Commands preloads this many "set" commands per rotation member
 	// (further slots commit noops).
 	Commands int
+	// Batch caps how many queued commands one proposing turn bundles into a
+	// single dissemination body (0 or 1 = one command per slot; see
+	// smr.Config.Batch). A slot then unbatches into up to Batch committed
+	// entries.
+	Batch int
+	// Depth is the dissemination pipeline depth (0 or 1 = off; see
+	// smr.Config.Depth): proposing turns up to Depth-1 slots past the
+	// agreement frontier disseminate early.
+	Depth int
 	// CheckpointEvery is the checkpoint cadence in slots (0 = off).
 	CheckpointEvery int
 	// Window is the per-round retention window of the inner consensus
@@ -168,6 +177,17 @@ type SMRResult struct {
 	// Slots observed committed per replica index, and the max certified cut.
 	Committed    []int
 	CertifiedCut int
+	// Entries counts the distinct committed entries observed in [0, Slots) —
+	// equal to Slots without batching, up to Batch× it with batching (the
+	// throughput numerator).
+	Entries int
+	// SubmitDropped sums the commands the replicas' bounded submit queues
+	// rejected (must be 0 in a well-sized run; see smr.Replica.Dropped).
+	SubmitDropped int
+	// DuplicateCommands counts non-noop commands observed at more than one
+	// log position (must be 0: a command is consumed exactly once, even
+	// across state-transfer jumps).
+	DuplicateCommands int
 
 	// Robustness telemetry, summed over the replicas alive at the end of
 	// the run (attackers report their honest inner replica's counters).
@@ -181,6 +201,15 @@ type SMRResult struct {
 	RestoredCuts          int // replicas that booted from a durable record
 
 	// Victim telemetry (Restart runs).
+	//
+	// VictimDown reports the victim was still dead when the run ended (its
+	// revival never happened, or its revived instance never came back up):
+	// every other Victim* field is then zero because there was no live
+	// replica to read — not because catch-up failed while live. Together
+	// with Exhausted it separates "the delivery budget ran out mid-outage"
+	// from "the victim revived and failed to catch up", which a zero
+	// Transfers alone conflates.
+	VictimDown      bool
 	VictimID        types.ProcessID
 	VictimRetries   int // the victim's own reactive re-requests
 	Transfers       int // state transfers the victim installed
@@ -241,6 +270,9 @@ func RunSMR(cfg SMRConfig) (*SMRResult, error) {
 	}
 	if cfg.Slots <= 0 {
 		return nil, fmt.Errorf("%w: SMR run needs Slots > 0", ErrBadConfig)
+	}
+	if cfg.Batch < 0 || cfg.Depth < 0 {
+		return nil, fmt.Errorf("%w: negative batch (%d) or pipeline depth (%d)", ErrBadConfig, cfg.Batch, cfg.Depth)
 	}
 	if cfg.Restart != nil && cfg.CheckpointEvery <= 0 {
 		return nil, fmt.Errorf("%w: a restarted replica can only catch up via checkpoint state transfer; set CheckpointEvery", ErrBadConfig)
@@ -306,7 +338,19 @@ func RunSMR(cfg SMRConfig) (*SMRResult, error) {
 		// (measured ~7·n³ at n=16..64). Budget roughly twice that, floored
 		// at the sim default so small-n runs keep generous headroom; a run
 		// that exhausts it has genuinely lost liveness.
-		budget = 16 * cfg.Slots * cfg.N * cfg.N * cfg.N
+		//
+		// Calibration is per *slot*, deliberately not per committed entry:
+		// batching commits up to Batch entries per slot at the same ~7·n³
+		// delivery cost (the per-entry cost falls to ~7·n³/Batch — that is
+		// the whole throughput win), so scaling the budget by entries would
+		// overshoot by Batch×. Pipelining does add traffic past the stop
+		// frontier — up to Depth-1 proposing turns' dissemination is in
+		// flight when slot Slots decides — so those slots get headroom.
+		slots := cfg.Slots
+		if cfg.Depth > 1 {
+			slots += cfg.Depth - 1
+		}
+		budget = 16 * slots * cfg.N * cfg.N * cfg.N
 		if budget < sim.DefaultMaxDeliveries {
 			budget = sim.DefaultMaxDeliveries
 		}
@@ -358,17 +402,27 @@ func RunSMR(cfg SMRConfig) (*SMRResult, error) {
 		dealers.ReleaseBelow(low)
 	}
 
-	canonical := make(map[int]smr.Entry, cfg.Slots)
+	// canonical holds the first-observed committed entry per log position;
+	// batching commits several entries per slot, so positions are keyed by
+	// (slot, index within the slot's batch).
+	type entryKey struct{ slot, index int }
+	canonical := make(map[entryKey]smr.Entry, cfg.Slots)
 	mismatches := 0
 	refDigest := ckpt.InitialLogDigest
 	refMachine := smr.NewKVMachine()
-	refCount := 0
+	refCount := 0 // slots fully folded into the reference chain
 	var digestAt, stateAt uint64
+	capture := func() {
+		digestAt = refDigest
+		stateAt = ckpt.Digest(refMachine.Snapshot())
+	}
 	victimCommitted := 0
 
 	// drain tails one replica's new entries into the canonical map and the
 	// reference digest chain. Called per delivery and from OnCertified
-	// (pre-truncation), so no entry is released unobserved.
+	// (pre-truncation), so no entry is released unobserved. A slot's whole
+	// batch commits within one delivery, so ents always holds complete
+	// slots — which is what lets refCount advance per slot below.
 	drain := func(i int) {
 		o := observers[i]
 		if o == nil {
@@ -402,8 +456,7 @@ func RunSMR(cfg SMRConfig) (*SMRResult, error) {
 						refDigest = cert.LogDigest
 						refCount = b
 						if refCount == cfg.Slots {
-							digestAt = refDigest
-							stateAt = ckpt.Digest(refMachine.Snapshot())
+							capture()
 						}
 					} else {
 						o.gapped = true
@@ -416,23 +469,30 @@ func RunSMR(cfg SMRConfig) (*SMRResult, error) {
 		if ents[0].Slot > o.next && i == 0 {
 			o.gapped = true
 		}
-		for _, e := range ents {
-			if have, ok := canonical[e.Slot]; ok {
+		for idx, e := range ents {
+			k := entryKey{e.Slot, e.Index}
+			if have, ok := canonical[k]; ok {
 				if have != e {
 					mismatches++
 				}
 			} else {
-				canonical[e.Slot] = e
+				canonical[k] = e
 			}
-			if i == 0 && !o.gapped && e.Slot == refCount {
+			if i == 0 && !o.gapped && e.Slot >= refCount {
 				refDigest = ckpt.FoldEntry(refDigest, e.Slot, e.Proposer, e.Command)
 				if e.Command != "" && e.Command != smr.Noop {
 					refMachine.Apply(e.Command)
 				}
-				refCount++
-				if refCount == cfg.Slots {
-					digestAt = refDigest
-					stateAt = ckpt.Digest(refMachine.Snapshot())
+				// The slot is fully folded once its last entry is (the next
+				// entry belongs to a later slot, or the tail ends — slots are
+				// complete). Capture the reference digests exactly when the
+				// fold frontier lands on the Slots boundary, before any entry
+				// of a later slot folds in.
+				if idx == len(ents)-1 || ents[idx+1].Slot != e.Slot {
+					refCount = e.Slot + 1
+					if refCount == cfg.Slots {
+						capture()
+					}
 				}
 			}
 			if o.wrapper != nil && o.wrapper.Restarted() {
@@ -450,6 +510,14 @@ func RunSMR(cfg SMRConfig) (*SMRResult, error) {
 			Rotation: rotation,
 			Machine:  machines[i],
 			Window:   cfg.Window,
+			Batch:    cfg.Batch,
+			Depth:    cfg.Depth,
+		}
+		if cfg.Commands > smr.DefaultQueueLimit {
+			// The harness preloads every command up front; keep the queue
+			// bounded but sized to the workload so a well-formed run never
+			// drops (drops would surface in SubmitDropped).
+			rcfg.QueueLimit = cfg.Commands
 		}
 		if cfg.CheckpointEvery > 0 {
 			rcfg.CheckpointEvery = cfg.CheckpointEvery
@@ -547,10 +615,18 @@ func RunSMR(cfg SMRConfig) (*SMRResult, error) {
 					o.gapped = true
 				}
 			}
+			// Each pre-cut proposing turn consumed a full take: one command
+			// unbatched, up to Batch with batching (the harness's short
+			// commands never hit the batch byte caps, so the take is exactly
+			// min(Batch, remaining) — mirroring smr's proposalTake).
+			take := 1
+			if cfg.Batch > 1 {
+				take = cfg.Batch
+			}
 			consumed := 0
 			for s := 0; s < b; s++ {
 				if rotation[s%len(rotation)] == p {
-					consumed++
+					consumed += take
 				}
 			}
 			if consumed > len(cmds) {
@@ -611,15 +687,19 @@ func RunSMR(cfg SMRConfig) (*SMRResult, error) {
 	for i, o := range observers {
 		rep := o.current()
 		if rep == nil {
-			// The victim died and never revived (budget ran out
-			// mid-outage): its telemetry stays zero rather than reporting
-			// the discarded pre-crash instance's state as final.
+			// The victim was still down at the end (typically the budget ran
+			// out mid-outage): its telemetry stays zero rather than reporting
+			// the discarded pre-crash instance's state as final, and
+			// VictimDown records *why* those fields are zero — Exhausted then
+			// tells budget starvation apart from a revival that never came.
+			res.VictimDown = true
 			continue
 		}
 		res.Committed[i] = rep.Slot()
 		if cut := rep.CertifiedCut(); cut > res.CertifiedCut {
 			res.CertifiedCut = cut
 		}
+		res.SubmitDropped += rep.Dropped()
 		res.RBCDigestBytes += rep.RBCDigestBytes()
 		res.RBCRecords += rep.RBCCompacted()
 		res.RBCLive += rep.RBCLiveInstances()
@@ -646,6 +726,25 @@ func RunSMR(cfg SMRConfig) (*SMRResult, error) {
 		}
 	}
 	res.VictimCommitted = victimCommitted
+	// Throughput numerator and the exactly-once check: count the canonical
+	// entries inside the measured frontier, and flag any non-noop command
+	// observed at two log positions (a consumed command re-proposed — the
+	// install-jump bug class — or a duplicate submission).
+	seenCmd := make(map[string]entryKey, len(canonical))
+	for k, e := range canonical {
+		if k.slot >= cfg.Slots {
+			continue
+		}
+		res.Entries++
+		if e.Command == "" || e.Command == smr.Noop {
+			continue
+		}
+		if _, dup := seenCmd[e.Command]; dup {
+			res.DuplicateCommands++
+		} else {
+			seenCmd[e.Command] = k
+		}
+	}
 	if dealers != nil {
 		res.DealerSlots = dealers.DealersRetained()
 		res.DealerRounds = dealers.RoundsRetained()

@@ -21,6 +21,23 @@
 // construction (internal/acs). Configure Rotation with the processes you
 // expect to be live; crashed non-proposers are tolerated up to f as usual.
 //
+// # Batching and pipelined dissemination
+//
+// One slot of agreement costs the same ~7n³ deliveries whatever its body
+// carries, so throughput scales with how much each instance decides. With
+// Config.Batch > 1 a proposing turn drains up to Batch commands from the
+// bounded submit queue (Submit returns an accepted-bool; see QueueLimit)
+// into one canonical batch body (wire.EncodeBatch), and the decided slot
+// unbatches into one log Entry per command — applied and digest-folded
+// individually, atomically within the slot, so checkpoint cuts, state
+// transfer, and the durable suffix detector all see the same entry stream
+// they would unbatched. With Config.Depth > 1 a replica disseminates the
+// candidates for its own turns up to Depth-1 slots past the agreement
+// frontier, overlapping RBC with the current slot's agreement; agreement
+// itself stays strictly sequential, so pipelining reduces end-to-end
+// latency, never the per-slot delivery count or what commits. Both knobs
+// default to the pre-batching behavior (Batch, Depth <= 1), bitwise.
+//
 // # Checkpointing and state transfer
 //
 // With Config.CheckpointEvery set, the replica layers the protocol-level
@@ -55,6 +72,7 @@ package smr
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/ckpt"
 	"repro/internal/coin"
@@ -64,6 +82,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/types"
+	"repro/internal/wire"
 )
 
 // dissemNS is the Tag.Seq namespace for candidate dissemination; binary
@@ -74,6 +93,12 @@ const dissemNS = 1 << 20
 // empty on its turn.
 const Noop = "\x00noop"
 
+// DefaultQueueLimit bounds the submit queue when Config.QueueLimit is zero.
+// Submissions beyond the bound are rejected (Submit returns false) and
+// counted, so a halted or saturated replica cannot silently retain every
+// command a client ever offers.
+const DefaultQueueLimit = 1 << 14
+
 // StateMachine is the deterministic application a Replica drives. Apply is
 // called exactly once per committed non-noop command, in log order, with
 // identical sequences at every correct replica.
@@ -81,9 +106,14 @@ type StateMachine interface {
 	Apply(cmd string) error
 }
 
-// Entry is one committed log position.
+// Entry is one committed log position. A slot commits one entry without
+// batching; with Config.Batch > 1 a decided batch body unbatches into one
+// entry per bundled command, ordered by Index within the slot.
 type Entry struct {
-	Slot     int
+	Slot int
+	// Index is the entry's position within its slot's batch (0 for the
+	// first or only entry).
+	Index    int
 	Proposer types.ProcessID
 	Command  string
 }
@@ -104,6 +134,25 @@ type Config struct {
 	Machine StateMachine
 	// MaxSlots stops the replica after that many commits (0 = unbounded).
 	MaxSlots int
+	// Batch caps how many queued commands one proposing turn bundles into a
+	// single dissemination body (0 or 1 = one raw command per slot: the
+	// pre-batching behavior and wire format, bitwise). With Batch > 1 the
+	// turn encodes up to Batch queued commands as one canonical batch body
+	// (wire.EncodeBatch) and the decided slot unbatches into one log Entry
+	// per command, so agreement cost is paid once per batch.
+	Batch int
+	// Depth is the dissemination pipeline depth: how many of this replica's
+	// upcoming proposing turns disseminate ahead of the agreement frontier
+	// (0 or 1 = only the current slot, the pre-pipelining behavior).
+	// Agreement stays strictly sequential — slot s+1's instance starts only
+	// after slot s decides, because coin shares carry no instance tag to
+	// route concurrent instances by — but with Depth > 1 the RBC for turns
+	// in [slot, slot+Depth) runs while slot's agreement is still deciding,
+	// hiding dissemination latency behind agreement.
+	Depth int
+	// QueueLimit bounds the submit queue (0 = DefaultQueueLimit, negative =
+	// unbounded). Submit rejects and counts commands beyond the bound.
+	QueueLimit int
 	// Window is the per-round retention window handed to every slot's
 	// consensus instance (0 = the core default); see core.Config.Window.
 	Window int
@@ -157,6 +206,7 @@ type Replica struct {
 	cands   map[int]string
 	pending map[int][]types.Message
 	queue   []string
+	dropped int          // submissions rejected by the queue bound or after Done
 	waiting map[int]bool // slots whose proposal we already disseminated
 
 	// log holds the committed entries from base upward; entries below base
@@ -186,10 +236,10 @@ type Replica struct {
 
 	// Durable-store state (nil/zero without Config.Store).
 	store            *ckpt.Store
-	storeErrors      int                   // failed saves, corrupt or unverifiable loads
-	restoredCut      int                   // cut installed from disk at boot (0 = none)
-	restoreSuffix    map[int]ckpt.LogEntry // persisted suffix entries awaiting re-commit
-	suffixDivergence int                   // re-committed entries that contradicted the suffix
+	storeErrors      int                         // failed saves, corrupt or unverifiable loads
+	restoredCut      int                         // cut installed from disk at boot (0 = none)
+	restoreSuffix    map[suffixKey]ckpt.LogEntry // persisted suffix entries awaiting re-commit
+	suffixDivergence int                         // re-committed entries that contradicted the suffix
 
 	// The embedded recycled output buffer (see sim.OutBuffer). Together
 	// with the append-style RBC path and the inner consensus node's own
@@ -319,14 +369,18 @@ func (r *Replica) restoreFromStore() {
 	r.restoredCut = cert.Slot
 	r.tracker.Adopt(cert, rec.Cert.Snapshot)
 	if len(rec.Suffix) > 0 {
-		r.restoreSuffix = make(map[int]ckpt.LogEntry, len(rec.Suffix))
+		r.restoreSuffix = make(map[suffixKey]ckpt.LogEntry, len(rec.Suffix))
 		for _, e := range rec.Suffix {
 			if e.Slot >= cert.Slot {
-				r.restoreSuffix[e.Slot] = e
+				r.restoreSuffix[suffixKey{e.Slot, e.Index}] = e
 			}
 		}
 	}
 }
+
+// suffixKey addresses one persisted suffix entry: batched proposals commit
+// several entries per slot, so slot alone does not identify an entry.
+type suffixKey struct{ slot, index int }
 
 var (
 	_ sim.Node     = (*Replica)(nil)
@@ -356,14 +410,54 @@ func (r *Replica) Start() []types.Message {
 	return out
 }
 
-// Submit enqueues a command for this replica's future proposing turns. It
-// never sends anything itself: dissemination happens when a turn begins (at
-// Start or on slot advance), so Submit may be called before the replica is
-// started — turns that have already begun proposed what they had (possibly
-// a noop) and later commands wait for the next turn.
-func (r *Replica) Submit(cmd string) {
+// Submit enqueues a command for this replica's future proposing turns and
+// reports whether it was accepted. It never sends anything itself:
+// dissemination happens when a turn begins (at Start or on slot advance),
+// so Submit may be called before the replica is started — turns that have
+// already begun proposed what they had (possibly a noop) and later commands
+// wait for the next turn.
+//
+// A command is rejected (false, counted in Dropped) when the replica is
+// Done — it will never propose again, so accepting would leak the command
+// forever — when the queue is at its bound (Config.QueueLimit), or, with
+// batching on, when the command alone exceeds the batch wire bounds and so
+// could never be encoded.
+func (r *Replica) Submit(cmd string) bool {
+	if r.Done() {
+		r.dropped++
+		return false
+	}
+	if r.batchSize() > 1 && len(cmd) > wire.MaxBatchBytes {
+		r.dropped++
+		return false
+	}
+	if limit := r.queueLimit(); limit > 0 && len(r.queue) >= limit {
+		r.dropped++
+		return false
+	}
 	r.queue = append(r.queue, cmd)
+	return true
 }
+
+// queueLimit resolves Config.QueueLimit: 0 means DefaultQueueLimit,
+// negative means unbounded (returned as 0).
+func (r *Replica) queueLimit() int {
+	switch {
+	case r.cfg.QueueLimit > 0:
+		return r.cfg.QueueLimit
+	case r.cfg.QueueLimit < 0:
+		return 0
+	default:
+		return DefaultQueueLimit
+	}
+}
+
+// Dropped returns how many submitted commands were rejected by the queue
+// bound, the batch wire bounds, or submission after Done.
+func (r *Replica) Dropped() int { return r.dropped }
+
+// QueueLen returns how many accepted commands await a proposing turn.
+func (r *Replica) QueueLen() int { return len(r.queue) }
 
 // Log returns the retained committed entries (copy) — the full log without
 // checkpointing, the suffix above the last certified cut with it. It copies
@@ -383,10 +477,9 @@ func (r *Replica) LogLen() int { return len(r.log) }
 // base (truncated at a certified cut) are gone; LogSince silently starts at
 // the base, which Base() exposes so callers can detect the gap.
 func (r *Replica) LogSince(slot int) []Entry {
-	idx := slot - r.base
-	if idx < 0 {
-		idx = 0
-	}
+	// Entries are ordered by slot but a slot may hold a whole batch, so the
+	// first retained entry of a slot is found by search, not arithmetic.
+	idx := sort.Search(len(r.log), func(i int) bool { return r.log[i].Slot >= slot })
 	if idx >= len(r.log) {
 		return nil
 	}
@@ -511,19 +604,102 @@ func (r *Replica) proposer(slot int) types.ProcessID {
 	return r.cfg.Rotation[slot%len(r.cfg.Rotation)]
 }
 
-// propose disseminates this replica's candidate for the current slot if it
-// is the proposer and has not disseminated yet, appending into out.
+// batchSize resolves Config.Batch (0 or 1 = unbatched).
+func (r *Replica) batchSize() int {
+	if r.cfg.Batch > 1 {
+		return r.cfg.Batch
+	}
+	return 1
+}
+
+// depth resolves Config.Depth (0 or 1 = disseminate only the current slot).
+func (r *Replica) depth() int {
+	if r.cfg.Depth > 1 {
+		return r.cfg.Depth
+	}
+	return 1
+}
+
+// propose disseminates this replica's candidates for its not-yet-proposed
+// turns within the pipeline horizon, appending into out. At Depth 1 that is
+// exactly the current slot; at Depth > 1 dissemination runs ahead of the
+// agreement frontier — the RBC for a turn in [slot, slot+Depth) proceeds
+// while the current slot's agreement is still deciding — and every replica
+// buffers the early candidates (cands) until agreement reaches them.
 func (r *Replica) propose(out []types.Message) []types.Message {
-	if r.Done() || r.proposer(r.slot) != r.cfg.Me || r.waiting[r.slot] {
+	if r.Done() {
 		return out
 	}
-	cmd := Noop
-	if len(r.queue) > 0 {
-		cmd = r.queue[0]
-		r.queue = r.queue[1:]
+	horizon := r.slot + r.depth()
+	if r.cfg.MaxSlots > 0 && horizon > r.cfg.MaxSlots {
+		horizon = r.cfg.MaxSlots
 	}
-	r.waiting[r.slot] = true
-	return r.values.AppendBroadcast(out, types.Tag{Seq: dissemNS + r.slot}, cmd)
+	for s := r.slot; s < horizon; s++ {
+		if r.proposer(s) != r.cfg.Me || r.waiting[s] {
+			continue
+		}
+		body := r.takeProposal()
+		r.waiting[s] = true
+		out = r.values.AppendBroadcast(out, types.Tag{Seq: dissemNS + s}, body)
+	}
+	return out
+}
+
+// proposalTake returns how many queued commands the next proposing turn
+// consumes: 0 on an empty queue (the turn proposes a noop), 1 unbatched,
+// and with batching up to Batch commands further capped by the batch wire
+// bounds — but always at least one, so a queue can never wedge. It is the
+// single consumption policy: takeProposal consumes through it when a turn
+// actually disseminates, and install mirrors it for the turns a state-
+// transfer jump skips, keeping "what would this turn have taken" identical
+// on both paths.
+func (r *Replica) proposalTake() int {
+	if len(r.queue) == 0 {
+		return 0
+	}
+	b := r.batchSize()
+	if b <= 1 {
+		return 1
+	}
+	if b > len(r.queue) {
+		b = len(r.queue)
+	}
+	if b > wire.MaxBatchCommands {
+		b = wire.MaxBatchCommands
+	}
+	total := 0
+	for i := 0; i < b; i++ {
+		total += len(r.queue[i])
+		if total > wire.MaxBatchBytes && i > 0 {
+			return i
+		}
+	}
+	return b
+}
+
+// takeProposal pops the next proposal body off the submit queue: with
+// batching off, one raw command — wire-identical to the pre-batching
+// format, which is what keeps Batch<=1 runs bitwise equal to the goldens —
+// and with Batch > 1 a canonical batch body bundling up to Batch commands.
+// An empty queue yields the explicit Noop either way.
+func (r *Replica) takeProposal() string {
+	k := r.proposalTake()
+	if k == 0 {
+		return Noop
+	}
+	if r.batchSize() <= 1 {
+		cmd := r.queue[0]
+		r.queue = r.queue[1:]
+		return cmd
+	}
+	body, err := wire.EncodeBatch(r.queue[:k])
+	if err != nil {
+		// Unreachable: Submit bounds each command and proposalTake bounds
+		// count and total, which is everything EncodeBatch checks.
+		panic(fmt.Sprintf("smr: encoding %d-command batch: %v", k, err))
+	}
+	r.queue = r.queue[k:]
+	return body
 }
 
 // Deliver implements sim.Node.
@@ -769,7 +945,7 @@ func (r *Replica) persist() {
 	if len(r.log) > 0 {
 		rec.Suffix = make([]ckpt.LogEntry, 0, len(r.log))
 		for _, e := range r.log {
-			rec.Suffix = append(rec.Suffix, ckpt.LogEntry{Slot: e.Slot, Proposer: e.Proposer, Command: e.Command})
+			rec.Suffix = append(rec.Suffix, ckpt.LogEntry{Slot: e.Slot, Index: e.Index, Proposer: e.Proposer, Command: e.Command})
 		}
 	}
 	if err := r.store.Save(rec); err != nil {
@@ -785,10 +961,7 @@ func (r *Replica) truncateLog(floor int) {
 	if floor <= r.base {
 		return
 	}
-	k := floor - r.base
-	if k > len(r.log) {
-		k = len(r.log)
-	}
+	k := sort.Search(len(r.log), func(i int) bool { return r.log[i].Slot >= floor })
 	r.log = r.log[:copy(r.log, r.log[k:])]
 	r.base = floor
 }
@@ -809,10 +982,19 @@ func (r *Replica) install(out []types.Message, cert ckpt.Certificate, snapshot s
 	// cluster committed those slots without us (as noops, or as whatever a
 	// pre-crash instance disseminated), so re-proposing a consumed command
 	// at a later slot would diverge from the log the cluster actually built.
-	for s := r.slot; s < cert.Slot && len(r.queue) > 0; s++ {
-		if r.proposer(s) == r.cfg.Me && !r.waiting[s] {
-			r.queue = r.queue[1:]
+	// Consumption mirrors proposalTake exactly — each skipped turn takes
+	// what it would have taken had it disseminated (one command, or a whole
+	// batch) — so nothing consumed is re-proposed and nothing unconsumed is
+	// dropped.
+	for s := r.slot; s < cert.Slot; s++ {
+		if r.proposer(s) != r.cfg.Me || r.waiting[s] {
+			continue
 		}
+		k := r.proposalTake()
+		if k == 0 {
+			break
+		}
+		r.queue = r.queue[k:]
 	}
 	r.bin = nil
 	r.slot = cert.Slot
@@ -839,9 +1021,9 @@ func (r *Replica) install(out []types.Message, cert ckpt.Certificate, snapshot s
 	// A fresh catch-up epoch: the responders marked bad were judged against
 	// the previous cut, and the installed snapshot is the new recovery point.
 	clear(r.reqBad)
-	for s := range r.restoreSuffix {
-		if s < r.slot {
-			delete(r.restoreSuffix, s) // these slots will never re-commit here
+	for k := range r.restoreSuffix {
+		if k.slot < r.slot {
+			delete(r.restoreSuffix, k) // these slots will never re-commit here
 		}
 	}
 	r.persist()
@@ -924,33 +1106,28 @@ func (r *Replica) step(out []types.Message) []types.Message {
 		if !decided || !r.bin.Done() {
 			return out
 		}
-		entry := Entry{Slot: r.slot, Proposer: r.proposer(r.slot)}
-		if v == types.One {
-			entry.Command = r.cands[r.slot]
-			if entry.Command != Noop {
-				if err := r.cfg.Machine.Apply(entry.Command); err != nil {
-					r.record(trace.Event{Kind: trace.KindNote, P: r.cfg.Me,
-						Note: fmt.Sprintf("apply slot %d: %v", r.slot, err)})
+		proposer := r.proposer(r.slot)
+		switch body := r.cands[r.slot]; {
+		case v != types.One:
+			// 0-decision: the slot commits empty and nothing is applied.
+			r.commitEntry(Entry{Slot: r.slot, Proposer: proposer}, false)
+		case r.batchSize() > 1 && body != Noop:
+			// Unbatch: one log entry per bundled command, in batch order,
+			// each applied and digest-folded individually so every
+			// entry-granular invariant (checkpoint cuts, state transfer,
+			// suffix re-commit) holds with batching on. A body that is not
+			// a canonical batch (a Byzantine proposer can disseminate any
+			// bytes) commits as a single raw entry — the same deterministic
+			// rule at every replica.
+			if cmds, err := wire.DecodeBatch(body); err == nil {
+				for i, cmd := range cmds {
+					r.commitEntry(Entry{Slot: r.slot, Index: i, Proposer: proposer, Command: cmd}, true)
 				}
+			} else {
+				r.commitEntry(Entry{Slot: r.slot, Proposer: proposer, Command: body}, true)
 			}
-		}
-		r.log = append(r.log, entry)
-		r.logDigest = ckpt.FoldEntry(r.logDigest, entry.Slot, entry.Proposer, entry.Command)
-		if r.restoreSuffix != nil {
-			// Cross-restart divergence detector: a slot the pre-crash replica
-			// had committed re-commits now (the restore resumed at the cut),
-			// and must re-commit identically — agreement across the crash.
-			if want, ok := r.restoreSuffix[entry.Slot]; ok {
-				if want.Proposer != entry.Proposer || want.Command != entry.Command {
-					r.suffixDivergence++
-					r.record(trace.Event{Kind: trace.KindNote, P: r.cfg.Me,
-						Note: fmt.Sprintf("ckpt suffix divergence at slot %d", entry.Slot)})
-				}
-				delete(r.restoreSuffix, entry.Slot)
-				if len(r.restoreSuffix) == 0 {
-					r.restoreSuffix = nil
-				}
-			}
+		default:
+			r.commitEntry(Entry{Slot: r.slot, Proposer: proposer, Command: body}, true)
 		}
 		// Per-slot pruning, the log layer's version of the per-round
 		// invariant: a slot's candidate, dissemination flag, and RBC
@@ -974,6 +1151,38 @@ func (r *Replica) step(out []types.Message) []types.Message {
 		out = r.propose(out)
 	}
 	return out
+}
+
+// commitEntry appends one committed entry: applies it (when the slot
+// decided 1 and the command is not the explicit noop), folds it into the
+// chained log digest, and checks it against the durable restore suffix.
+func (r *Replica) commitEntry(e Entry, apply bool) {
+	if apply && e.Command != Noop {
+		if err := r.cfg.Machine.Apply(e.Command); err != nil {
+			r.record(trace.Event{Kind: trace.KindNote, P: r.cfg.Me,
+				Note: fmt.Sprintf("apply slot %d: %v", e.Slot, err)})
+		}
+	}
+	r.log = append(r.log, e)
+	r.logDigest = ckpt.FoldEntry(r.logDigest, e.Slot, e.Proposer, e.Command)
+	if r.restoreSuffix == nil {
+		return
+	}
+	// Cross-restart divergence detector: an entry the pre-crash replica
+	// had committed re-commits now (the restore resumed at the cut), and
+	// must re-commit identically — agreement across the crash.
+	k := suffixKey{e.Slot, e.Index}
+	if want, ok := r.restoreSuffix[k]; ok {
+		if want.Proposer != e.Proposer || want.Command != e.Command {
+			r.suffixDivergence++
+			r.record(trace.Event{Kind: trace.KindNote, P: r.cfg.Me,
+				Note: fmt.Sprintf("ckpt suffix divergence at slot %d entry %d", e.Slot, e.Index)})
+		}
+		delete(r.restoreSuffix, k)
+		if len(r.restoreSuffix) == 0 {
+			r.restoreSuffix = nil
+		}
+	}
 }
 
 // voteCheckpoint takes this replica's checkpoint at the cut it just

@@ -83,6 +83,7 @@ const (
 	KindCkptVote                    // checkpoint vote (protocol-level log checkpointing)
 	KindCkptRequest                 // state-transfer request from a lagging replica
 	KindCkptCert                    // checkpoint certificate, optionally carrying a snapshot
+	KindBatch                       // batched command proposal (rides inside an RBC body, never a top-level payload)
 )
 
 var kindNames = map[Kind]string{
@@ -95,6 +96,7 @@ var kindNames = map[Kind]string{
 	KindCkptVote:    "CKPT-VOTE",
 	KindCkptRequest: "CKPT-REQ",
 	KindCkptCert:    "CKPT-CERT",
+	KindBatch:       "BATCH",
 }
 
 // String implements fmt.Stringer.
@@ -106,7 +108,7 @@ func (k Kind) String() string {
 }
 
 // Valid reports whether k is a known payload kind.
-func (k Kind) Valid() bool { return k >= KindRBCSend && k <= KindCkptCert }
+func (k Kind) Valid() bool { return k >= KindRBCSend && k <= KindBatch }
 
 // Payload is implemented by every protocol message payload.
 type Payload interface {

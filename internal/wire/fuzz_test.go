@@ -80,6 +80,42 @@ func FuzzDecodeStep(f *testing.F) {
 	})
 }
 
+// FuzzDecodeBatch: batch bodies are fully Byzantine-controlled RBC payloads;
+// the decoder must never panic, must only accept bounded well-formed
+// batches, and must accept exactly the canonical encoding.
+func FuzzDecodeBatch(f *testing.F) {
+	for _, cmds := range [][]string{
+		{"a"},
+		{"set k v", "get k"},
+		{"", "", ""},
+	} {
+		body, err := EncodeBatch(cmds)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(body)
+	}
+	f.Add("")
+	f.Add(string([]byte{byte(types.KindBatch), 0x81, 0x00, 1, 'a'}))
+
+	f.Fuzz(func(t *testing.T, body string) {
+		cmds, err := DecodeBatch(body)
+		if err != nil {
+			return
+		}
+		if len(cmds) == 0 || len(cmds) > MaxBatchCommands {
+			t.Fatalf("decoder accepted out-of-bounds batch of %d from %q", len(cmds), body)
+		}
+		re, err := EncodeBatch(cmds)
+		if err != nil {
+			t.Fatalf("accepted batch failed to re-encode: %v", err)
+		}
+		if re != body {
+			t.Fatalf("encoding not canonical: %q vs %q", re, body)
+		}
+	})
+}
+
 // FuzzDecodeMessage: full message frames from the network.
 func FuzzDecodeMessage(f *testing.F) {
 	m := types.Message{From: 1, To: 2, Payload: &types.DecidePayload{V: types.One}}

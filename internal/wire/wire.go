@@ -38,6 +38,15 @@ const MaxBodyLen = 1 << 20
 // count prefix from forcing a giant allocation before length checks bite.
 const MaxCertVoters = 1 << 16
 
+// MaxBatchCommands bounds the command count of a batch body, and
+// MaxBatchBytes bounds its total command payload — together they keep a
+// hostile batch body from forcing a giant allocation, and keep every honest
+// batch encodable inside an RBC body (MaxBodyLen) with framing to spare.
+const (
+	MaxBatchCommands = 1 << 16
+	MaxBatchBytes    = MaxBodyLen / 2
+)
+
 // EncodePayload serializes any protocol payload into a fresh buffer. Hot
 // paths that can reuse a destination should call AppendPayload instead; the
 // two produce byte-identical output.
@@ -410,6 +419,106 @@ func DecodeStep(body string) (types.StepMessage, error) {
 		return types.StepMessage{}, fmt.Errorf("%w: non-canonical step body %q", ErrBadValue, body)
 	}
 	return s, nil
+}
+
+// EncodeBatch canonically encodes a batch of submitted commands for use as
+// a reliable-broadcast dissemination body. Like EncodeStep the encoding is
+// injective and strictly canonical, so body equality in the RBC instance
+// coincides with logical equality of the command sequence. A batch is never
+// a top-level payload: it always rides inside an RBCPayload body.
+func EncodeBatch(cmds []string) (string, error) {
+	bp := GetBuffer()
+	defer PutBuffer(bp)
+	buf, err := AppendBatch(*bp, cmds)
+	if err != nil {
+		return "", err
+	}
+	*bp = buf[:0]
+	return string(buf), nil
+}
+
+// AppendBatch appends EncodeBatch's canonical bytes to dst; on error dst is
+// returned unchanged. Format: the KindBatch discriminator, a uvarint command
+// count (at least one), then length-prefixed command strings in submission
+// order.
+func AppendBatch(dst []byte, cmds []string) ([]byte, error) {
+	if len(cmds) == 0 {
+		return dst, fmt.Errorf("%w: empty batch", ErrBadValue)
+	}
+	if len(cmds) > MaxBatchCommands {
+		return dst, fmt.Errorf("%w: %d batch commands", ErrTooLarge, len(cmds))
+	}
+	total := 0
+	for _, c := range cmds {
+		total += len(c)
+		if total > MaxBatchBytes {
+			return dst, fmt.Errorf("%w: %d batch payload bytes", ErrTooLarge, total)
+		}
+	}
+	buf := append(dst, byte(types.KindBatch))
+	buf = binary.AppendUvarint(buf, uint64(len(cmds)))
+	for _, c := range cmds {
+		buf = appendString(buf, c)
+	}
+	return buf, nil
+}
+
+// DecodeBatch parses an EncodeBatch body. Byzantine proposers control RBC
+// bodies, so the count and total size are bounded, and — as with DecodeStep —
+// only the exact bytes EncodeBatch produces are accepted: varints admit
+// padded encodings of the same value, which would let two distinct body
+// strings disseminate the same logical batch.
+func DecodeBatch(body string) ([]string, error) {
+	buf := []byte(body)
+	if len(buf) == 0 || types.Kind(buf[0]) != types.KindBatch {
+		return nil, fmt.Errorf("%w: not a batch body", ErrBadValue)
+	}
+	buf = buf[1:]
+	count, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, ErrTruncated
+	}
+	if count == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrBadValue)
+	}
+	if count > MaxBatchCommands {
+		return nil, fmt.Errorf("%w: %d batch commands", ErrTooLarge, count)
+	}
+	buf = buf[n:]
+	// Every command costs at least its one-byte length prefix, so a count
+	// exceeding the remaining bytes is truncated — checked before the count
+	// sizes an allocation.
+	if count > uint64(len(buf)) {
+		return nil, ErrTruncated
+	}
+	cmds := make([]string, 0, count)
+	total := 0
+	for i := uint64(0); i < count; i++ {
+		c, rest, err := readBytes(buf)
+		if err != nil {
+			return nil, err
+		}
+		total += len(c)
+		if total > MaxBatchBytes {
+			return nil, fmt.Errorf("%w: %d batch payload bytes", ErrTooLarge, total)
+		}
+		cmds = append(cmds, string(c))
+		buf = rest
+	}
+	if len(buf) != 0 {
+		return nil, ErrTrailing
+	}
+	bp := GetBuffer()
+	re, err := AppendBatch(*bp, cmds)
+	if err == nil && string(re) != body {
+		err = fmt.Errorf("%w: non-canonical batch body", ErrBadValue)
+	}
+	*bp = re[:0]
+	PutBuffer(bp)
+	if err != nil {
+		return nil, err
+	}
+	return cmds, nil
 }
 
 func flags(d, q bool) byte {

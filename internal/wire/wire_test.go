@@ -233,6 +233,92 @@ func TestStepEncodingInjective(t *testing.T) {
 	}
 }
 
+func TestBatchRoundTrip(t *testing.T) {
+	tests := [][]string{
+		{"a"},
+		{""},
+		{"set k v", "get k", "del k"},
+		{string([]byte{0, 1, 2, 255}), "", "plain"},
+		make([]string, 64),
+	}
+	for _, cmds := range tests {
+		body, err := EncodeBatch(cmds)
+		if err != nil {
+			t.Fatalf("EncodeBatch(%q): %v", cmds, err)
+		}
+		got, err := DecodeBatch(body)
+		if err != nil {
+			t.Fatalf("DecodeBatch(%q): %v", body, err)
+		}
+		if !reflect.DeepEqual(got, cmds) {
+			t.Errorf("round trip: got %q, want %q", got, cmds)
+		}
+	}
+}
+
+func TestEncodeBatchRejectsInvalid(t *testing.T) {
+	if _, err := EncodeBatch(nil); !errors.Is(err, ErrBadValue) {
+		t.Errorf("empty batch: error = %v, want ErrBadValue", err)
+	}
+	if _, err := EncodeBatch(make([]string, MaxBatchCommands+1)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized count: error = %v, want ErrTooLarge", err)
+	}
+	big := string(make([]byte, MaxBatchBytes))
+	if _, err := EncodeBatch([]string{big, "x"}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized payload: error = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestDecodeBatchRejectsMalformed(t *testing.T) {
+	kind := byte(types.KindBatch)
+	tests := []struct {
+		name string
+		body string
+		want error
+	}{
+		{"empty", "", ErrBadValue},
+		{"wrong kind", "\x01\x01\x01a", ErrBadValue},
+		{"no count", string([]byte{kind}), ErrTruncated},
+		{"zero count", string([]byte{kind, 0}), ErrBadValue},
+		{"hostile count", string([]byte{kind, 0xFF, 0xFF, 0x7F}), ErrTooLarge},
+		{"count beyond body", string([]byte{kind, 5, 1, 'a'}), ErrTruncated},
+		{"truncated command", string([]byte{kind, 1, 4, 'a'}), ErrTruncated},
+		{"trailing bytes", string([]byte{kind, 1, 1, 'a', 0}), ErrTrailing},
+		// Count 1 encoded as a padded two-byte varint: same logical batch,
+		// different bytes — must be rejected for body-equality soundness.
+		{"non-canonical count", string([]byte{kind, 0x81, 0x00, 1, 'a'}), ErrBadValue},
+		{"non-canonical length", string([]byte{kind, 1, 0x81, 0x00, 'a'}), ErrBadValue},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := DecodeBatch(tt.body); !errors.Is(err, tt.want) {
+				t.Errorf("error = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+// TestBatchEncodingInjective: distinct command sequences must map to
+// distinct bodies — dissemination RBC keys on body equality, so a collision
+// would let one broadcast commit two different command sequences.
+func TestBatchEncodingInjective(t *testing.T) {
+	seen := map[string][]string{}
+	batches := [][]string{
+		{"a"}, {"a", ""}, {"", "a"}, {"a", "b"}, {"ab"}, {"a", "b", ""},
+		{"ab", ""}, {"", "ab"}, {"a\x00b"}, {"a", "\x00b"},
+	}
+	for _, cmds := range batches {
+		body, err := EncodeBatch(cmds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[body]; dup {
+			t.Fatalf("collision: %q and %q both encode to %q", prev, cmds, body)
+		}
+		seen[body] = cmds
+	}
+}
+
 // TestPayloadPropertyRoundTrip fuzzes RBC payloads through the codec.
 func TestPayloadPropertyRoundTrip(t *testing.T) {
 	prop := func(sender uint16, round, seq int32, stepRaw uint8, body []byte, phaseRaw uint8) bool {
