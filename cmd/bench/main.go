@@ -1,5 +1,5 @@
 // Command bench regenerates every table and figure of the evaluation
-// (EXPERIMENTS.md): E1–E13 plus the ablations A1–A4. Output is aligned text
+// (EXPERIMENTS.md): E1–E14 plus the ablations A1–A4. Output is aligned text
 // tables by default, CSV with -csv, JSON with -json. Independent runs are
 // fanned across a worker pool (runner.Sweep); -workers 1 forces the old
 // serial behaviour and, by the sweep engine's determinism contract, produces
@@ -54,6 +54,13 @@
 //	bench -throughput 64 -n 16                        # default 1,4,16 × 1,2 grid
 //	bench -throughput 64 -n 16 -batch 1,8 -pipeline 2 # explicit axes
 //	bench -throughput 32 -n 4 -json -workers 1        # byte-stable record
+//
+// Both -smr and -throughput accept -coded, switching dissemination to
+// erasure-coded reliable broadcast (AVID-style): the digest lines must stay
+// bitwise identical to the uncoded run — CI diffs them — while the reported
+// wire-bytes drop (that is the whole point; see experiment E14):
+//
+//	bench -smr 64 -n 16 -ckpt-every 8 -coded          # same digests, fewer bytes
 package main
 
 import (
@@ -85,7 +92,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		id      = fs.String("experiment", "", "run a single experiment (E1..E10, A1..A4); empty = all")
+		id      = fs.String("experiment", "", "run a single experiment (E1..E14, A1..A4); empty = all")
 		runs    = fs.Int("runs", 0, "repetitions per configuration (0 = default)")
 		seed    = fs.Int64("seed", 1, "base seed")
 		quick   = fs.Bool("quick", false, "shrink sweeps for a fast smoke run")
@@ -111,6 +118,7 @@ func run(args []string, out io.Writer) error {
 		pipeList   = fs.String("pipeline", "1,2", "-throughput: comma-separated dissemination pipeline depths")
 
 		smrSlots   = fs.Int("smr", 0, "run a replicated-log workload of this many slots (the checkpoint/state-transfer mode)")
+		coded      = fs.Bool("coded", false, "-smr/-throughput: erasure-coded dissemination (AVID-style coded RBC); committed digests are identical either way, wire bytes drop")
 		ckptEvery  = fs.Int("ckpt-every", 0, "-smr/-throughput: checkpoint cadence in slots (0 = checkpointing off); committed digests are identical either way")
 		restart    = fs.Bool("restart", false, "-smr: kill the last replica mid-run and revive it empty (restart-catchup; requires -ckpt-every)")
 		ckptDir    = fs.String("ckpt-dir", "", "-smr: durable checkpoint store directory (replicas persist and, on a rerun over the same directory, boot from their records; requires -ckpt-every)")
@@ -143,14 +151,14 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-throughput wants a positive entry target, got %d", *throughput)
 	}
 	if *sweep == "" && *smrSlots == 0 && *throughput == 0 {
-		for _, name := range []string{"n", "f", "scenario", "checkpoint", "resume", "every", "stop-after", "no-prune", "window", "lowwater", "ckpt-every", "restart", "ckpt-dir", "ckpt-attack", "batch", "pipeline"} {
+		for _, name := range []string{"n", "f", "scenario", "checkpoint", "resume", "every", "stop-after", "no-prune", "window", "lowwater", "ckpt-every", "restart", "ckpt-dir", "ckpt-attack", "batch", "pipeline", "coded"} {
 			if set[name] {
 				return fmt.Errorf("-%s requires -sweep, -smr, or -throughput", name)
 			}
 		}
 	}
 	if *sweep != "" {
-		for _, name := range []string{"experiment", "runs", "seed", "quick", "csv", "ckpt-every", "restart", "ckpt-dir", "ckpt-attack", "batch", "pipeline"} {
+		for _, name := range []string{"experiment", "runs", "seed", "quick", "csv", "ckpt-every", "restart", "ckpt-dir", "ckpt-attack", "batch", "pipeline", "coded"} {
 			if set[name] {
 				return fmt.Errorf("-%s does not apply to -sweep", name)
 			}
@@ -175,7 +183,7 @@ func run(args []string, out io.Writer) error {
 		return runSMRCmd(out, smrOpts{
 			slots: *smrSlots, n: *sweepN, f: *sweepF, seed: *seed,
 			ckptEvery: *ckptEvery, window: *window, restart: *restart,
-			ckptDir: *ckptDir, ckptAttack: *ckptAttack,
+			ckptDir: *ckptDir, ckptAttack: *ckptAttack, coded: *coded,
 			jsonOut: *jsonOut,
 		})
 	}
@@ -196,7 +204,8 @@ func run(args []string, out io.Writer) error {
 		return runThroughputCmd(out, throughputOpts{
 			entries: *throughput, n: *sweepN, f: *sweepF, seed: *seed,
 			batches: batches, depths: depths, ckptEvery: *ckptEvery,
-			window: *window, workers: *workers, jsonOut: *jsonOut,
+			window: *window, workers: *workers, coded: *coded,
+			jsonOut: *jsonOut,
 		})
 	}
 	opts := experiments.Options{Runs: *runs, Seed: *seed, Quick: *quick, Workers: *workers}
@@ -258,6 +267,7 @@ type smrOpts struct {
 	restart     bool
 	ckptDir     string
 	ckptAttack  string
+	coded       bool
 	jsonOut     bool
 }
 
@@ -279,6 +289,7 @@ func runSMRCmd(out io.Writer, o smrOpts) error {
 		Coin:            runner.CoinCommon,
 		Seed:            o.seed,
 		CkptDir:         o.ckptDir,
+		Coded:           o.coded,
 	}
 	if o.restart {
 		if o.ckptEvery <= 0 {
@@ -336,15 +347,18 @@ func runSMRCmd(out io.Writer, o smrOpts) error {
 			Stale       int    `json:"staleResponses"`
 			Unverified  int    `json:"unverifiableResponses"`
 			Deliveries  int    `json:"deliveries"`
+			Coded       bool   `json:"coded"`
+			WireBytes   int64  `json:"wireBytes"`
 		}{o.n, f, o.slots, o.seed, o.ckptEvery,
 			fmt.Sprintf("%016x", res.LogDigest), fmt.Sprintf("%016x", res.StateDigest),
 			res.CertifiedCut, res.LogRetained, res.RBCRecords, res.RBCDigestBytes,
 			res.DealerSlots, res.Transfers, res.VictimCommitted,
 			res.RestoredCuts, res.StoreErrors, res.TransferRetries,
-			res.StaleResponses, res.UnverifiableResponses, res.Deliveries})
+			res.StaleResponses, res.UnverifiableResponses, res.Deliveries,
+			o.coded, res.WireBytes})
 	}
-	fmt.Fprintf(out, "smr workload: n=%d f=%d slots=%d seed=%d ckpt-every=%d window=%d restart=%v\n",
-		o.n, f, o.slots, o.seed, o.ckptEvery, o.window, o.restart)
+	fmt.Fprintf(out, "smr workload: n=%d f=%d slots=%d seed=%d ckpt-every=%d window=%d restart=%v coded=%v\n",
+		o.n, f, o.slots, o.seed, o.ckptEvery, o.window, o.restart, o.coded)
 	fmt.Fprintf(out, "digest log @%d:   %016x\n", o.slots, res.LogDigest)
 	fmt.Fprintf(out, "digest state @%d: %016x\n", o.slots, res.StateDigest)
 	fmt.Fprintf(out, "residue: log-retained=%d rbc-records=%d rbc-bytes=%d dealer-slots=%d dealer-rounds=%d certified-cut=%d\n",
@@ -360,7 +374,7 @@ func runSMRCmd(out io.Writer, o smrOpts) error {
 		fmt.Fprintf(out, "attack %s: installs=%d retries=%d stale=%d unverifiable=%d\n",
 			o.ckptAttack, res.TotalInstalls, res.TransferRetries, res.StaleResponses, res.UnverifiableResponses)
 	}
-	fmt.Fprintf(out, "deliveries=%d messages=%d\n", res.Deliveries, res.Messages)
+	fmt.Fprintf(out, "deliveries=%d messages=%d wire-bytes=%d\n", res.Deliveries, res.Messages, res.WireBytes)
 	return nil
 }
 
@@ -372,6 +386,7 @@ type throughputOpts struct {
 	ckptEvery       int
 	window          int
 	workers         int
+	coded           bool
 	jsonOut         bool
 }
 
@@ -412,6 +427,7 @@ func runThroughputCmd(out io.Writer, o throughputOpts) error {
 		CheckpointEvery: o.ckptEvery,
 		Window:          o.window,
 		Coin:            runner.CoinCommon,
+		Coded:           o.coded,
 		Seed:            o.seed,
 		Workers:         o.workers,
 	})
@@ -441,6 +457,7 @@ func runThroughputCmd(out io.Writer, o throughputOpts) error {
 			Deliveries  int    `json:"deliveries"`
 			Messages    int    `json:"messages"`
 			EndTime     int64  `json:"endTime"`
+			WireBytes   int64  `json:"wireBytes"`
 			PerKDeliv   string `json:"entriesPerKDeliveries"`
 			LogDigest   string `json:"logDigest"`
 			StateDigest string `json:"stateDigest"`
@@ -449,7 +466,7 @@ func runThroughputCmd(out io.Writer, o throughputOpts) error {
 		for _, p := range points {
 			rows = append(rows, pointJSON{
 				p.Batch, p.Depth, p.Slots, p.Entries, p.Deliveries, p.Messages,
-				int64(p.EndTime), fmt.Sprintf("%.3f", p.EntriesPerKDeliveries()),
+				int64(p.EndTime), p.WireBytes, fmt.Sprintf("%.3f", p.EntriesPerKDeliveries()),
 				fmt.Sprintf("%016x", p.LogDigest), fmt.Sprintf("%016x", p.StateDigest),
 			})
 		}
@@ -461,16 +478,17 @@ func runThroughputCmd(out io.Writer, o throughputOpts) error {
 			Entries   int         `json:"entries"`
 			Seed      int64       `json:"seed"`
 			CkptEvery int         `json:"ckptEvery"`
+			Coded     bool        `json:"coded"`
 			Points    []pointJSON `json:"points"`
-		}{o.n, f, o.entries, o.seed, o.ckptEvery, rows})
+		}{o.n, f, o.entries, o.seed, o.ckptEvery, o.coded, rows})
 	}
-	fmt.Fprintf(out, "throughput: n=%d f=%d entries=%d seed=%d ckpt-every=%d\n", o.n, f, o.entries, o.seed, o.ckptEvery)
-	fmt.Fprintf(out, "%-6s %-6s %-7s %-8s %-11s %-14s %-13s %s\n",
-		"batch", "depth", "slots", "entries", "deliveries", "ent/kdeliv", "virtual-time", "log digest")
+	fmt.Fprintf(out, "throughput: n=%d f=%d entries=%d seed=%d ckpt-every=%d coded=%v\n", o.n, f, o.entries, o.seed, o.ckptEvery, o.coded)
+	fmt.Fprintf(out, "%-6s %-6s %-7s %-8s %-11s %-14s %-13s %-12s %s\n",
+		"batch", "depth", "slots", "entries", "deliveries", "ent/kdeliv", "virtual-time", "wire-bytes", "log digest")
 	for _, p := range points {
-		fmt.Fprintf(out, "%-6d %-6d %-7d %-8d %-11d %-14.3f %-13d %016x\n",
+		fmt.Fprintf(out, "%-6d %-6d %-7d %-8d %-11d %-14.3f %-13d %-12d %016x\n",
 			p.Batch, p.Depth, p.Slots, p.Entries, p.Deliveries,
-			p.EntriesPerKDeliveries(), int64(p.EndTime), p.LogDigest)
+			p.EntriesPerKDeliveries(), int64(p.EndTime), p.WireBytes, p.LogDigest)
 	}
 	return nil
 }

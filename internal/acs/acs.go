@@ -60,6 +60,12 @@ type Config struct {
 	NewCoin func(instance int) coin.Coin
 	// Input is this process's contribution.
 	Input string
+	// Coded switches input dissemination — the one plane carrying large
+	// bodies — to erasure-coded reliable broadcast (see internal/rbc). The
+	// binary instances stay uncoded: their bodies are single step messages,
+	// smaller than a fragment's checksum vector. The agreed subset is
+	// byte-identical either way.
+	Coded bool
 	// Window is the per-round retention window handed to every binary
 	// instance (0 = the core default); see core.Config.Window.
 	Window int
@@ -127,10 +133,14 @@ func New(cfg Config) (*Node, error) {
 		return nil, fmt.Errorf("%w: %v not in peers", ErrBadPeers, cfg.Me)
 	}
 	n := cfg.Spec.N()
+	newRBC := rbc.New
+	if cfg.Coded {
+		newRBC = rbc.NewCoded
+	}
 	return &Node{
 		cfg:      cfg,
 		spec:     cfg.Spec,
-		values:   rbc.New(cfg.Me, cfg.Peers, cfg.Spec),
+		values:   newRBC(cfg.Me, cfg.Peers, cfg.Spec),
 		bins:     make([]*core.Node, n+1),
 		pending:  make([][]types.Message, n+1),
 		inputs:   make([]string, n+1),
@@ -166,12 +176,15 @@ func (n *Node) Deliver(m types.Message) []types.Message {
 	out := n.Take()
 	switch inst, kind := n.classify(m); kind {
 	case trafficValues:
-		p, ok := m.Payload.(*types.RBCPayload)
-		if !ok {
-			break
-		}
 		var deliveries []rbc.Delivery
-		out, deliveries = n.values.AppendHandle(out, m.From, p)
+		switch p := m.Payload.(type) {
+		case *types.RBCPayload:
+			out, deliveries = n.values.AppendHandle(out, m.From, p)
+		case *types.RBCFragPayload:
+			out, deliveries = n.values.AppendHandleFrag(out, m.From, p)
+		case *types.RBCSumPayload:
+			out, deliveries = n.values.AppendHandleSum(out, m.From, p)
+		}
 		for _, d := range deliveries {
 			idx := d.ID.Tag.Seq - valueNS
 			if idx < 1 || idx > n.spec.N() || idx != n.indexOf(d.ID.Sender) {
@@ -248,6 +261,16 @@ const (
 func (n *Node) classify(m types.Message) (int, trafficKind) {
 	switch p := m.Payload.(type) {
 	case *types.RBCPayload:
+		if p.ID.Tag.Seq >= valueNS {
+			return 0, trafficValues
+		}
+		return p.ID.Tag.Seq, trafficBinary
+	case *types.RBCFragPayload:
+		if p.ID.Tag.Seq >= valueNS {
+			return 0, trafficValues
+		}
+		return p.ID.Tag.Seq, trafficBinary
+	case *types.RBCSumPayload:
 		if p.ID.Tag.Seq >= valueNS {
 			return 0, trafficValues
 		}

@@ -66,6 +66,12 @@ type Config struct {
 	// (share MACs are bound to a dealer secret, so foreign shares are
 	// rejected, but reusing one dealer would reuse the same coin values).
 	Instance int
+	// Coded switches step dissemination to erasure-coded reliable broadcast
+	// (AVID-style, see internal/rbc: per-peer fragments plus a SHA-256
+	// cross-checksum instead of full-body echoes). Delivered bodies — and
+	// therefore every decision, digest, and trace event above the transport —
+	// are identical to the uncoded mode; only the wire format changes.
+	Coded bool
 	// DisableValidation turns off message justification (ablation A1).
 	DisableValidation bool
 	// DisableDecideGadget turns off DECIDE amplification (ablation A2):
@@ -258,10 +264,14 @@ func New(cfg Config) (*Node, error) {
 	if cfg.DisableValidation {
 		newVal = validate.NewLax
 	}
+	newRBC := rbc.New
+	if cfg.Coded {
+		newRBC = rbc.NewCoded
+	}
 	return &Node{
 		cfg:         cfg,
 		spec:        cfg.Spec,
-		bcast:       rbc.New(cfg.Me, cfg.Peers, cfg.Spec),
+		bcast:       newRBC(cfg.Me, cfg.Peers, cfg.Spec),
 		val:         newVal(cfg.Spec),
 		value:       cfg.Proposal,
 		accepted:    acceptedTable{base: 1},
@@ -294,6 +304,12 @@ func (n *Node) Deliver(m types.Message) []types.Message {
 	case *types.RBCPayload:
 		out := n.onRBC(n.Take(), m.From, p)
 		return n.advance(out)
+	case *types.RBCFragPayload:
+		out, deliveries := n.bcast.AppendHandleFrag(n.Take(), m.From, p)
+		return n.advance(n.onDeliveries(out, deliveries))
+	case *types.RBCSumPayload:
+		out, deliveries := n.bcast.AppendHandleSum(n.Take(), m.From, p)
+		return n.advance(n.onDeliveries(out, deliveries))
 	case *types.CoinSharePayload:
 		n.cfg.Coin.HandleShare(m.From, p)
 		return n.advance(n.Take())
@@ -369,10 +385,16 @@ func (n *Node) ReleaseResidueBelow(floor int) {
 }
 
 // onRBC feeds a reliable-broadcast payload through the broadcaster, then
-// records every resulting delivery with the validator and appends newly
-// justified messages to the quorum waits.
+// processes whatever it delivered.
 func (n *Node) onRBC(out []types.Message, from types.ProcessID, p *types.RBCPayload) []types.Message {
 	out, deliveries := n.bcast.AppendHandle(out, from, p)
+	return n.onDeliveries(out, deliveries)
+}
+
+// onDeliveries records every reliable-broadcast delivery — however
+// disseminated, plain or coded — with the validator and appends newly
+// justified messages to the quorum waits.
+func (n *Node) onDeliveries(out []types.Message, deliveries []rbc.Delivery) []types.Message {
 	for _, d := range deliveries {
 		sm, err := wire.DecodeStep(d.Body)
 		if err != nil {

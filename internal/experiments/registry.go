@@ -29,6 +29,7 @@ func All() []Experiment {
 		{ID: "E11", Title: "Table 7 — per-round pruning memory", Run: E11MemoryPruning},
 		{ID: "E12", Title: "Table 8 — checkpoint & state-transfer residue", Run: E12ResidueCheckpointing},
 		{ID: "E13", Title: "Table 9 — batched, pipelined log throughput", Run: E13BatchedThroughput},
+		{ID: "E14", Title: "Table 10 — erasure-coded dissemination bandwidth", Run: E14CodedDissemination},
 		{ID: "A1", Title: "Ablation — message validation", Run: A1Validation},
 		{ID: "A2", Title: "Ablation — decide gadget", Run: A2Gadget},
 		{ID: "A3", Title: "Ablation — FIFO vs reordering", Run: A3Scheduler},

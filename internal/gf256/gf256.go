@@ -92,7 +92,15 @@ func Div(a, b byte) byte {
 }
 
 // Pow returns a^e in GF(2^8) with the convention Pow(x, 0) = 1, including
-// Pow(0, 0) = 1.
+// Pow(0, 0) = 1 (x⁰ is the empty product; the Reed–Solomon generator-matrix
+// path in internal/rscode evaluates x⁰ at arbitrary points, so this case is
+// load-bearing, not pedantry).
+//
+// Negative exponents are defined through the multiplicative group of order
+// 255: for a ≠ 0, Pow(a, e) = a^(e mod 255), so Pow(a, -1) == Inv(a) and
+// Pow(a, -e) == Pow(Inv(a), e). Pow(0, e) with e < 0 would be a division by
+// zero and returns 0, mirroring Div's convention (protocol code must treat
+// it as a validation failure before reaching here).
 func Pow(a byte, e int) byte {
 	if e == 0 {
 		return 1

@@ -139,6 +139,60 @@ func TestPow(t *testing.T) {
 	}
 }
 
+// powRef is an independent reference for Pow: repeated MulSlow for e ≥ 0,
+// and the Inv-based group identity a^(-e) = (a^-1)^e for e < 0.
+func powRef(a byte, e int) byte {
+	if e == 0 {
+		return 1 // x⁰ = 1, including 0⁰ (empty product)
+	}
+	if a == 0 {
+		return 0 // 0^e = 0 for e > 0; e < 0 is division by zero → 0 by convention
+	}
+	if e < 0 {
+		return powRef(Inv(a), -e)
+	}
+	acc := byte(1)
+	for i := 0; i < e; i++ {
+		acc = MulSlow(acc, a)
+	}
+	return acc
+}
+
+// TestPowEdgeGrid drives Pow over every base × an exponent edge set chosen to
+// straddle the group order (255), its multiples, zero, and negatives — the
+// full a × e grid the doc contract promises: Pow(x, 0) = 1 including
+// Pow(0, 0); Pow(a, e) = a^(e mod 255) for a ≠ 0; Pow(0, e<0) = 0.
+func TestPowEdgeGrid(t *testing.T) {
+	exponents := []int{
+		-511, -510, -509, -256, -255, -254, -128, -3, -2, -1,
+		0, 1, 2, 3, 127, 128, 253, 254, 255, 256, 257, 509, 510, 511,
+	}
+	for a := 0; a < 256; a++ {
+		for _, e := range exponents {
+			got := Pow(byte(a), e)
+			want := powRef(byte(a), e)
+			if got != want {
+				t.Fatalf("Pow(%d, %d) = %#x, want %#x", a, e, got, want)
+			}
+		}
+	}
+	// Spot-check the documented identities directly.
+	for a := 1; a < 256; a++ {
+		if Pow(byte(a), -1) != Inv(byte(a)) {
+			t.Fatalf("Pow(%d, -1) != Inv(%d)", a, a)
+		}
+		if Pow(byte(a), 255) != 1 {
+			t.Fatalf("Pow(%d, 255) != 1", a)
+		}
+		if Pow(byte(a), 256) != byte(a) {
+			t.Fatalf("Pow(%d, 256) != %d", a, a)
+		}
+	}
+	if Pow(0, 0) != 1 {
+		t.Fatal("Pow(0, 0) must be 1: x⁰ is the empty product")
+	}
+}
+
 func TestEvalPoly(t *testing.T) {
 	// p(x) = 5 + 3x + x^2 over GF(2^8).
 	coeffs := []byte{5, 3, 1}

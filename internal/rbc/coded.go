@@ -1,0 +1,381 @@
+// Coded dissemination: AVID-style reliable broadcast over Reed–Solomon
+// fragments (Cachin–Tessaro's asynchronous verifiable information dispersal
+// applied to Bracha's echo/ready skeleton).
+//
+// The uncoded protocol echoes the full body n times, so one broadcast costs
+// O(n²·|v|) total wire bytes. The coded protocol disperses per-peer
+// fragments of |v|/k bytes and echoes only those, cutting the body traffic
+// to O(n·|v|) total (O(|v|) per process) plus an O(n²·λ) checksum term:
+//
+//	sender:  split body into k data + n−k parity shards (internal/rscode);
+//	         Sums ← the n fragment SHA-256 digests, concatenated;
+//	         send FRAG(i, |v|, Sums, shard_i) to peer i        — "disperse"
+//	on FRAG from the instance's sender carrying MY index, first one only,
+//	fragment verified against Sums:
+//	         broadcast FRAG(my index, |v|, Sums, my shard)      — "echo"
+//	on FRAG from peer j carrying j's own index, verified: count an echo
+//	         vote for key = SHA-256(|v| ‖ Sums) and store the fragment
+//	on ⌈(n+f+1)/2⌉ echo votes for key, or f+1 READYs, if no READY yet:
+//	         broadcast SUM(key)                                 — "ready"
+//	on 2f+1 SUM(key) AND ≥ k stored fragments that decode to a body whose
+//	re-encoding matches every digest in Sums, if not yet delivered:
+//	         deliver(body)
+//
+// Echoes carry the full Sums vector so any fragment is verifiable in
+// isolation; readies carry only the 32-byte key, keeping amplification at
+// O(n·λ) per process. The tally key binds (|v|, Sums) — two dispersals
+// differing in either count as different bodies, exactly as distinct body
+// strings do uncoded.
+//
+// Why the quorum logic is unchanged: an echo vote for a key commits the
+// voter to the full digest vector, so the Echo() threshold's intersection
+// argument rules out two keys reaching quorum the same way it rules out two
+// bodies. Decoding is deterministic in the key alone — all fragments are
+// digest-verified, so the candidate content of every shard index is fixed by
+// Sums, any k of them interpolate the same polynomial if one consistent
+// codeword exists, and the re-encode check accepts either everywhere or
+// nowhere. A Byzantine sender whose Sums vector is *not* a codeword loses
+// only its own liveness: the re-encode check fails identically at every
+// correct process (the key is poisoned, nothing delivers), and agreement,
+// integrity, and totality are untouched. Totality needs one extra
+// arithmetic fact, k ≤ Echo() − f (CodedDataShards enforces it): a ready
+// quorum implies Echo() echo votes somewhere, at least Echo() − f of them
+// from correct processes whose fragment echoes reach everyone — enough to
+// decode wherever the 2f+1 READYs arrive.
+package rbc
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/quorum"
+	"repro/internal/rscode"
+	"repro/internal/types"
+)
+
+// sumLen is the width of one cross-checksum entry (SHA-256); wire.SumLen
+// mirrors it (they are pinned equal in the wire tests via payload bounds).
+const sumLen = sha256.Size
+
+// CodedDataShards returns the data-shard count k the coded mode uses for a
+// spec: the issue's bandwidth-optimal n−2f, capped at Echo()−f so totality
+// holds at every legal spec (at optimal resilience n = 3f+1 the two
+// coincide at f+1), and floored at 1.
+func CodedDataShards(spec quorum.Spec) int {
+	k := spec.N() - 2*spec.F()
+	if m := spec.Echo() - spec.F(); m < k {
+		k = m
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// NewCoded creates a Broadcaster in coded-dissemination mode: broadcasts
+// disperse Reed–Solomon fragments ((n, CodedDataShards) code over the peer
+// list) and instance traffic arrives via AppendHandleFrag/AppendHandleSum.
+// Deliveries, digests, and the windowing contract are identical to New's.
+// It panics if the peer set cannot carry a GF(2^8) code (more than 255
+// peers); callers size clusters long before this bound.
+func NewCoded(me types.ProcessID, peers []types.ProcessID, spec quorum.Spec) *Broadcaster {
+	b := New(me, peers, spec)
+	code, err := rscode.New(len(peers), CodedDataShards(spec))
+	if err != nil {
+		panic(fmt.Sprintf("rbc: coded mode unavailable for %d peers: %v", len(peers), err))
+	}
+	b.code = code
+	b.codedInsts = make(map[types.InstanceID]*codedInst)
+	return b
+}
+
+// Coded reports whether this broadcaster disseminates in coded mode.
+func (b *Broadcaster) Coded() bool { return b.code != nil }
+
+// sumKey identifies one claimed codeword before hashing: the dispersal's
+// body length plus its digest vector. Used only to intern the 32-byte tally
+// key so repeated fragments of one dispersal never re-hash or re-allocate.
+type sumKey struct {
+	sums  string
+	total int
+}
+
+// fragSet accumulates the digest-verified fragments supporting one tally
+// key. frags is indexed by shard index; empty string = not yet seen.
+type fragSet struct {
+	totalLen int
+	sums     string
+	frags    []string
+	have     int
+	// decoded/poisoned is the permanent decode verdict: a key whose
+	// fragments interpolate to a body that re-encodes to every digest in
+	// sums decodes once and caches the body; a key that fails the re-encode
+	// check can never succeed (the verdict is a function of sums alone) and
+	// is poisoned forever.
+	decoded  bool
+	poisoned bool
+	body     string
+}
+
+// codedInst is the coded counterpart of instance: the same once-only
+// echoed/readied/delivered latches and shared fan-out payloads, with
+// fragment sets and interned tally keys in place of body-keyed tallies.
+type codedInst struct {
+	echoed    bool
+	readied   bool
+	delivered bool
+
+	deliveredDigest uint64
+
+	echoPayload  types.RBCFragPayload
+	readyPayload types.RBCSumPayload
+
+	keys map[sumKey]string
+	sets map[string]*fragSet
+
+	echoes  []tally // keyed by tally key; one vote per peer (its own fragment)
+	readies []tally // keyed by tally key; one vote per peer
+}
+
+func (ci *codedInst) terminal() bool { return ci.echoed && ci.readied && ci.delivered }
+
+func (b *Broadcaster) cinst(id types.InstanceID) *codedInst {
+	ci, ok := b.codedInsts[id]
+	if !ok {
+		ci = &codedInst{
+			keys: make(map[sumKey]string),
+			sets: make(map[string]*fragSet),
+		}
+		b.codedInsts[id] = ci
+	}
+	return ci
+}
+
+// appendDisperse is the coded sender path: split the body, digest every
+// shard, and send each peer its fragment with the full cross-checksum. The
+// Sums string is shared by all n payloads.
+func (b *Broadcaster) appendDisperse(out []types.Message, tag types.Tag, body string) []types.Message {
+	id := types.InstanceID{Sender: b.me, Tag: tag}
+	b.scratch = append(b.scratch[:0], body...)
+	shards := b.code.Split(b.scratch)
+	sums := make([]byte, 0, len(shards)*sumLen)
+	for _, s := range shards {
+		d := sha256.Sum256(s)
+		sums = append(sums, d[:]...)
+	}
+	sumsStr := string(sums)
+	for i, peer := range b.peers {
+		p := &types.RBCFragPayload{
+			ID:       id,
+			Index:    i,
+			TotalLen: len(body),
+			Sums:     sumsStr,
+			Frag:     string(shards[i]),
+		}
+		out = append(out, types.Message{From: b.me, To: peer, Payload: p})
+	}
+	return out
+}
+
+// fragValid performs the structural and cryptographic checks a fragment must
+// pass before it can touch instance state: the digest vector must cover
+// exactly this cluster's n shards, the index must name a shard, the
+// fragment must have the one length a body of TotalLen shards into, and its
+// SHA-256 must equal its Sums entry. Everything else about the claimed
+// codeword is settled at decode time.
+func (b *Broadcaster) fragValid(p *types.RBCFragPayload) bool {
+	n := b.code.N()
+	if len(p.Sums) != n*sumLen {
+		return false
+	}
+	if p.Index < 0 || p.Index >= n {
+		return false
+	}
+	if p.TotalLen < 0 || len(p.Frag) != b.code.ShardLen(p.TotalLen) {
+		return false
+	}
+	b.scratch = append(b.scratch[:0], p.Frag...)
+	d := sha256.Sum256(b.scratch)
+	off := p.Index * sumLen
+	for i := 0; i < sumLen; i++ {
+		if p.Sums[off+i] != d[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// internKey returns the 32-byte tally key SHA-256(uvarint(totalLen) ‖ sums),
+// computed once per (totalLen, sums) pair per instance.
+func (b *Broadcaster) internKey(ci *codedInst, totalLen int, sums string) string {
+	sk := sumKey{sums: sums, total: totalLen}
+	if k, ok := ci.keys[sk]; ok {
+		return k
+	}
+	b.scratch = binary.AppendUvarint(b.scratch[:0], uint64(totalLen))
+	b.scratch = append(b.scratch, sums...)
+	d := sha256.Sum256(b.scratch)
+	k := string(d[:])
+	ci.keys[sk] = k
+	return k
+}
+
+// HandleFrag processes one incoming fragment payload; see AppendHandleFrag.
+func (b *Broadcaster) HandleFrag(from types.ProcessID, p *types.RBCFragPayload) ([]types.Message, []Delivery) {
+	return b.AppendHandleFrag(nil, from, p)
+}
+
+// AppendHandleFrag processes a coded dispersal or fragment echo. Fragments
+// failing verification, fragments for compacted or dropped instances, and
+// any fragment arriving at an uncoded broadcaster are byte-identical
+// silence, mirroring AppendHandle's contract.
+func (b *Broadcaster) AppendHandleFrag(out []types.Message, from types.ProcessID, p *types.RBCFragPayload) ([]types.Message, []Delivery) {
+	if p == nil || b.code == nil {
+		return out, nil
+	}
+	if _, done := b.compacted[p.ID]; done {
+		return out, nil
+	}
+	if b.dropped(p.ID) {
+		return out, nil
+	}
+	if !b.fragValid(p) {
+		return out, nil
+	}
+	ci := b.cinst(p.ID)
+	key := b.internKey(ci, p.TotalLen, p.Sums)
+
+	// Disperse rule: the instance's sender handed me my fragment — adopt it
+	// (first dispersal wins, like the first SEND) and echo it to everyone.
+	if myIdx, ok := b.peerIdx[b.me]; ok && from == p.ID.Sender && p.Index == int(myIdx) && !ci.echoed {
+		ci.echoed = true
+		ci.echoPayload = types.RBCFragPayload{
+			ID: p.ID, Index: p.Index, TotalLen: p.TotalLen, Sums: p.Sums, Frag: p.Frag,
+		}
+		out = types.AppendBroadcast(out, b.me, b.peers, &ci.echoPayload)
+	}
+
+	// Echo-vote rule: a peer speaks only for its own shard slot. Store the
+	// verified fragment toward decoding and count the vote toward the echo
+	// quorum for this key. (A fragment relayed under someone else's index
+	// was already useful above if it was my dispersal; it casts no vote.)
+	pi, ok := b.peerIdx[from]
+	if !ok || p.Index != int(pi) {
+		return out, nil
+	}
+	set, ok := ci.sets[key]
+	if !ok {
+		set = &fragSet{totalLen: p.TotalLen, sums: p.Sums, frags: make([]string, b.code.N())}
+		ci.sets[key] = set
+	}
+	if set.frags[p.Index] == "" {
+		set.frags[p.Index] = p.Frag
+		set.have++
+	}
+	echoes := b.mark(&ci.echoes, key, pi)
+	return b.maybeCodedReadyAndDeliver(out, ci, p.ID, key, echoes, supporters(ci.readies, key))
+}
+
+// HandleSum processes one incoming checksum-ready payload; see
+// AppendHandleSum.
+func (b *Broadcaster) HandleSum(from types.ProcessID, p *types.RBCSumPayload) ([]types.Message, []Delivery) {
+	return b.AppendHandleSum(nil, from, p)
+}
+
+// AppendHandleSum processes a coded ready message (the 32-byte tally key).
+// The same silence contract as AppendHandleFrag applies.
+func (b *Broadcaster) AppendHandleSum(out []types.Message, from types.ProcessID, p *types.RBCSumPayload) ([]types.Message, []Delivery) {
+	if p == nil || b.code == nil || len(p.Sum) != sumLen {
+		return out, nil
+	}
+	if _, done := b.compacted[p.ID]; done {
+		return out, nil
+	}
+	if b.dropped(p.ID) {
+		return out, nil
+	}
+	pi, ok := b.peerIdx[from]
+	if !ok {
+		return out, nil
+	}
+	ci := b.cinst(p.ID)
+	readies := b.mark(&ci.readies, p.Sum, pi)
+	return b.maybeCodedReadyAndDeliver(out, ci, p.ID, p.Sum, supporters(ci.echoes, p.Sum), readies)
+}
+
+// maybeCodedReadyAndDeliver applies the threshold rules after any counter
+// change for key. The ready rule is Bracha's, verbatim; the deliver rule
+// additionally requires a successful decode — with 2f+1 READYs but fewer
+// than k fragments the instance simply waits (the fragments are on the wire;
+// see the totality argument in the package comment above).
+func (b *Broadcaster) maybeCodedReadyAndDeliver(out []types.Message, ci *codedInst, id types.InstanceID,
+	key string, echoes, readies int) ([]types.Message, []Delivery) {
+	if !ci.readied && (echoes >= b.spec.Echo() || readies >= b.spec.Adopt()) {
+		ci.readied = true
+		ci.readyPayload = types.RBCSumPayload{ID: id, Sum: key}
+		out = types.AppendBroadcast(out, b.me, b.peers, &ci.readyPayload)
+	}
+	var deliveries []Delivery
+	if !ci.delivered && readies >= b.spec.Decide() {
+		if body, ok := b.tryDecode(ci, key); ok {
+			ci.delivered = true
+			ci.deliveredDigest = digest(body)
+			deliveries = append(deliveries, Delivery{ID: id, Body: body})
+		}
+	}
+	return out, deliveries
+}
+
+// tryDecode attempts to reconstruct the body for key from the stored
+// fragments: interpolate from any k, re-encode, and compare every shard
+// digest against the dispersal's Sums. Success caches the body; failure
+// poisons the key permanently — both verdicts are functions of the digest
+// vector alone, so every correct process reaches the same one.
+func (b *Broadcaster) tryDecode(ci *codedInst, key string) (string, bool) {
+	set := ci.sets[key]
+	if set == nil || set.poisoned {
+		return "", false
+	}
+	if set.decoded {
+		return set.body, true
+	}
+	k := b.code.K()
+	if set.have < k {
+		return "", false
+	}
+	idxs := make([]int, 0, k)
+	frags := make([][]byte, 0, k)
+	for i, f := range set.frags {
+		if f == "" {
+			continue
+		}
+		idxs = append(idxs, i)
+		frags = append(frags, []byte(f))
+		if len(idxs) == k {
+			break
+		}
+	}
+	body, err := b.code.Reconstruct(idxs, frags, set.totalLen)
+	if err != nil {
+		set.poisoned = true
+		return "", false
+	}
+	// Re-encode and verify the full digest vector: the k fragments we used
+	// are digest-bound already, and this check extends the binding to every
+	// shard a straggler might decode from instead.
+	reShards := b.code.Split(body)
+	for i, s := range reShards {
+		d := sha256.Sum256(s)
+		off := i * sumLen
+		for j := 0; j < sumLen; j++ {
+			if set.sums[off+j] != d[j] {
+				set.poisoned = true
+				return "", false
+			}
+		}
+	}
+	set.decoded = true
+	set.body = string(body)
+	return set.body, true
+}

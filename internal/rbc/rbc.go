@@ -57,6 +57,7 @@ import (
 	"fmt"
 
 	"repro/internal/quorum"
+	"repro/internal/rscode"
 	"repro/internal/types"
 )
 
@@ -95,6 +96,17 @@ type Broadcaster struct {
 	// all, not even a digest record, and all their traffic is a silent no-op.
 	seqFloor   int
 	roundFloor int
+	// code switches the broadcaster into AVID-style coded dissemination when
+	// non-nil (see coded.go and NewCoded): broadcasts disperse Reed–Solomon
+	// fragments instead of full bodies, and instance state lives in
+	// codedInsts. The plain and coded modes are mutually silent: a coded
+	// broadcaster ignores plain RBC phases and vice versa, so a mixed-mode
+	// peer cannot inject state into either engine.
+	code       *rscode.Code
+	codedInsts map[types.InstanceID]*codedInst
+	// scratch is the reusable hashing buffer of the coded path (fragment
+	// digest checks, tally-key derivation): zero steady-state allocation.
+	scratch []byte
 }
 
 // New creates a Broadcaster for process me among peers (which must include
@@ -215,8 +227,14 @@ func (b *Broadcaster) Broadcast(tag types.Tag, body string) []types.Message {
 	return b.AppendBroadcast(nil, tag, body)
 }
 
-// AppendBroadcast is Broadcast appending into a caller-provided slice.
+// AppendBroadcast is Broadcast appending into a caller-provided slice. In
+// coded mode the SEND is replaced by a per-peer fragment dispersal (see
+// appendDisperse); deliveries and digests are unchanged, only the wire
+// format differs.
 func (b *Broadcaster) AppendBroadcast(out []types.Message, tag types.Tag, body string) []types.Message {
+	if b.code != nil {
+		return b.appendDisperse(out, tag, body)
+	}
 	id := types.InstanceID{Sender: b.me, Tag: tag}
 	p := &types.RBCPayload{Phase: types.KindRBCSend, ID: id, Body: body}
 	return types.AppendBroadcast(out, b.me, b.peers, p)
@@ -232,7 +250,10 @@ func (b *Broadcaster) Handle(from types.ProcessID, p *types.RBCPayload) ([]types
 // AppendHandle is Handle appending protocol messages into a caller-provided
 // slice — the allocation-free path for nodes that reuse an output buffer.
 func (b *Broadcaster) AppendHandle(out []types.Message, from types.ProcessID, p *types.RBCPayload) ([]types.Message, []Delivery) {
-	if p == nil {
+	if p == nil || b.code != nil {
+		// A coded broadcaster is silent to plain RBC phases: its quorums count
+		// fragment echoes and checksum readies only (AppendHandleFrag,
+		// AppendHandleSum), so a mixed-mode peer cannot vote here.
 		return out, nil
 	}
 	// Compacted instances answer every late message with silence — exactly
@@ -319,8 +340,11 @@ func (b *Broadcaster) Delivered(id types.InstanceID) bool {
 	if _, done := b.compacted[id]; done {
 		return true
 	}
-	in, ok := b.instances[id]
-	return ok && in.delivered
+	if in, ok := b.instances[id]; ok && in.delivered {
+		return true
+	}
+	ci, ok := b.codedInsts[id]
+	return ok && ci.delivered
 }
 
 // DeliveredDigest returns the FNV-1a fingerprint of the body this instance
@@ -334,6 +358,9 @@ func (b *Broadcaster) DeliveredDigest(id types.InstanceID) (uint64, bool) {
 	if in, ok := b.instances[id]; ok && in.delivered {
 		return in.deliveredDigest, true
 	}
+	if ci, ok := b.codedInsts[id]; ok && ci.delivered {
+		return ci.deliveredDigest, true
+	}
 	return 0, false
 }
 
@@ -343,13 +370,17 @@ func (b *Broadcaster) DeliveredDigest(id types.InstanceID) (uint64, bool) {
 // instances are left untouched so late echoes still amplify. Per-slot owners
 // (the SMR log, ACS input dissemination) call this when a slot commits.
 func (b *Broadcaster) Compact(id types.InstanceID) bool {
-	in, ok := b.instances[id]
-	if !ok || !in.terminal() {
-		return false
+	if in, ok := b.instances[id]; ok && in.terminal() {
+		b.compacted[id] = in.deliveredDigest
+		delete(b.instances, id)
+		return true
 	}
-	b.compacted[id] = in.deliveredDigest
-	delete(b.instances, id)
-	return true
+	if ci, ok := b.codedInsts[id]; ok && ci.terminal() {
+		b.compacted[id] = ci.deliveredDigest
+		delete(b.codedInsts, id)
+		return true
+	}
+	return false
 }
 
 // PruneBelow compacts every terminal instance whose tag round is below the
@@ -369,6 +400,14 @@ func (b *Broadcaster) PruneBelow(round int) int {
 		delete(b.instances, id)
 		released++
 	}
+	for id, ci := range b.codedInsts {
+		if id.Tag.Round == 0 || id.Tag.Round >= round || !ci.terminal() {
+			continue
+		}
+		b.compacted[id] = ci.deliveredDigest
+		delete(b.codedInsts, id)
+		released++
+	}
 	return released
 }
 
@@ -377,7 +416,7 @@ func (b *Broadcaster) PruneBelow(round int) int {
 // With windowing driven by an owner this stays bounded by the window (plus
 // any non-terminal stragglers); Byzantine processes can create instances
 // freely, so memory pressure is observable here.
-func (b *Broadcaster) Instances() int { return len(b.instances) }
+func (b *Broadcaster) Instances() int { return len(b.instances) + len(b.codedInsts) }
 
 // Compacted returns how many instances have been released to delivered-
 // digest records (diagnostics; each record costs a map entry and 8 bytes,
@@ -423,6 +462,12 @@ func (b *Broadcaster) DropSeqBelow(seq int) int {
 			dropped++
 		}
 	}
+	for id := range b.codedInsts {
+		if b.belowSeqFloor(id) {
+			delete(b.codedInsts, id)
+			dropped++
+		}
+	}
 	for id := range b.compacted {
 		if b.belowSeqFloor(id) {
 			delete(b.compacted, id)
@@ -446,6 +491,12 @@ func (b *Broadcaster) DropRoundBelow(round int) int {
 	for id := range b.instances {
 		if b.belowRoundFloor(id) {
 			delete(b.instances, id)
+			dropped++
+		}
+	}
+	for id := range b.codedInsts {
+		if b.belowRoundFloor(id) {
+			delete(b.codedInsts, id)
 			dropped++
 		}
 	}

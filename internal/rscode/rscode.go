@@ -1,0 +1,237 @@
+// Package rscode implements a systematic Reed–Solomon erasure code over
+// GF(2^8) (internal/gf256), the coding substrate for AVID-style coded
+// reliable broadcast (internal/rbc's coded mode).
+//
+// A body of L bytes is striped column-wise into k data shards of
+// ⌈L/k⌉ bytes each (zero-padded), and extended to n total shards by
+// evaluating, for every byte column, the unique degree-(k−1) polynomial
+// through the k data points. Shard i lives at evaluation point x = i+1
+// (x = 0 is reserved: it would leak a raw interpolation target), so the
+// code is systematic — shards 0..k−1 are the body's bytes verbatim, and
+// any k of the n shards reconstruct every column by Lagrange
+// interpolation. n is capped at 255 by the field size.
+//
+// The per-column work is O(n·k) for Encode and O(k²) for Decode, with the
+// Lagrange coefficients hoisted out of the column loop — one basis
+// computation serves every byte of the shards.
+package rscode
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/gf256"
+)
+
+// Code is an (n, k) systematic Reed–Solomon code: k data shards, n total.
+// It is immutable after New and safe for concurrent use.
+type Code struct {
+	n, k int
+	// parityBasis[p][d] is the Lagrange coefficient mapping data shard d to
+	// parity shard p (evaluation at x = k+p+1 of the basis polynomial that
+	// is 1 at x = d+1 and 0 at the other data points). Precomputed once so
+	// Encode is pure table arithmetic.
+	parityBasis [][]byte
+}
+
+// Errors reported by New, Encode, and Decode.
+var (
+	ErrBadParams    = errors.New("rscode: invalid code parameters")
+	ErrBadShards    = errors.New("rscode: malformed shards")
+	ErrTooFewShards = errors.New("rscode: not enough shards to decode")
+)
+
+// New constructs an (n, k) code. It requires 1 ≤ k ≤ n ≤ 255.
+func New(n, k int) (*Code, error) {
+	if k < 1 || n < k || n > 255 {
+		return nil, fmt.Errorf("%w: n=%d k=%d (need 1 ≤ k ≤ n ≤ 255)", ErrBadParams, n, k)
+	}
+	c := &Code{n: n, k: k}
+	if n > k {
+		c.parityBasis = make([][]byte, n-k)
+		for p := range c.parityBasis {
+			c.parityBasis[p] = basisAt(point(k+p), k)
+		}
+	}
+	return c, nil
+}
+
+// N returns the total number of shards.
+func (c *Code) N() int { return c.n }
+
+// K returns the number of data shards (the decode threshold).
+func (c *Code) K() int { return c.k }
+
+// point maps shard index i (0-based) to its field evaluation point.
+func point(i int) byte { return byte(i + 1) }
+
+// basisAt returns, for the evaluation point x, the k Lagrange coefficients
+// l_d(x) of the basis polynomials through the data points 1..k: the value of
+// any column polynomial at x is Σ_d data[d]·l_d(x).
+func basisAt(x byte, k int) []byte {
+	basis := make([]byte, k)
+	for d := 0; d < k; d++ {
+		num, den := byte(1), byte(1)
+		for j := 0; j < k; j++ {
+			if j == d {
+				continue
+			}
+			num = gf256.Mul(num, gf256.Sub(x, point(j)))
+			den = gf256.Mul(den, gf256.Sub(point(d), point(j)))
+		}
+		basis[d] = gf256.Div(num, den)
+	}
+	return basis
+}
+
+// ShardLen returns the per-shard byte length for a body of bodyLen bytes:
+// ⌈bodyLen/k⌉, and 1 for an empty body so every shard is non-empty on the
+// wire (an empty broadcast still needs a frame to vote on).
+func (c *Code) ShardLen(bodyLen int) int {
+	if bodyLen <= 0 {
+		return 1
+	}
+	return (bodyLen + c.k - 1) / c.k
+}
+
+// Split encodes body into n shards of ShardLen(len(body)) bytes each. The
+// first k shards are the body striped in order (zero-padded at the tail);
+// the remaining n−k are parity. The body is not retained; shards are fresh
+// allocations.
+func (c *Code) Split(body []byte) [][]byte {
+	shardLen := c.ShardLen(len(body))
+	// One backing array for all shards keeps Split at a single allocation
+	// beyond the slice headers.
+	backing := make([]byte, c.n*shardLen)
+	shards := make([][]byte, c.n)
+	for i := range shards {
+		shards[i] = backing[i*shardLen : (i+1)*shardLen]
+	}
+	for d := 0; d < c.k; d++ {
+		copy(shards[d], body[min(d*shardLen, len(body)):min((d+1)*shardLen, len(body))])
+	}
+	for p, basis := range c.parityBasis {
+		out := shards[c.k+p]
+		for d := 0; d < c.k; d++ {
+			coef := basis[d]
+			if coef == 0 {
+				continue
+			}
+			data := shards[d]
+			for b := 0; b < shardLen; b++ {
+				out[b] = gf256.Add(out[b], gf256.Mul(data[b], coef))
+			}
+		}
+	}
+	return shards
+}
+
+// Reconstruct recovers the first bodyLen bytes of the original body from any
+// k shards. indices[i] is the 0-based shard index of shards[i]; indices must
+// be distinct and in [0, n), shards equal-length and non-empty, and bodyLen
+// at most k·shardLen. Extra shards beyond the first k usable are ignored.
+func (c *Code) Reconstruct(indices []int, shards [][]byte, bodyLen int) ([]byte, error) {
+	if len(indices) != len(shards) {
+		return nil, fmt.Errorf("%w: %d indices for %d shards", ErrBadShards, len(indices), len(shards))
+	}
+	if len(shards) < c.k {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrTooFewShards, len(shards), c.k)
+	}
+	// Select the first k distinct valid shards (mirrors shamir.Reconstruct's
+	// scan: a malformed entry is skipped, not fatal).
+	useIdx := make([]int, 0, c.k)
+	useShard := make([][]byte, 0, c.k)
+	seen := make(map[int]bool, c.k)
+	shardLen := 0
+	for i, idx := range indices {
+		if len(useIdx) == c.k {
+			break
+		}
+		if idx < 0 || idx >= c.n || seen[idx] || len(shards[i]) == 0 {
+			continue
+		}
+		if shardLen == 0 {
+			shardLen = len(shards[i])
+		} else if len(shards[i]) != shardLen {
+			continue
+		}
+		seen[idx] = true
+		useIdx = append(useIdx, idx)
+		useShard = append(useShard, shards[i])
+	}
+	if len(useIdx) < c.k {
+		return nil, fmt.Errorf("%w: only %d of %d shards usable (need %d)",
+			ErrTooFewShards, len(useIdx), len(shards), c.k)
+	}
+	if bodyLen < 0 || bodyLen > c.k*shardLen {
+		return nil, fmt.Errorf("%w: bodyLen %d exceeds %d×%d", ErrBadShards, bodyLen, c.k, shardLen)
+	}
+	body := make([]byte, bodyLen)
+	// Fast path: every needed data shard is present verbatim (systematic).
+	systematic := true
+	dataAt := make([][]byte, c.k)
+	for i, idx := range useIdx {
+		if idx < c.k {
+			dataAt[idx] = useShard[i]
+		}
+	}
+	for d := 0; d < c.k; d++ {
+		if dataAt[d] == nil && d*shardLen < bodyLen {
+			systematic = false
+			break
+		}
+	}
+	if systematic {
+		for d := 0; d < c.k && d*shardLen < bodyLen; d++ {
+			copy(body[d*shardLen:min((d+1)*shardLen, bodyLen)], dataAt[d])
+		}
+		return body, nil
+	}
+	// General path: for each missing data shard d, interpolate the column
+	// polynomials at x = d+1 from the k available points. Hoist the Lagrange
+	// coefficients out of the byte loop.
+	for d := 0; d < c.k; d++ {
+		if d*shardLen >= bodyLen {
+			break
+		}
+		dst := body[d*shardLen:min((d+1)*shardLen, bodyLen)]
+		if dataAt[d] != nil {
+			copy(dst, dataAt[d])
+			continue
+		}
+		basis := lagrangeAt(point(d), useIdx)
+		for b := range dst {
+			var acc byte
+			for i := range useIdx {
+				acc = gf256.Add(acc, gf256.Mul(useShard[i][b], basis[i]))
+			}
+			dst[b] = acc
+		}
+	}
+	return body, nil
+}
+
+// lagrangeAt returns the Lagrange coefficients evaluating at x the unique
+// degree-(len(idxs)−1) polynomial through the points point(idxs[i]).
+func lagrangeAt(x byte, idxs []int) []byte {
+	basis := make([]byte, len(idxs))
+	for i, xi := range idxs {
+		num, den := byte(1), byte(1)
+		for j, xj := range idxs {
+			if j == i {
+				continue
+			}
+			num = gf256.Mul(num, gf256.Sub(x, point(xj)))
+			den = gf256.Mul(den, gf256.Sub(point(xi), point(xj)))
+		}
+		basis[i] = gf256.Div(num, den)
+	}
+	return basis
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,267 @@
+package rscode
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf256"
+)
+
+func mustCode(t *testing.T, n, k int) *Code {
+	t.Helper()
+	c, err := New(n, k)
+	if err != nil {
+		t.Fatalf("New(%d, %d): %v", n, k, err)
+	}
+	return c
+}
+
+func TestNewRejectsBadParams(t *testing.T) {
+	for _, tt := range []struct{ n, k int }{
+		{0, 0}, {4, 0}, {4, -1}, {3, 4}, {256, 4}, {300, 300},
+	} {
+		if _, err := New(tt.n, tt.k); !errors.Is(err, ErrBadParams) {
+			t.Errorf("New(%d, %d) error = %v, want ErrBadParams", tt.n, tt.k, err)
+		}
+	}
+	// Degenerate but legal corners.
+	for _, tt := range []struct{ n, k int }{{1, 1}, {255, 255}, {255, 1}} {
+		if _, err := New(tt.n, tt.k); err != nil {
+			t.Errorf("New(%d, %d): %v", tt.n, tt.k, err)
+		}
+	}
+}
+
+func TestSystematicPrefix(t *testing.T) {
+	c := mustCode(t, 7, 3)
+	body := []byte("systematic prefix check!")
+	shards := c.Split(body)
+	if len(shards) != 7 {
+		t.Fatalf("got %d shards", len(shards))
+	}
+	sl := c.ShardLen(len(body))
+	for d := 0; d < 3; d++ {
+		lo := d * sl
+		hi := min((d+1)*sl, len(body))
+		want := make([]byte, sl)
+		copy(want, body[lo:hi])
+		if !bytes.Equal(shards[d], want) {
+			t.Errorf("data shard %d = %x, want %x", d, shards[d], want)
+		}
+	}
+}
+
+func TestRoundTripAllKSubsets(t *testing.T) {
+	const n, k = 6, 3
+	c := mustCode(t, n, k)
+	body := []byte("any k of n shards reconstruct the body")
+	shards := c.Split(body)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for l := j + 1; l < n; l++ {
+				idxs := []int{i, j, l}
+				sub := [][]byte{shards[i], shards[j], shards[l]}
+				got, err := c.Reconstruct(idxs, sub, len(body))
+				if err != nil {
+					t.Fatalf("subset %v: %v", idxs, err)
+				}
+				if !bytes.Equal(got, body) {
+					t.Fatalf("subset %v reconstructed %q", idxs, got)
+				}
+			}
+		}
+	}
+}
+
+// TestShardsArePolynomialEvaluations cross-checks the encoder against an
+// independent Pow-based reference: for every byte column, shard i must be
+// the value at x = i+1 of the polynomial whose coefficients come from
+// interpreting the data column as evaluations — equivalently, the column of
+// shards must lie on a single degree-(k−1) polynomial. We verify via
+// gf256.Pow by explicitly building the coefficient vector from the data
+// points and evaluating Σ c_m·Pow(x, m) at every shard's point.
+func TestShardsArePolynomialEvaluations(t *testing.T) {
+	const n, k = 9, 4
+	c := mustCode(t, n, k)
+	rng := rand.New(rand.NewSource(99))
+	body := make([]byte, 4*k+3)
+	rng.Read(body)
+	shards := c.Split(body)
+	sl := c.ShardLen(len(body))
+	for col := 0; col < sl; col++ {
+		// Solve for the degree-(k−1) coefficients through the data points
+		// (point(d), shards[d][col]) by Gaussian elimination over GF(2^8).
+		coeffs := solveVandermonde(t, k, func(d int) byte { return shards[d][col] })
+		for i := 0; i < n; i++ {
+			x := point(i)
+			var want byte
+			for m, cm := range coeffs {
+				want = gf256.Add(want, gf256.Mul(cm, gf256.Pow(x, m)))
+			}
+			if shards[i][col] != want {
+				t.Fatalf("col %d shard %d: %#x off-polynomial (want %#x)", col, i, shards[i][col], want)
+			}
+		}
+	}
+}
+
+// solveVandermonde returns the coefficients of the degree-(k−1) polynomial
+// with p(point(d)) = y(d), via row reduction of the Vandermonde system built
+// with gf256.Pow (independent of the encoder's Lagrange machinery).
+func solveVandermonde(t *testing.T, k int, y func(int) byte) []byte {
+	t.Helper()
+	// Augmented matrix rows: [x^0 x^1 ... x^(k-1) | y].
+	rows := make([][]byte, k)
+	for d := 0; d < k; d++ {
+		row := make([]byte, k+1)
+		for m := 0; m < k; m++ {
+			row[m] = gf256.Pow(point(d), m)
+		}
+		row[k] = y(d)
+		rows[d] = row
+	}
+	for col := 0; col < k; col++ {
+		pivot := -1
+		for r := col; r < k; r++ {
+			if rows[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			t.Fatal("singular Vandermonde system")
+		}
+		rows[col], rows[pivot] = rows[pivot], rows[col]
+		inv := gf256.Inv(rows[col][col])
+		for m := col; m <= k; m++ {
+			rows[col][m] = gf256.Mul(rows[col][m], inv)
+		}
+		for r := 0; r < k; r++ {
+			if r == col || rows[r][col] == 0 {
+				continue
+			}
+			f := rows[r][col]
+			for m := col; m <= k; m++ {
+				rows[r][m] = gf256.Add(rows[r][m], gf256.Mul(f, rows[col][m]))
+			}
+		}
+	}
+	coeffs := make([]byte, k)
+	for d := 0; d < k; d++ {
+		coeffs[d] = rows[d][k]
+	}
+	return coeffs
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(20)
+		k := 1 + rng.Intn(n)
+		c := mustCode(t, n, k)
+		body := make([]byte, rng.Intn(64))
+		rng.Read(body)
+		shards := c.Split(body)
+		// Random k-subset in random order.
+		perm := rng.Perm(n)[:k]
+		idxs := make([]int, k)
+		sub := make([][]byte, k)
+		for i, p := range perm {
+			idxs[i] = p
+			sub[i] = shards[p]
+		}
+		got, err := c.Reconstruct(idxs, sub, len(body))
+		if err != nil {
+			t.Fatalf("trial %d (n=%d k=%d): %v", trial, n, k, err)
+		}
+		if !bytes.Equal(got, body) {
+			t.Fatalf("trial %d (n=%d k=%d): mismatch", trial, n, k)
+		}
+	}
+}
+
+func TestEmptyBody(t *testing.T) {
+	c := mustCode(t, 4, 2)
+	shards := c.Split(nil)
+	for i, s := range shards {
+		if len(s) != 1 {
+			t.Fatalf("shard %d len = %d, want 1 (empty body still frames)", i, len(s))
+		}
+	}
+	got, err := c.Reconstruct([]int{2, 3}, [][]byte{shards[2], shards[3]}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("reconstructed %d bytes from empty body", len(got))
+	}
+}
+
+func TestReconstructErrors(t *testing.T) {
+	c := mustCode(t, 5, 3)
+	body := []byte("errors")
+	shards := c.Split(body)
+	t.Run("too few", func(t *testing.T) {
+		_, err := c.Reconstruct([]int{0, 1}, shards[:2], len(body))
+		if !errors.Is(err, ErrTooFewShards) {
+			t.Errorf("error = %v, want ErrTooFewShards", err)
+		}
+	})
+	t.Run("length mismatch", func(t *testing.T) {
+		_, err := c.Reconstruct([]int{0, 1}, shards[:3], len(body))
+		if !errors.Is(err, ErrBadShards) {
+			t.Errorf("error = %v, want ErrBadShards", err)
+		}
+	})
+	t.Run("duplicate index skipped then insufficient", func(t *testing.T) {
+		_, err := c.Reconstruct([]int{0, 0, 0}, [][]byte{shards[0], shards[0], shards[0]}, len(body))
+		if !errors.Is(err, ErrTooFewShards) {
+			t.Errorf("error = %v, want ErrTooFewShards", err)
+		}
+	})
+	t.Run("out of range index skipped", func(t *testing.T) {
+		got, err := c.Reconstruct([]int{7, 0, 1, 2}, [][]byte{shards[0], shards[0], shards[1], shards[2]}, len(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, body) {
+			t.Error("valid tail should have reconstructed")
+		}
+	})
+	t.Run("oversized bodyLen", func(t *testing.T) {
+		_, err := c.Reconstruct([]int{0, 1, 2}, shards[:3], 3*c.ShardLen(len(body))+1)
+		if !errors.Is(err, ErrBadShards) {
+			t.Errorf("error = %v, want ErrBadShards", err)
+		}
+	})
+}
+
+func BenchmarkSplit(b *testing.B) {
+	c, _ := New(16, 6)
+	body := make([]byte, 64<<10)
+	rand.New(rand.NewSource(1)).Read(body)
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Split(body)
+	}
+}
+
+func BenchmarkReconstructParityHeavy(b *testing.B) {
+	c, _ := New(16, 6)
+	body := make([]byte, 64<<10)
+	rand.New(rand.NewSource(1)).Read(body)
+	shards := c.Split(body)
+	// Worst case: all parity shards, no systematic fast path.
+	idxs := []int{10, 11, 12, 13, 14, 15}
+	sub := [][]byte{shards[10], shards[11], shards[12], shards[13], shards[14], shards[15]}
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Reconstruct(idxs, sub, len(body)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/types"
+	"repro/internal/wire"
 )
 
 // Protocol selects the consensus implementation.
@@ -208,6 +209,13 @@ type Config struct {
 
 	DisableValidation   bool // ablation A1 (Bracha only)
 	DisableDecideGadget bool // ablation A2
+	// Coded disseminates step messages over erasure-coded reliable broadcast
+	// (Bracha only; Ben-Or has no RBC plane). Decisions and rounds are
+	// identical to the uncoded mode; Result.WireBytes shows the cost side —
+	// for step-sized bodies coding is a bandwidth *loss* (the checksum vector
+	// dwarfs the body), which is exactly what experiment E14 quantifies
+	// against the batch-sized bodies of the SMR plane.
+	Coded bool
 	// DisablePruning retains per-round state for the whole run (Bracha
 	// only; behaviour-neutral by construction — the E11 memory comparison
 	// and `bench -sweep -no-prune` are its only users).
@@ -266,6 +274,9 @@ type Result struct {
 	Deliveries int
 	EndTime    sim.Time
 	Exhausted  bool
+	// WireBytes is the wire.MessageSize total over every sent message — the
+	// run's bandwidth under the real codec, measured without encoding.
+	WireBytes int64
 	// PrunedLate sums, over the correct Bracha nodes, the justified
 	// messages that arrived for rounds already released by per-round
 	// pruning and were dropped (see core.Stats.PrunedLate).
@@ -327,6 +338,9 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Protocol == ProtocolBenOr && cfg.DisableValidation {
 		return nil, fmt.Errorf("%w: Ben-Or has no validation to disable", ErrBadConfig)
 	}
+	if cfg.Protocol == ProtocolBenOr && cfg.Coded {
+		return nil, fmt.Errorf("%w: Ben-Or has no broadcast plane to code", ErrBadConfig)
+	}
 
 	peers := types.Processes(cfg.N)
 	correct := peers[:cfg.N-cfg.Byzantine]
@@ -342,6 +356,7 @@ func Run(cfg Config) (*Result, error) {
 		Seed:          cfg.Seed,
 		MaxDeliveries: cfg.MaxDeliveries,
 		Recorder:      rec,
+		Sizer:         wire.MessageSize,
 	})
 	if err != nil {
 		return nil, err
@@ -446,6 +461,7 @@ func Run(cfg Config) (*Result, error) {
 		Deliveries: stats.Delivered,
 		EndTime:    stats.End,
 		Exhausted:  stats.Exhausted,
+		WireBytes:  stats.Bytes,
 		Recorder:   rec,
 		AllDecided: true,
 	}
@@ -526,6 +542,7 @@ func buildCorrect(cfg Config, spec quorum.Spec, p types.ProcessID, peers []types
 		return core.New(core.Config{
 			Me: p, Peers: peers, Spec: spec, Coin: c, Proposal: proposal,
 			Recorder:            rec,
+			Coded:               cfg.Coded,
 			DisableValidation:   cfg.DisableValidation,
 			DisableDecideGadget: cfg.DisableDecideGadget,
 			DisablePruning:      cfg.DisablePruning,

@@ -3,6 +3,7 @@ package runner
 import (
 	"fmt"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/adversary"
 	"repro/internal/ckpt"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/smr"
 	"repro/internal/types"
+	"repro/internal/wire"
 )
 
 // This file is the replicated-log (SMR) workload harness: the run mode
@@ -47,6 +49,16 @@ type SMRConfig struct {
 	// Commands preloads this many "set" commands per rotation member
 	// (further slots commit noops).
 	Commands int
+	// CommandBytes, when > 0, pads every preloaded command to at least this
+	// many bytes (a deterministic filler in the value field). The bandwidth
+	// experiments (E14) use it to sweep dissemination body sizes; the default
+	// short commands exercise the protocol, not the wire.
+	CommandBytes int
+	// Coded switches candidate dissemination to erasure-coded reliable
+	// broadcast (smr.Config.Coded). The committed log, and every digest in
+	// this result, is bitwise identical to the uncoded run of the same
+	// (config, seed); WireBytes shows what changes.
+	Coded bool
 	// Batch caps how many queued commands one proposing turn bundles into a
 	// single dissemination body (0 or 1 = one command per slot; see
 	// smr.Config.Batch). A slot then unbatches into up to Batch committed
@@ -236,6 +248,9 @@ type SMRResult struct {
 	Deliveries int
 	EndTime    sim.Time
 	Exhausted  bool
+	// WireBytes is the wire.MessageSize total over every sent message — the
+	// run's bandwidth under the real codec (the E14 measurement surface).
+	WireBytes int64
 }
 
 // smrObserver tails one replica's log.
@@ -273,6 +288,9 @@ func RunSMR(cfg SMRConfig) (*SMRResult, error) {
 	}
 	if cfg.Batch < 0 || cfg.Depth < 0 {
 		return nil, fmt.Errorf("%w: negative batch (%d) or pipeline depth (%d)", ErrBadConfig, cfg.Batch, cfg.Depth)
+	}
+	if cfg.CommandBytes < 0 || cfg.CommandBytes > wire.MaxBatchBytes {
+		return nil, fmt.Errorf("%w: CommandBytes %d outside [0, %d]", ErrBadConfig, cfg.CommandBytes, wire.MaxBatchBytes)
 	}
 	if cfg.Restart != nil && cfg.CheckpointEvery <= 0 {
 		return nil, fmt.Errorf("%w: a restarted replica can only catch up via checkpoint state transfer; set CheckpointEvery", ErrBadConfig)
@@ -359,6 +377,7 @@ func RunSMR(cfg SMRConfig) (*SMRResult, error) {
 		Scheduler:     cfg.scheduler(live),
 		Seed:          cfg.Seed,
 		MaxDeliveries: budget,
+		Sizer:         wire.MessageSize,
 	})
 	if err != nil {
 		return nil, err
@@ -512,6 +531,7 @@ func RunSMR(cfg SMRConfig) (*SMRResult, error) {
 			Window:   cfg.Window,
 			Batch:    cfg.Batch,
 			Depth:    cfg.Depth,
+			Coded:    cfg.Coded,
 		}
 		if cfg.Commands > smr.DefaultQueueLimit {
 			// The harness preloads every command up front; keep the queue
@@ -544,6 +564,11 @@ func RunSMR(cfg SMRConfig) (*SMRResult, error) {
 		cmds := make([]string, cfg.Commands)
 		for c := range cmds {
 			cmds[c] = fmt.Sprintf("set k%d-%d v%d-%d", p, c, p, c)
+			if pad := cfg.CommandBytes - len(cmds[c]); pad > 0 {
+				// Deterministic filler in the value field: the command still
+				// parses as a KV set, just with a body-sized value.
+				cmds[c] += strings.Repeat("x", pad)
+			}
 		}
 		return cmds
 	}
@@ -683,6 +708,7 @@ func RunSMR(cfg SMRConfig) (*SMRResult, error) {
 		Deliveries:  stats.Delivered,
 		EndTime:     stats.End,
 		Exhausted:   stats.Exhausted,
+		WireBytes:   stats.Bytes,
 	}
 	for i, o := range observers {
 		rep := o.current()

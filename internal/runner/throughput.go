@@ -35,6 +35,13 @@ type ThroughputConfig struct {
 	Window int
 	// Coin selects the per-slot coin (0 = CoinLocal).
 	Coin CoinKind
+	// CommandBytes pads every preloaded command to at least this many bytes
+	// (0 = short protocol-exercising commands; see SMRConfig.CommandBytes).
+	CommandBytes int
+	// Coded switches candidate dissemination to erasure-coded reliable
+	// broadcast (SMRConfig.Coded). Digests must be bitwise identical either
+	// way; WireBytes is what moves.
+	Coded bool
 	// Seed drives every point; the whole grid is a pure function of
 	// (config, seed).
 	Seed int64
@@ -59,6 +66,9 @@ type ThroughputPoint struct {
 	Deliveries int
 	Messages   int
 	EndTime    sim.Time
+	// WireBytes is the run's wire.MessageSize total — the bandwidth figure
+	// the dissemination experiment (E14) reports per grid point.
+	WireBytes int64
 	// LogDigest and StateDigest are the reference replica's digests at the
 	// Slots boundary — bitwise equal across worker counts and checkpoint
 	// cadences for a given (config, seed, batch, depth).
@@ -129,11 +139,13 @@ func RunThroughput(cfg ThroughputConfig) ([]*ThroughputPoint, error) {
 			N: cfg.N, F: cfg.F,
 			Slots:           slots,
 			Commands:        commands,
+			CommandBytes:    cfg.CommandBytes,
 			Batch:           g.batch,
 			Depth:           g.depth,
 			CheckpointEvery: cfg.CheckpointEvery,
 			Window:          cfg.Window,
 			Coin:            cfg.Coin,
+			Coded:           cfg.Coded,
 			Seed:            cfg.Seed,
 		})
 		if err != nil {
@@ -146,6 +158,7 @@ func RunThroughput(cfg ThroughputConfig) ([]*ThroughputPoint, error) {
 			Deliveries:        res.Deliveries,
 			Messages:          res.Messages,
 			EndTime:           res.EndTime,
+			WireBytes:         res.WireBytes,
 			LogDigest:         res.LogDigest,
 			StateDigest:       res.StateDigest,
 			Mismatches:        res.Mismatches,

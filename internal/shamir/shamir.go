@@ -73,11 +73,17 @@ func Split(secret []byte, n, threshold int, rng *rand.Rand) ([]Share, error) {
 	return shares, nil
 }
 
-// Reconstruct recovers the secret from at least `threshold` shares. Extra
-// shares beyond the first `threshold` are ignored (they are redundant for a
-// correct dealing; verifying consistency is the caller's job via share
-// authentication — see internal/coin). Shares must have distinct non-zero X
-// and equal-length Y.
+// Reconstruct recovers the secret from at least `threshold` shares. The
+// first `threshold` usable shares — distinct non-zero X, non-empty Y of a
+// common width — are interpolated; malformed entries (zero or repeated X,
+// outlier width) are skipped rather than fatal, so a poisoned prefix cannot
+// mask valid shares later in the slice. Candidate widths are tried in order
+// of first appearance and the first width with `threshold` usable shares
+// wins, deterministically.
+// Extra shares beyond the first `threshold` usable ones are ignored (they
+// are redundant for a correct dealing; verifying consistency is the
+// caller's job via share authentication — see internal/coin). If fewer than
+// `threshold` usable shares exist, Reconstruct reports ErrBadShares.
 func Reconstruct(shares []Share, threshold int) ([]byte, error) {
 	if threshold < 1 {
 		return nil, fmt.Errorf("%w: threshold = %d", ErrBadThreshold, threshold)
@@ -85,20 +91,50 @@ func Reconstruct(shares []Share, threshold int) ([]byte, error) {
 	if len(shares) < threshold {
 		return nil, fmt.Errorf("%w: have %d, need %d", ErrTooFewShares, len(shares), threshold)
 	}
-	use := shares[:threshold]
-	width := len(use[0].Y)
-	if width == 0 {
-		return nil, ErrBadShares
-	}
-	xs := make([]byte, threshold)
-	seen := make(map[byte]bool, threshold)
-	for i, s := range use {
-		if s.X == 0 || seen[s.X] || len(s.Y) != width {
-			return nil, fmt.Errorf("%w: share %d (x=%d)", ErrBadShares, i, s.X)
+	// Candidate widths in order of first appearance: a single wrong-width
+	// share cannot dictate the width and veto a valid majority behind it.
+	var widths []int
+	for _, s := range shares {
+		if len(s.Y) == 0 {
+			continue
 		}
-		seen[s.X] = true
-		xs[i] = s.X
+		known := false
+		for _, w := range widths {
+			if w == len(s.Y) {
+				known = true
+				break
+			}
+		}
+		if !known {
+			widths = append(widths, len(s.Y))
+		}
 	}
+	var use []Share
+	var xs []byte
+	for _, width := range widths {
+		use = use[:0]
+		xs = xs[:0]
+		seen := make(map[byte]bool, threshold)
+		for _, s := range shares {
+			if len(use) == threshold {
+				break
+			}
+			if s.X == 0 || seen[s.X] || len(s.Y) != width {
+				continue
+			}
+			seen[s.X] = true
+			use = append(use, s)
+			xs = append(xs, s.X)
+		}
+		if len(use) == threshold {
+			break
+		}
+	}
+	if len(use) < threshold {
+		return nil, fmt.Errorf("%w: only %d of %d shares usable (need %d)",
+			ErrBadShares, len(use), len(shares), threshold)
+	}
+	width := len(use[0].Y)
 	// Precompute the Lagrange basis at 0 once; it is shared by all bytes.
 	basis, err := lagrangeBasisAtZero(xs)
 	if err != nil {

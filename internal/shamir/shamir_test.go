@@ -128,6 +128,56 @@ func TestReconstructErrors(t *testing.T) {
 	})
 }
 
+// TestReconstructPoisonedPrefix is the regression test for the blind prefix
+// bug: Reconstruct used to take shares[:threshold] verbatim, so a malformed
+// share in the first `threshold` positions failed the call even when enough
+// valid distinct-X shares existed later in the slice. The scan must skip the
+// poison and recover from the valid tail.
+func TestReconstructPoisonedPrefix(t *testing.T) {
+	secret := []byte{0xC0, 0xFE}
+	shares, err := Split(secret, 5, 3, rng(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisons := map[string]Share{
+		"zero x":          {X: 0, Y: []byte{1, 2}},
+		"duplicate x":     shares[3].Clone(), // repeats a valid share's X
+		"wrong width":     {X: 200, Y: []byte{1}},
+		"empty y":         {X: 201, Y: nil},
+		"duplicate first": shares[0].Clone(), // duplicates the share right after it
+	}
+	for name, poison := range poisons {
+		t.Run(name, func(t *testing.T) {
+			// Poison occupies a prefix slot; 3 valid distinct-X shares follow.
+			mixed := []Share{poison, shares[0], shares[3], shares[4]}
+			got, err := Reconstruct(mixed, 3)
+			if err != nil {
+				t.Fatalf("Reconstruct with poisoned prefix: %v", err)
+			}
+			if !bytes.Equal(got, secret) {
+				t.Errorf("reconstructed %x, want %x", got, secret)
+			}
+		})
+	}
+	t.Run("poison everywhere still errors", func(t *testing.T) {
+		bad := []Share{{X: 0, Y: []byte{1, 2}}, shares[0], shares[0].Clone(), {X: 9, Y: nil}}
+		if _, err := Reconstruct(bad, 3); !errors.Is(err, ErrBadShares) {
+			t.Errorf("error = %v, want ErrBadShares", err)
+		}
+	})
+	t.Run("extra shares beyond threshold stay ignored", func(t *testing.T) {
+		// Happy-path contract: all five shares valid, only the first three used
+		// (any k reconstruct, so using a prefix is observationally fine).
+		got, err := Reconstruct(shares, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, secret) {
+			t.Errorf("reconstructed %x, want %x", got, secret)
+		}
+	})
+}
+
 // TestSecrecy verifies the information-theoretic hiding property that the
 // coin's unpredictability rests on: with threshold-1 shares, every candidate
 // secret byte is consistent — i.e. for any candidate secret there exists a

@@ -115,6 +115,13 @@ type Config struct {
 	MaxDeliveries int
 	// Recorder, when enabled, receives SEND/DELIVER/DROP events.
 	Recorder *trace.Recorder
+	// Sizer, when non-nil, is charged once per sent message (after spoof
+	// rejection, before scheduling — scheduler-dropped messages still hit
+	// the wire and still count) and its results accumulate in Stats.Bytes.
+	// It must be a pure function of the message; runner wires it to
+	// wire.MessageSize so the total is bytes-on-the-wire under the real
+	// codec without ever encoding.
+	Sizer func(types.Message) int
 }
 
 // DefaultMaxDeliveries is the per-run event budget when none is given.
@@ -122,12 +129,13 @@ const DefaultMaxDeliveries = 2_000_000
 
 // Stats summarizes a run.
 type Stats struct {
-	Sent      int  // messages handed to the network
-	Delivered int  // messages delivered to nodes
-	Dropped   int  // messages dropped (scheduler Drop or spoof rejection)
-	Spoofed   int  // messages rejected because From != emitting node
-	End       Time // time of the last delivery
-	Exhausted bool // the delivery budget ran out before quiescence
+	Sent      int   // messages handed to the network
+	Delivered int   // messages delivered to nodes
+	Dropped   int   // messages dropped (scheduler Drop or spoof rejection)
+	Spoofed   int   // messages rejected because From != emitting node
+	Bytes     int64 // total Config.Sizer bytes over sent messages (0 without a Sizer)
+	End       Time  // time of the last delivery
+	Exhausted bool  // the delivery budget ran out before quiescence
 }
 
 // maxDenseID bounds the dense node table. Process IDs at or below it are
@@ -276,6 +284,9 @@ func (n *Network) send(node Node, msgs []types.Message) {
 		n.seq++
 		at := n.cfg.Scheduler.Deliver(m, n.now, n.seq, n.rng)
 		n.stats.Sent++
+		if n.cfg.Sizer != nil {
+			n.stats.Bytes += int64(n.cfg.Sizer(m))
+		}
 		n.record(trace.Event{Time: int64(n.now), Kind: trace.KindSend, P: node.ID(), Msg: m})
 		if at < n.now {
 			if at == Drop {

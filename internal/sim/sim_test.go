@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"math/rand"
 	"testing"
 
 	"repro/internal/trace"
@@ -138,6 +139,86 @@ func TestSpoofedSenderRejected(t *testing.T) {
 	if len(drops) != 1 || drops[0].Note != "spoofed sender" {
 		t.Errorf("drop events = %v", drops)
 	}
+}
+
+// dropAll discards every message — the scheduler-drop path.
+type dropAll struct{}
+
+func (dropAll) Deliver(types.Message, Time, uint64, *rand.Rand) Time { return Drop }
+
+func TestSizerAccounting(t *testing.T) {
+	size := func(m types.Message) int { return 10 }
+
+	t.Run("counts every sent message", func(t *testing.T) {
+		n := newNet(t, Config{Scheduler: Immediate{}, Sizer: size})
+		ps := types.Processes(4)
+		for _, p := range ps {
+			if err := n.Add(&pingNode{id: p, peers: ps}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		stats, err := n.Run(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := int64(stats.Sent) * 10; stats.Bytes != want || stats.Sent != 16 {
+			t.Errorf("Bytes = %d (Sent %d), want %d", stats.Bytes, stats.Sent, want)
+		}
+	})
+
+	t.Run("spoofed messages never hit the wire", func(t *testing.T) {
+		n := newNet(t, Config{Scheduler: Immediate{}, Sizer: size})
+		ps := types.Processes(2)
+		if err := n.Add(&pingNode{id: 1, peers: ps[1:], spoofAs: 2}); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Add(&pingNode{id: 2}); err != nil {
+			t.Fatal(err)
+		}
+		stats, err := n.Run(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Bytes != int64(stats.Sent)*10 || stats.Spoofed != 1 {
+			t.Errorf("Bytes = %d with Sent = %d Spoofed = %d", stats.Bytes, stats.Sent, stats.Spoofed)
+		}
+	})
+
+	t.Run("scheduler-dropped messages still count", func(t *testing.T) {
+		// A dropped message was sent — it crossed the sender's NIC — so the
+		// bandwidth meter charges it even though it never arrives.
+		n := newNet(t, Config{Scheduler: dropAll{}, Sizer: size})
+		ps := types.Processes(2)
+		for _, p := range ps {
+			if err := n.Add(&pingNode{id: p, peers: ps}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		stats, err := n.Run(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Delivered != 0 || stats.Bytes != int64(stats.Sent)*10 {
+			t.Errorf("Delivered = %d Bytes = %d Sent = %d", stats.Delivered, stats.Bytes, stats.Sent)
+		}
+	})
+
+	t.Run("nil sizer meters nothing", func(t *testing.T) {
+		n := newNet(t, Config{Scheduler: Immediate{}})
+		ps := types.Processes(2)
+		for _, p := range ps {
+			if err := n.Add(&pingNode{id: p, peers: ps}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		stats, err := n.Run(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Bytes != 0 {
+			t.Errorf("Bytes = %d without a Sizer", stats.Bytes)
+		}
+	})
 }
 
 func TestBudgetExhaustion(t *testing.T) {

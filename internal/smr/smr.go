@@ -153,6 +153,12 @@ type Config struct {
 	// QueueLimit bounds the submit queue (0 = DefaultQueueLimit, negative =
 	// unbounded). Submit rejects and counts commands beyond the bound.
 	QueueLimit int
+	// Coded switches candidate dissemination — the plane carrying batch
+	// bodies — to erasure-coded reliable broadcast (see internal/rbc). The
+	// per-slot agreement instances stay uncoded (their bodies are one step
+	// message each). The committed log is byte-identical either way; only
+	// dissemination's wire format and bandwidth change.
+	Coded bool
 	// Window is the per-round retention window handed to every slot's
 	// consensus instance (0 = the core default); see core.Config.Window.
 	Window int
@@ -284,10 +290,14 @@ func New(cfg Config) (*Replica, error) {
 	if len(cfg.Rotation) == 0 {
 		cfg.Rotation = cfg.Peers
 	}
+	newRBC := rbc.New
+	if cfg.Coded {
+		newRBC = rbc.NewCoded
+	}
 	r := &Replica{
 		cfg:       cfg,
 		spec:      cfg.Spec,
-		values:    rbc.New(cfg.Me, cfg.Peers, cfg.Spec),
+		values:    newRBC(cfg.Me, cfg.Peers, cfg.Spec),
 		cands:     make(map[int]string),
 		pending:   make(map[int][]types.Message),
 		waiting:   make(map[int]bool),
@@ -710,13 +720,18 @@ func (r *Replica) Deliver(m types.Message) []types.Message {
 	out := r.Take()
 	switch inst, kind := classify(m); kind {
 	case trafficValues:
-		p, ok := m.Payload.(*types.RBCPayload)
-		if !ok {
-			break
-		}
-		r.noteFrontier(p.ID.Tag.Seq - dissemNS)
 		var deliveries []rbc.Delivery
-		out, deliveries = r.values.AppendHandle(out, m.From, p)
+		switch p := m.Payload.(type) {
+		case *types.RBCPayload:
+			r.noteFrontier(p.ID.Tag.Seq - dissemNS)
+			out, deliveries = r.values.AppendHandle(out, m.From, p)
+		case *types.RBCFragPayload:
+			r.noteFrontier(p.ID.Tag.Seq - dissemNS)
+			out, deliveries = r.values.AppendHandleFrag(out, m.From, p)
+		case *types.RBCSumPayload:
+			r.noteFrontier(p.ID.Tag.Seq - dissemNS)
+			out, deliveries = r.values.AppendHandleSum(out, m.From, p)
+		}
 		for _, d := range deliveries {
 			slot := d.ID.Tag.Seq - dissemNS
 			if slot < 0 || d.ID.Sender != r.proposer(slot) {
@@ -1059,6 +1074,16 @@ const (
 func classify(m types.Message) (int, trafficKind) {
 	switch p := m.Payload.(type) {
 	case *types.RBCPayload:
+		if p.ID.Tag.Seq >= dissemNS {
+			return 0, trafficValues
+		}
+		return p.ID.Tag.Seq, trafficBinary
+	case *types.RBCFragPayload:
+		if p.ID.Tag.Seq >= dissemNS {
+			return 0, trafficValues
+		}
+		return p.ID.Tag.Seq, trafficBinary
+	case *types.RBCSumPayload:
 		if p.ID.Tag.Seq >= dissemNS {
 			return 0, trafficValues
 		}

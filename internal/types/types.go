@@ -84,6 +84,8 @@ const (
 	KindCkptRequest                 // state-transfer request from a lagging replica
 	KindCkptCert                    // checkpoint certificate, optionally carrying a snapshot
 	KindBatch                       // batched command proposal (rides inside an RBC body, never a top-level payload)
+	KindRBCFrag                     // coded RBC: one Reed–Solomon fragment + the cross-checksum vector
+	KindRBCSum                      // coded RBC: ready amplification keyed by the cross-checksum digest
 )
 
 var kindNames = map[Kind]string{
@@ -97,6 +99,8 @@ var kindNames = map[Kind]string{
 	KindCkptRequest: "CKPT-REQ",
 	KindCkptCert:    "CKPT-CERT",
 	KindBatch:       "BATCH",
+	KindRBCFrag:     "RBC-FRAG",
+	KindRBCSum:      "RBC-SUM",
 }
 
 // String implements fmt.Stringer.
@@ -108,7 +112,7 @@ func (k Kind) String() string {
 }
 
 // Valid reports whether k is a known payload kind.
-func (k Kind) Valid() bool { return k >= KindRBCSend && k <= KindBatch }
+func (k Kind) Valid() bool { return k >= KindRBCSend && k <= KindRBCSum }
 
 // Payload is implemented by every protocol message payload.
 type Payload interface {
@@ -160,6 +164,54 @@ func (p *RBCPayload) Kind() Kind { return p.Phase }
 // String implements fmt.Stringer.
 func (p *RBCPayload) String() string {
 	return fmt.Sprintf("%s[%s|%q]", p.Phase, p.ID, p.Body)
+}
+
+// RBCFragPayload is a coded-RBC dispersal or fragment-echo message
+// (AVID-style): one Reed–Solomon fragment of the broadcast body plus the
+// cross-checksum vector that binds every fragment to the same codeword.
+// Sums is the concatenation, in peer order, of the 32-byte SHA-256 digests
+// of all n fragments; it travels in every fragment message so receivers can
+// verify any fragment against the sender's claimed codeword without seeing
+// the rest. Index is the 0-based shard index of Frag (also the peer slot it
+// was dispersed to); TotalLen is the body length before shard padding.
+type RBCFragPayload struct {
+	ID       InstanceID
+	Index    int
+	TotalLen int
+	Sums     string
+	Frag     string
+}
+
+// Kind implements Payload.
+func (p *RBCFragPayload) Kind() Kind { return KindRBCFrag }
+
+// String implements fmt.Stringer.
+func (p *RBCFragPayload) String() string {
+	return fmt.Sprintf("RBC-FRAG[%s #%d len=%d frag=%dB]", p.ID, p.Index, p.TotalLen, len(p.Frag))
+}
+
+// RBCSumPayload is the coded-RBC ready message: "I know 2f+1 echoes agree on
+// this codeword". Sum is the 32-byte key SHA-256(TotalLen ‖ Sums) — readies
+// carry only the key, never fragments, which is what keeps the ready/deliver
+// amplification O(n·λ) per process instead of O(n·|v|).
+type RBCSumPayload struct {
+	ID  InstanceID
+	Sum string
+}
+
+// Kind implements Payload.
+func (p *RBCSumPayload) Kind() Kind { return KindRBCSum }
+
+// String implements fmt.Stringer.
+func (p *RBCSumPayload) String() string {
+	return fmt.Sprintf("RBC-SUM[%s %x…]", p.ID, p.Sum[:min(4, len(p.Sum))])
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // CoinSharePayload carries one process's share of the common coin for a

@@ -116,6 +116,63 @@ func FuzzDecodeBatch(f *testing.F) {
 	})
 }
 
+// FuzzDecodeFrag: coded-RBC fragment and checksum frames are fully
+// Byzantine-controlled; the decoder must never panic, must enforce every
+// fragment invariant (index in range, whole-SumLen checksum vector, bounded
+// sizes), and must accept exactly the canonical encoding — a padded-varint
+// double of a fragment must not parse.
+func FuzzDecodeFrag(f *testing.F) {
+	id := types.InstanceID{Sender: 3, Tag: types.Tag{Seq: 1 << 20}}
+	sums := string(bytes.Repeat([]byte{0xAB}, 4*SumLen))
+	for _, p := range []types.Payload{
+		&types.RBCFragPayload{ID: id, Index: 0, TotalLen: 10, Sums: sums, Frag: "frag-zero"},
+		&types.RBCFragPayload{ID: id, Index: 3, TotalLen: 0, Sums: sums, Frag: "x"},
+		&types.RBCSumPayload{ID: id, Sum: sums[:SumLen]},
+	} {
+		buf, err := EncodePayload(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	// A truncated frag and a bare kind byte.
+	f.Add([]byte{byte(types.KindRBCFrag), 0x02})
+	f.Add([]byte{byte(types.KindRBCSum)})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodePayload(data)
+		if err != nil {
+			return
+		}
+		switch v := p.(type) {
+		case *types.RBCFragPayload:
+			shards := len(v.Sums) / SumLen
+			if len(v.Sums) == 0 || len(v.Sums)%SumLen != 0 || shards > MaxFragShards ||
+				v.Index < 0 || v.Index >= shards ||
+				v.TotalLen < 0 || v.TotalLen > MaxBodyLen ||
+				len(v.Frag) == 0 || len(v.Frag) > MaxFragLen {
+				t.Fatalf("decoder accepted malformed fragment %v from %x", v, data)
+			}
+		case *types.RBCSumPayload:
+			if len(v.Sum) != SumLen {
+				t.Fatalf("decoder accepted %d-byte checksum key from %x", len(v.Sum), data)
+			}
+		default:
+			return // other kinds are FuzzDecodePayload's business
+		}
+		re, err := EncodePayload(p)
+		if err != nil {
+			t.Fatalf("accepted payload failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("encoding not canonical: %x vs %x", re, data)
+		}
+		if got := PayloadSize(p); got != len(re) {
+			t.Fatalf("PayloadSize = %d, encoder produced %d bytes", got, len(re))
+		}
+	})
+}
+
 // FuzzDecodeMessage: full message frames from the network.
 func FuzzDecodeMessage(f *testing.F) {
 	m := types.Message{From: 1, To: 2, Payload: &types.DecidePayload{V: types.One}}

@@ -47,6 +47,29 @@ const (
 	MaxBatchBytes    = MaxBodyLen / 2
 )
 
+// Coded-RBC fragment framing bounds. SumLen is the width of one SHA-256
+// cross-checksum entry; MaxFragShards is the shard-count ceiling imposed by
+// GF(2^8) (rscode caps n at 255, so a Sums vector has at most 255 entries).
+// maxFragFraming conservatively covers the fixed fragment overhead: the kind
+// byte, four instance-ID varints, the Index and TotalLen varints, and the
+// two length prefixes (≤ 10 bytes each at int64 width).
+//
+// MaxFragLen is chosen so a maximal fragment message still encodes inside
+// MaxBodyLen: MaxFragLen + MaxFragShards·SumLen + maxFragFraming =
+// MaxBodyLen exactly. This is the size seam the batch layer leans on — a
+// MaxBatchBytes batch body encodes to at most
+// 1 + 3 + MaxBatchBytes + 3·MaxBatchCommands ≈ 717 KiB of RBC body, and
+// even the degenerate k = 1 code (the whole body in one fragment) stays
+// under MaxFragLen ≈ 1016 KiB, with the full 255-entry checksum vector and
+// framing on top fitting MaxBodyLen. Oversized fragments are rejected with
+// ErrTooLarge at encode time (the door), never truncated downstream.
+const (
+	SumLen         = 32
+	MaxFragShards  = 255
+	maxFragFraming = 64
+	MaxFragLen     = MaxBodyLen - MaxFragShards*SumLen - maxFragFraming
+)
+
 // EncodePayload serializes any protocol payload into a fresh buffer. Hot
 // paths that can reuse a destination should call AppendPayload instead; the
 // two produce byte-identical output.
@@ -132,11 +155,64 @@ func AppendPayload(dst []byte, p types.Payload) ([]byte, error) {
 			buf = appendStrings(buf, v.VoteMACs[i])
 		}
 		return appendString(buf, v.Snapshot), nil
+	case *types.RBCFragPayload:
+		if err := validateFrag(v.Index, v.TotalLen, len(v.Sums), len(v.Frag)); err != nil {
+			return dst, err
+		}
+		buf := append(dst, byte(types.KindRBCFrag))
+		buf = appendInt(buf, int(v.ID.Sender))
+		buf = appendInt(buf, v.ID.Tag.Round)
+		buf = appendInt(buf, int(v.ID.Tag.Step))
+		buf = appendInt(buf, v.ID.Tag.Seq)
+		buf = appendInt(buf, v.Index)
+		buf = appendInt(buf, v.TotalLen)
+		buf = appendString(buf, v.Sums)
+		buf = appendString(buf, v.Frag)
+		return buf, nil
+	case *types.RBCSumPayload:
+		if len(v.Sum) != SumLen {
+			return dst, fmt.Errorf("%w: %d-byte checksum key (want %d)", ErrBadValue, len(v.Sum), SumLen)
+		}
+		buf := append(dst, byte(types.KindRBCSum))
+		buf = appendInt(buf, int(v.ID.Sender))
+		buf = appendInt(buf, v.ID.Tag.Round)
+		buf = appendInt(buf, int(v.ID.Tag.Step))
+		buf = appendInt(buf, v.ID.Tag.Seq)
+		buf = appendString(buf, v.Sum)
+		return buf, nil
 	case nil:
 		return dst, fmt.Errorf("%w: nil payload", ErrBadValue)
 	default:
 		return dst, fmt.Errorf("%w: %T", ErrUnknownKind, p)
 	}
+}
+
+// validateFrag enforces the fragment invariants shared by the encoder and
+// decoder: a well-formed checksum vector (non-empty, whole SumLen entries,
+// at most MaxFragShards of them), an Index naming one of its entries, a
+// TotalLen a real body could have, and a non-empty fragment within the
+// MaxFragLen seam (see the constant's comment for the arithmetic).
+func validateFrag(index, totalLen, sumsLen, fragLen int) error {
+	if sumsLen == 0 || sumsLen%SumLen != 0 {
+		return fmt.Errorf("%w: %d-byte checksum vector (want multiple of %d)", ErrBadValue, sumsLen, SumLen)
+	}
+	shards := sumsLen / SumLen
+	if shards > MaxFragShards {
+		return fmt.Errorf("%w: %d checksum entries", ErrTooLarge, shards)
+	}
+	if index < 0 || index >= shards {
+		return fmt.Errorf("%w: fragment index %d of %d shards", ErrBadValue, index, shards)
+	}
+	if totalLen < 0 || totalLen > MaxBodyLen {
+		return fmt.Errorf("%w: fragment total length %d", ErrBadValue, totalLen)
+	}
+	if fragLen == 0 {
+		return fmt.Errorf("%w: empty fragment", ErrBadValue)
+	}
+	if fragLen > MaxFragLen {
+		return fmt.Errorf("%w: %d-byte fragment (max %d)", ErrTooLarge, fragLen, MaxFragLen)
+	}
+	return nil
 }
 
 // DecodePayload parses a payload produced by EncodePayload. It rejects
@@ -156,6 +232,7 @@ func decodePayload(buf []byte) (types.Payload, []byte, error) {
 	if len(buf) == 0 {
 		return nil, nil, ErrTruncated
 	}
+	full := buf
 	kind := types.Kind(buf[0])
 	buf = buf[1:]
 	switch kind {
@@ -314,9 +391,112 @@ func decodePayload(buf []byte) (types.Payload, []byte, error) {
 			Slot: slot, StateDigest: state, LogDigest: log,
 			Voters: voters, VoteMACs: voteMACs, Snapshot: string(snap),
 		}, buf, nil
+	case types.KindRBCFrag:
+		sender, buf, err := readInt(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		round, buf, err := readInt(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		step, buf, err := readInt(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		seq, buf, err := readInt(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		index, buf, err := readInt(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		totalLen, buf, err := readInt(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		sums, buf, err := readBytes(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		frag, buf, err := readBytes(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := validateFrag(index, totalLen, len(sums), len(frag)); err != nil {
+			return nil, nil, err
+		}
+		p := &types.RBCFragPayload{
+			ID: types.InstanceID{
+				Sender: types.ProcessID(sender),
+				Tag:    types.Tag{Round: round, Step: types.Step(step), Seq: seq},
+			},
+			Index:    index,
+			TotalLen: totalLen,
+			Sums:     string(sums),
+			Frag:     string(frag),
+		}
+		if err := checkCanonical(p, full, len(full)-len(buf)); err != nil {
+			return nil, nil, err
+		}
+		return p, buf, nil
+	case types.KindRBCSum:
+		sender, buf, err := readInt(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		round, buf, err := readInt(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		step, buf, err := readInt(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		seq, buf, err := readInt(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		sum, buf, err := readBytes(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(sum) != SumLen {
+			return nil, nil, fmt.Errorf("%w: %d-byte checksum key (want %d)", ErrBadValue, len(sum), SumLen)
+		}
+		p := &types.RBCSumPayload{
+			ID: types.InstanceID{
+				Sender: types.ProcessID(sender),
+				Tag:    types.Tag{Round: round, Step: types.Step(step), Seq: seq},
+			},
+			Sum: string(sum),
+		}
+		if err := checkCanonical(p, full, len(full)-len(buf)); err != nil {
+			return nil, nil, err
+		}
+		return p, buf, nil
 	default:
 		return nil, nil, fmt.Errorf("%w: %d", ErrUnknownKind, kind)
 	}
+}
+
+// checkCanonical re-encodes a freshly decoded payload and compares it to the
+// consumed byte span. Varints admit padded encodings of the same value; the
+// coded-RBC kinds key instance tallies by message content, so two distinct
+// encodings of one logical fragment must not both parse (the same reasoning
+// DecodeStep and DecodeBatch apply to RBC bodies).
+func checkCanonical(p types.Payload, full []byte, consumed int) error {
+	bp := GetBuffer()
+	re, err := AppendPayload(*bp, p)
+	if err == nil {
+		if len(re) != consumed || string(re) != string(full[:consumed]) {
+			err = fmt.Errorf("%w: non-canonical %v encoding", ErrBadValue, p.Kind())
+		}
+	}
+	*bp = re[:0]
+	PutBuffer(bp)
+	return err
 }
 
 // EncodeMessage serializes a full point-to-point message (for transports).
@@ -519,6 +699,82 @@ func DecodeBatch(body string) ([]string, error) {
 		return nil, err
 	}
 	return cmds, nil
+}
+
+// PayloadSize returns len(EncodePayload(p)) by pure arithmetic — no buffer
+// is built, so the simulator can meter bytes-on-wire for every message
+// without allocating on the hot path. Unknown or nil payloads size to 0
+// (they would not encode either). The equality with the real encoder is
+// pinned by TestPayloadSizeMatchesEncoder.
+func PayloadSize(p types.Payload) int {
+	switch v := p.(type) {
+	case *types.RBCPayload:
+		return 1 + varintLen(int64(v.ID.Sender)) + varintLen(int64(v.ID.Tag.Round)) +
+			varintLen(int64(v.ID.Tag.Step)) + varintLen(int64(v.ID.Tag.Seq)) +
+			stringLen(len(v.Body))
+	case *types.RBCFragPayload:
+		return 1 + varintLen(int64(v.ID.Sender)) + varintLen(int64(v.ID.Tag.Round)) +
+			varintLen(int64(v.ID.Tag.Step)) + varintLen(int64(v.ID.Tag.Seq)) +
+			varintLen(int64(v.Index)) + varintLen(int64(v.TotalLen)) +
+			stringLen(len(v.Sums)) + stringLen(len(v.Frag))
+	case *types.RBCSumPayload:
+		return 1 + varintLen(int64(v.ID.Sender)) + varintLen(int64(v.ID.Tag.Round)) +
+			varintLen(int64(v.ID.Tag.Step)) + varintLen(int64(v.ID.Tag.Seq)) +
+			stringLen(len(v.Sum))
+	case *types.CoinSharePayload:
+		return 1 + varintLen(int64(v.Round)) + stringLen(len(v.Share)) + stringLen(len(v.MAC))
+	case *types.DecidePayload:
+		return 2 + varintLen(int64(v.Instance))
+	case *types.PlainPayload:
+		return 3 + varintLen(int64(v.Round)) + varintLen(int64(v.Step))
+	case *types.CkptVotePayload:
+		size := 1 + varintLen(int64(v.Slot)) + uvarintLen(v.StateDigest) + uvarintLen(v.LogDigest) +
+			uvarintLen(uint64(len(v.MACs)))
+		for _, m := range v.MACs {
+			size += stringLen(len(m))
+		}
+		return size
+	case *types.CkptRequestPayload:
+		return 1 + varintLen(int64(v.Slot)) + varintLen(int64(v.Nonce))
+	case *types.CkptCertPayload:
+		size := 1 + varintLen(int64(v.Slot)) + uvarintLen(v.StateDigest) + uvarintLen(v.LogDigest) +
+			uvarintLen(uint64(len(v.Voters)))
+		for i, voter := range v.Voters {
+			size += varintLen(int64(voter)) + uvarintLen(uint64(len(v.VoteMACs[i])))
+			for _, m := range v.VoteMACs[i] {
+				size += stringLen(len(m))
+			}
+		}
+		return size + stringLen(len(v.Snapshot))
+	default:
+		return 0
+	}
+}
+
+// MessageSize returns len(EncodeMessage(m)) by pure arithmetic; see
+// PayloadSize.
+func MessageSize(m types.Message) int {
+	return varintLen(int64(m.From)) + varintLen(int64(m.To)) + PayloadSize(m.Payload)
+}
+
+// uvarintLen is the byte length of binary.AppendUvarint(nil, v).
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// varintLen is the byte length of binary.AppendVarint(nil, v) (zig-zag).
+func varintLen(v int64) int {
+	return uvarintLen(uint64(v)<<1 ^ uint64(v>>63))
+}
+
+// stringLen is the encoded size of a length-prefixed string of l bytes.
+func stringLen(l int) int {
+	return uvarintLen(uint64(l)) + l
 }
 
 func flags(d, q bool) byte {

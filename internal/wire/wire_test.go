@@ -3,6 +3,7 @@ package wire
 import (
 	"errors"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -43,6 +44,22 @@ func allPayloads() []types.Payload {
 			Snapshot: "k=v\n",
 		},
 		&types.CkptCertPayload{Slot: 8, StateDigest: 9, LogDigest: 10},
+		&types.RBCFragPayload{
+			ID:    types.InstanceID{Sender: 2, Tag: types.Tag{Seq: 1<<20 + 5}},
+			Index: 1, TotalLen: 77,
+			Sums: strings.Repeat("\x11", 3*SumLen),
+			Frag: "fragment bytes",
+		},
+		&types.RBCFragPayload{
+			ID:    types.InstanceID{Sender: 255, Tag: types.Tag{Round: 3, Step: types.Step2, Seq: 0}},
+			Index: 0, TotalLen: 0,
+			Sums: strings.Repeat("\x00", SumLen),
+			Frag: "\x00",
+		},
+		&types.RBCSumPayload{
+			ID:  types.InstanceID{Sender: 7, Tag: types.Tag{Seq: 42}},
+			Sum: strings.Repeat("\xAB", SumLen),
+		},
 	}
 }
 
@@ -350,6 +367,156 @@ func TestPayloadPropertyRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestFragBoundaries exercises the fragment size seam at the exact limits:
+// the largest legal fragment message must encode (and stay within
+// MaxBodyLen), and every one-past-the-limit variant must be rejected with a
+// typed error at encode time.
+func TestFragBoundaries(t *testing.T) {
+	id := types.InstanceID{Sender: 255, Tag: types.Tag{Round: 1 << 30, Step: types.Step3, Seq: 1 << 30}}
+	maxSums := strings.Repeat("\xFF", MaxFragShards*SumLen)
+	t.Run("maximal fragment fits MaxBodyLen", func(t *testing.T) {
+		p := &types.RBCFragPayload{
+			ID: id, Index: MaxFragShards - 1, TotalLen: MaxBodyLen,
+			Sums: maxSums, Frag: strings.Repeat("\x7E", MaxFragLen),
+		}
+		buf, err := EncodePayload(p)
+		if err != nil {
+			t.Fatalf("EncodePayload at the limit: %v", err)
+		}
+		if len(buf) > MaxBodyLen {
+			t.Fatalf("maximal fragment encodes to %d bytes, exceeding MaxBodyLen %d", len(buf), MaxBodyLen)
+		}
+		got, err := DecodePayload(buf)
+		if err != nil {
+			t.Fatalf("DecodePayload at the limit: %v", err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Error("limit fragment round trip mismatch")
+		}
+	})
+	t.Run("batch body in one fragment fits", func(t *testing.T) {
+		// The seam the dissemination layer leans on: even the degenerate k=1
+		// code must fit a maximal encoded batch body in a single fragment.
+		cmds := make([]string, MaxBatchCommands)
+		per := MaxBatchBytes / MaxBatchCommands
+		for i := range cmds {
+			cmds[i] = strings.Repeat("c", per)
+		}
+		body, err := EncodeBatch(cmds)
+		if err != nil {
+			t.Fatalf("EncodeBatch at the limit: %v", err)
+		}
+		if len(body) > MaxFragLen {
+			t.Fatalf("maximal batch body (%d bytes) exceeds MaxFragLen (%d): the seam is broken", len(body), MaxFragLen)
+		}
+		p := &types.RBCFragPayload{ID: id, Index: 0, TotalLen: len(body), Sums: maxSums, Frag: body}
+		if _, err := EncodePayload(p); err != nil {
+			t.Fatalf("maximal batch body refused as a fragment: %v", err)
+		}
+	})
+	oversize := []struct {
+		name string
+		p    types.Payload
+		want error
+	}{
+		{"fragment one past MaxFragLen", &types.RBCFragPayload{
+			ID: id, Index: 0, TotalLen: 1, Sums: maxSums, Frag: strings.Repeat("x", MaxFragLen+1),
+		}, ErrTooLarge},
+		{"one checksum entry too many", &types.RBCFragPayload{
+			ID: id, Index: 0, TotalLen: 1, Sums: maxSums + strings.Repeat("\x00", SumLen), Frag: "x",
+		}, ErrTooLarge},
+		{"ragged checksum vector", &types.RBCFragPayload{
+			ID: id, Index: 0, TotalLen: 1, Sums: strings.Repeat("\x00", SumLen+1), Frag: "x",
+		}, ErrBadValue},
+		{"empty checksum vector", &types.RBCFragPayload{
+			ID: id, Index: 0, TotalLen: 1, Sums: "", Frag: "x",
+		}, ErrBadValue},
+		{"index out of range", &types.RBCFragPayload{
+			ID: id, Index: 2, TotalLen: 1, Sums: strings.Repeat("\x00", 2*SumLen), Frag: "x",
+		}, ErrBadValue},
+		{"negative index", &types.RBCFragPayload{
+			ID: id, Index: -1, TotalLen: 1, Sums: strings.Repeat("\x00", SumLen), Frag: "x",
+		}, ErrBadValue},
+		{"total length past MaxBodyLen", &types.RBCFragPayload{
+			ID: id, Index: 0, TotalLen: MaxBodyLen + 1, Sums: strings.Repeat("\x00", SumLen), Frag: "x",
+		}, ErrBadValue},
+		{"negative total length", &types.RBCFragPayload{
+			ID: id, Index: 0, TotalLen: -1, Sums: strings.Repeat("\x00", SumLen), Frag: "x",
+		}, ErrBadValue},
+		{"empty fragment", &types.RBCFragPayload{
+			ID: id, Index: 0, TotalLen: 1, Sums: strings.Repeat("\x00", SumLen), Frag: "",
+		}, ErrBadValue},
+		{"short checksum key", &types.RBCSumPayload{ID: id, Sum: strings.Repeat("s", SumLen-1)}, ErrBadValue},
+		{"long checksum key", &types.RBCSumPayload{ID: id, Sum: strings.Repeat("s", SumLen+1)}, ErrBadValue},
+	}
+	for _, tt := range oversize {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := EncodePayload(tt.p); !errors.Is(err, tt.want) {
+				t.Errorf("error = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+// TestFragDecodeRejectsNonCanonical: a fragment whose varints are padded (or
+// whose validation fails only at the semantic layer) must not parse even
+// when structurally decodable.
+func TestFragDecodeRejectsNonCanonical(t *testing.T) {
+	p := &types.RBCFragPayload{
+		ID:    types.InstanceID{Sender: 2, Tag: types.Tag{Seq: 9}},
+		Index: 0, TotalLen: 4, Sums: strings.Repeat("\x22", SumLen), Frag: "abcd",
+	}
+	good, err := EncodePayload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodePayload(good); err != nil {
+		t.Fatalf("canonical fragment must decode: %v", err)
+	}
+	// Pad the first varint (sender = 2 → zig-zag 4 → 0x04): the two-byte
+	// encoding 0x84 0x00 denotes the same value.
+	bad := append([]byte{good[0], 0x84, 0x00}, good[2:]...)
+	if _, err := DecodePayload(bad); !errors.Is(err, ErrBadValue) {
+		t.Errorf("padded-varint fragment error = %v, want ErrBadValue", err)
+	}
+	// Same for the checksum-key ready message.
+	s := &types.RBCSumPayload{ID: p.ID, Sum: strings.Repeat("\x22", SumLen)}
+	goodSum, err := EncodePayload(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badSum := append([]byte{goodSum[0], 0x84, 0x00}, goodSum[2:]...)
+	if _, err := DecodePayload(badSum); !errors.Is(err, ErrBadValue) {
+		t.Errorf("padded-varint sum error = %v, want ErrBadValue", err)
+	}
+}
+
+// TestPayloadSizeMatchesEncoder pins the arithmetic sizer to the real
+// encoder across the full payload battery (plus messages): the simulator's
+// bytes-on-wire metering is exactly what a transport would send.
+func TestPayloadSizeMatchesEncoder(t *testing.T) {
+	for _, p := range allPayloads() {
+		buf, err := EncodePayload(p)
+		if err != nil {
+			t.Fatalf("EncodePayload(%v): %v", p, err)
+		}
+		if got := PayloadSize(p); got != len(buf) {
+			t.Errorf("PayloadSize(%v) = %d, encoder produced %d bytes", p, got, len(buf))
+		}
+		m := types.Message{From: 127, To: 128, Payload: p}
+		mbuf, err := EncodeMessage(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := MessageSize(m); got != len(mbuf) {
+			t.Errorf("MessageSize = %d, encoder produced %d bytes", got, len(mbuf))
+		}
+	}
+	if PayloadSize(nil) != 0 {
+		t.Error("PayloadSize(nil) must be 0")
 	}
 }
 
