@@ -80,6 +80,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/quorum"
 	"repro/internal/runner"
+	"repro/internal/search"
 )
 
 func main() {
@@ -113,6 +114,10 @@ func run(args []string, out io.Writer) error {
 		window     = fs.Int("window", 0, "-sweep/-smr/-throughput: per-round retention window of the correct nodes (0 = default 1; behaviour-neutral, aggregates identical at any size)")
 		lowWater   = fs.Int("lowwater", 0, "-sweep: deliveries between cluster low-watermark scans pruning the coin dealer (0 = default; behaviour-neutral)")
 
+		searchFam = fs.String("search", "", "scheduler-parameter search mode: walk a family's parameter lattice hunting liveness cliffs (see internal/search families)")
+		seedsStr  = fs.String("seeds", "1:9", "-search: seed block seedA:seedB (half-open) every point is scored over")
+		descend   = fs.Bool("descend", false, "-search: coordinate descent instead of the exhaustive grid")
+
 		throughput = fs.Int("throughput", 0, "committed-entries throughput mode: entry target per grid point across the -batch × -pipeline grid")
 		batchList  = fs.String("batch", "1,4,16", "-throughput: comma-separated batch sizes (commands per proposal body)")
 		pipeList   = fs.String("pipeline", "1,2", "-throughput: comma-separated dissemination pipeline depths")
@@ -144,21 +149,39 @@ func run(args []string, out io.Writer) error {
 	if set["throughput"] && (*sweep != "" || set["smr"]) {
 		return fmt.Errorf("-throughput is mutually exclusive with -sweep and -smr")
 	}
+	if *searchFam != "" && (*sweep != "" || set["smr"] || set["throughput"]) {
+		return fmt.Errorf("-search is mutually exclusive with -sweep, -smr, and -throughput")
+	}
 	if set["smr"] && *smrSlots <= 0 {
 		return fmt.Errorf("-smr wants a positive slot count, got %d", *smrSlots)
 	}
 	if set["throughput"] && *throughput <= 0 {
 		return fmt.Errorf("-throughput wants a positive entry target, got %d", *throughput)
 	}
-	if *sweep == "" && *smrSlots == 0 && *throughput == 0 {
-		for _, name := range []string{"n", "f", "scenario", "checkpoint", "resume", "every", "stop-after", "no-prune", "window", "lowwater", "ckpt-every", "restart", "ckpt-dir", "ckpt-attack", "batch", "pipeline", "coded"} {
+	if *sweep == "" && *smrSlots == 0 && *throughput == 0 && *searchFam == "" {
+		for _, name := range []string{"n", "f", "scenario", "checkpoint", "resume", "every", "stop-after", "no-prune", "window", "lowwater", "ckpt-every", "restart", "ckpt-dir", "ckpt-attack", "batch", "pipeline", "coded", "seeds", "descend"} {
 			if set[name] {
-				return fmt.Errorf("-%s requires -sweep, -smr, or -throughput", name)
+				return fmt.Errorf("-%s requires -sweep, -smr, -throughput, or -search", name)
 			}
 		}
 	}
+	if *searchFam != "" {
+		for _, name := range []string{"experiment", "runs", "seed", "quick", "csv", "scenario", "every", "no-prune", "window", "lowwater", "ckpt-every", "restart", "ckpt-dir", "ckpt-attack", "batch", "pipeline", "coded"} {
+			if set[name] {
+				return fmt.Errorf("-%s does not apply to -search", name)
+			}
+		}
+		if *stopAfter > 0 && *checkpoint == "" {
+			return fmt.Errorf("-stop-after requires -checkpoint (stopping without one loses all progress)")
+		}
+		return runSearch(out, searchOpts{
+			family: *searchFam, seedsStr: *seedsStr, n: *sweepN, f: *sweepF,
+			descend: *descend, workers: *workers, frontier: *checkpoint,
+			resume: *resume, stopAfter: *stopAfter, jsonOut: *jsonOut,
+		})
+	}
 	if *sweep != "" {
-		for _, name := range []string{"experiment", "runs", "seed", "quick", "csv", "ckpt-every", "restart", "ckpt-dir", "ckpt-attack", "batch", "pipeline", "coded"} {
+		for _, name := range []string{"experiment", "runs", "seed", "quick", "csv", "ckpt-every", "restart", "ckpt-dir", "ckpt-attack", "batch", "pipeline", "coded", "seeds", "descend"} {
 			if set[name] {
 				return fmt.Errorf("-%s does not apply to -sweep", name)
 			}
@@ -175,7 +198,7 @@ func run(args []string, out io.Writer) error {
 		})
 	}
 	if *smrSlots > 0 {
-		for _, name := range []string{"experiment", "runs", "quick", "csv", "scenario", "checkpoint", "resume", "every", "stop-after", "no-prune", "lowwater", "workers", "batch", "pipeline"} {
+		for _, name := range []string{"experiment", "runs", "quick", "csv", "scenario", "checkpoint", "resume", "every", "stop-after", "no-prune", "lowwater", "workers", "batch", "pipeline", "seeds", "descend"} {
 			if set[name] {
 				return fmt.Errorf("-%s does not apply to -smr", name)
 			}
@@ -188,7 +211,7 @@ func run(args []string, out io.Writer) error {
 		})
 	}
 	if *throughput > 0 {
-		for _, name := range []string{"experiment", "runs", "quick", "csv", "scenario", "checkpoint", "resume", "every", "stop-after", "no-prune", "lowwater", "restart", "ckpt-dir", "ckpt-attack"} {
+		for _, name := range []string{"experiment", "runs", "quick", "csv", "scenario", "checkpoint", "resume", "every", "stop-after", "no-prune", "lowwater", "restart", "ckpt-dir", "ckpt-attack", "seeds", "descend"} {
 			if set[name] {
 				return fmt.Errorf("-%s does not apply to -throughput", name)
 			}
@@ -526,30 +549,31 @@ type sweepOpts struct {
 	lowWater   int
 }
 
-// parseSeedRange parses "a:b" into the half-open range [a, b).
-func parseSeedRange(s string) (runner.SeedRange, error) {
+// parseSeedRange parses "a:b" into the half-open range [a, b); name labels
+// the owning flag in errors.
+func parseSeedRange(name, s string) (runner.SeedRange, error) {
 	lo, hi, ok := strings.Cut(s, ":")
 	if !ok {
-		return runner.SeedRange{}, fmt.Errorf("-sweep wants seedA:seedB, got %q", s)
+		return runner.SeedRange{}, fmt.Errorf("%s wants seedA:seedB, got %q", name, s)
 	}
 	from, err := strconv.ParseInt(lo, 10, 64)
 	if err != nil {
-		return runner.SeedRange{}, fmt.Errorf("-sweep seedA: %w", err)
+		return runner.SeedRange{}, fmt.Errorf("%s seedA: %w", name, err)
 	}
 	to, err := strconv.ParseInt(hi, 10, 64)
 	if err != nil {
-		return runner.SeedRange{}, fmt.Errorf("-sweep seedB: %w", err)
+		return runner.SeedRange{}, fmt.Errorf("%s seedB: %w", name, err)
 	}
 	r := runner.SeedRange{From: from, To: to}
 	if r.Len() <= 0 {
-		return runner.SeedRange{}, fmt.Errorf("-sweep range %v is empty", r)
+		return runner.SeedRange{}, fmt.Errorf("%s range %v is empty", name, r)
 	}
 	return r, nil
 }
 
 // runSweep executes one streaming property sweep.
 func runSweep(out io.Writer, o sweepOpts) error {
-	seeds, err := parseSeedRange(o.rangeStr)
+	seeds, err := parseSeedRange("-sweep", o.rangeStr)
 	if err != nil {
 		return err
 	}
@@ -660,6 +684,121 @@ func runSweep(out io.Writer, o sweepOpts) error {
 	// interrupted mid-way.
 	if !agg.Checks.Clean() {
 		return fmt.Errorf("property violations detected: %s", agg.Checks.String())
+	}
+	return nil
+}
+
+// searchOpts carries the -search flag bundle.
+type searchOpts struct {
+	family    string
+	seedsStr  string
+	n, f      int
+	descend   bool
+	workers   int
+	frontier  string
+	resume    bool
+	stopAfter int64
+	jsonOut   bool
+}
+
+// runSearch executes one scheduler-parameter search (internal/search).
+// Stdout — text or JSON — is a pure function of (family, n, f, seeds):
+// bitwise identical at any -workers value and across kill/resume points,
+// which is exactly what the CI determinism smoke diffs.
+func runSearch(out io.Writer, o searchOpts) error {
+	seeds, err := parseSeedRange("-seeds", o.seedsStr)
+	if err != nil {
+		return err
+	}
+	spec, err := search.FamilySpec(o.family, o.n, o.f, seeds)
+	if err != nil {
+		return err
+	}
+	f := o.f
+	if f < 0 {
+		f = quorum.MaxByzantine(o.n)
+	}
+	spec.Workers = o.workers
+	spec.Frontier = o.frontier
+	spec.Resume = o.resume
+
+	// SIGINT stops at the next completed point, saving the frontier; a
+	// -stop-after budget does the same after a fixed number of points.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	defer signal.Stop(sigc)
+	remaining := o.stopAfter
+	spec.Stop = func() bool {
+		select {
+		case <-sigc:
+			return true
+		default:
+		}
+		if o.stopAfter > 0 {
+			remaining--
+			return remaining <= 0
+		}
+		return false
+	}
+	spec.Progress = func(done, total int) {
+		fmt.Fprintf(os.Stderr, "bench: search %s n=%d: point %d/%d\n", o.family, o.n, done, total)
+	}
+
+	walk := search.Grid
+	mode := "grid"
+	if o.descend {
+		walk = search.Descend
+		mode = "descend"
+	}
+	res, err := walk(spec)
+	stopped := errors.Is(err, search.ErrStopped)
+	if err != nil && !stopped {
+		return err
+	}
+	if stopped && o.frontier == "" {
+		return fmt.Errorf("search stopped after %d points with no -checkpoint; progress lost", len(res.Points))
+	}
+	if stopped {
+		fmt.Fprintf(os.Stderr, "bench: search stopped after %d points; frontier saved to %s — rerun with -resume to continue\n",
+			len(res.Points), o.frontier)
+	}
+
+	if o.jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Family  string               `json:"family"`
+			Mode    string               `json:"mode"`
+			N       int                  `json:"n"`
+			F       int                  `json:"f"`
+			Seeds   runner.SeedRange     `json:"seeds"`
+			Stopped bool                 `json:"stopped,omitempty"`
+			Points  []search.PointResult `json:"points"`
+			Best    search.PointResult   `json:"best"`
+		}{o.family, mode, o.n, f, seeds, stopped, res.Points, res.Best}); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(out, "search %s (%s): n=%d f=%d seeds %v — %s\n",
+			o.family, mode, o.n, f, seeds, search.FamilyDoc(o.family))
+		if stopped {
+			fmt.Fprintf(out, "stopped after %d points; frontier saved to %s — rerun with -resume to continue\n",
+				len(res.Points), o.frontier)
+		}
+		fmt.Fprintf(out, "%-4s %-40s %-10s %-10s %-11s %-12s %-10s %s\n",
+			"rank", "point", "undecided", "exhausted", "violations", "mean rounds", "mean time", "score")
+		for i, p := range res.Points {
+			fmt.Fprintf(out, "%-4d %-40s %-10d %-10d %-11d %-12.2f %-10.1f %.2f\n",
+				i+1, p.Key, p.Runs-p.Decided, p.Exhausted, p.Violations, p.MeanRounds, p.MeanTime, p.Score)
+		}
+	}
+	// A safety violation at any searched point is a finding, never waived.
+	var violations int64
+	for _, p := range res.Points {
+		violations += p.Violations
+	}
+	if violations > 0 {
+		return fmt.Errorf("search found %d property violations — inspect the frontier", violations)
 	}
 	return nil
 }

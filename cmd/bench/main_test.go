@@ -355,3 +355,119 @@ func TestRunThroughputBadFlags(t *testing.T) {
 		}
 	}
 }
+
+// TestRunSearch: the search mode end to end — grid walk, ranked table out.
+func TestRunSearch(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-search", "adaptive", "-n", "5", "-seeds", "1:3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "search adaptive (grid)") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "target-lag=480") || !strings.Contains(out, "target-lag=30") {
+		t.Errorf("missing lattice points:\n%s", out)
+	}
+}
+
+// TestRunSearchResumeIdentical: a search stopped mid-walk and resumed from
+// its frontier must print byte-identical JSON to an uninterrupted search —
+// the CLI surface of the engine's determinism contract.
+func TestRunSearchResumeIdentical(t *testing.T) {
+	front := filepath.Join(t.TempDir(), "frontier.json")
+	common := []string{"-search", "lossy", "-n", "5", "-seeds", "1:3", "-json"}
+
+	var stopped strings.Builder
+	if err := run(append(common, "-checkpoint", front, "-stop-after", "6"), &stopped); err != nil {
+		t.Fatal(err)
+	}
+	var resumed, fresh strings.Builder
+	if err := run(append(common, "-checkpoint", front, "-resume"), &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(common, "-workers", "2"), &fresh); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.String() != fresh.String() {
+		t.Errorf("resumed search differs from uninterrupted run:\nresumed:\n%s\nfresh:\n%s", resumed.String(), fresh.String())
+	}
+}
+
+// TestRunModeFlagMatrix: cross-mode flag rejection over the full mode ×
+// foreign-flag matrix. Every mode must reject the other modes' selector and
+// their private knobs instead of silently ignoring them.
+func TestRunModeFlagMatrix(t *testing.T) {
+	modes := map[string][]string{
+		"sweep":      {"-sweep", "1:5"},
+		"smr":        {"-smr", "16"},
+		"throughput": {"-throughput", "16"},
+		"search":     {"-search", "adaptive"},
+	}
+	// A representative private knob of each mode, foreign to all others.
+	foreign := map[string][]string{
+		"sweep":      {"-no-prune"},
+		"smr":        {"-restart"},
+		"throughput": {"-batch", "1,2"},
+		"search":     {"-descend"},
+	}
+	for mode, sel := range modes {
+		// Pairwise mode exclusivity.
+		for other, osel := range modes {
+			if other == mode {
+				continue
+			}
+			args := append(append([]string{}, sel...), osel...)
+			var sb strings.Builder
+			if err := run(args, &sb); err == nil {
+				t.Errorf("%s+%s: args %v accepted", mode, other, args)
+			}
+		}
+		// Foreign private knobs rejected.
+		for other, knob := range foreign {
+			if other == mode {
+				continue
+			}
+			args := append(append([]string{}, sel...), knob...)
+			var sb strings.Builder
+			if err := run(args, &sb); err == nil {
+				t.Errorf("%s with %s knob: args %v accepted", mode, other, args)
+			}
+		}
+		// Every private knob without its mode must not launch the battery.
+		for _, knob := range foreign[mode] {
+			if !strings.HasPrefix(knob, "-") {
+				continue
+			}
+			args := []string{knob}
+			if knob == "-batch" {
+				args = []string{"-batch", "1,2"}
+			}
+			var sb strings.Builder
+			if err := run(args, &sb); err == nil {
+				t.Errorf("bare %s: args %v accepted", knob, args)
+			}
+		}
+	}
+}
+
+// TestRunSearchBadFlags: search-specific rejections.
+func TestRunSearchBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-search", "no-such-family"},
+		{"-search", "adaptive", "-seeds", "nonsense"},
+		{"-search", "adaptive", "-seeds", "5:5"},
+		{"-search", "adaptive", "-quick"},
+		{"-search", "adaptive", "-seed", "3"},
+		{"-search", "adaptive", "-scenario", "reorder"},
+		{"-search", "adaptive", "-stop-after", "2"}, // -stop-after without -checkpoint
+		{"-seeds", "1:5"},                           // forgot -search
+		{"-descend"},                                // forgot -search
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

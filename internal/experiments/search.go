@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/runner"
+	"repro/internal/search"
+)
+
+// E15SearchCliffs regenerates Table 11: the scheduler-parameter search. For
+// every preset family the full axis lattice is evaluated (search.Grid) over
+// a seed block, and the three worst points — the liveness cliffs — are
+// tabulated. The shape to verify: zero violations everywhere (the cliffs
+// are liveness cliffs, not safety holes), scores rising toward each
+// family's hostile corner, and the worst discovered points matching the
+// cliff scenarios pinned in runner.Scenarios() (the "adaptive-cliff"
+// regression scenario is exactly the adaptive family's summit). `bench
+// -search <family>` walks the same lattices interactively, with a resumable
+// frontier for deeper seed blocks.
+func E15SearchCliffs(o Options) (*metrics.Table, error) {
+	o = Defaults(o)
+	t := metrics.NewTable(
+		"E15 / Table 11 — scheduler-parameter search: liveness cliffs",
+		"family", "rank", "point", "seeds", "undecided", "exhausted", "violations", "mean rounds", "mean time", "score")
+
+	n, seeds := 16, int64(min(o.Runs, 8))
+	if o.Quick {
+		n, seeds = 8, int64(min(o.Runs, 3))
+	}
+	for _, name := range search.Families() {
+		spec, err := search.FamilySpec(name, n, -1, runner.SeedRange{From: o.Seed, To: o.Seed + seeds})
+		if err != nil {
+			return nil, err
+		}
+		spec.Workers = o.Workers
+		out, err := search.Grid(spec)
+		if err != nil {
+			return nil, fmt.Errorf("family %s: %w", name, err)
+		}
+		for rank, p := range out.Points {
+			if rank >= 3 {
+				break
+			}
+			t.AddRowf(name, rank+1, p.Key, fmt.Sprint(p.Runs),
+				fmt.Sprint(p.Runs-p.Decided), fmt.Sprint(p.Exhausted), fmt.Sprint(p.Violations),
+				p.MeanRounds, p.MeanTime, p.Score)
+		}
+	}
+	return t, nil
+}

@@ -30,6 +30,10 @@ type Scenario struct {
 	Scheduler SchedulerKind
 	Coin      CoinKind
 	Inputs    Inputs
+	// Sched pins the scheduler family's parameters (zero = historical
+	// defaults). Cliff scenarios found by internal/search carry the
+	// offending point here verbatim.
+	Sched SchedParams
 
 	// RBC knobs (see RBCConfig).
 	SenderEquivocates bool
@@ -80,6 +84,22 @@ func Scenarios() []Scenario {
 			Name: "reorder", Adversary: AdvLiar, Scheduler: SchedReorder,
 			Coin: CoinCommon, Inputs: InputRandom,
 			Doc: "adversarial newest-first message reordering under a liar",
+		},
+		{
+			// The liveness cliff found by internal/search (the adaptive
+			// family's summit, `bench -search adaptive`): the adaptive
+			// adversary reads the decision frontier, lags all traffic toward
+			// the most advanced correct process by the searched TargetLag,
+			// and rushes Byzantine traffic there first. Against the same
+			// liar/common-coin/random-input setup, this schedule costs
+			// strictly more rounds to decide than "reorder"'s newest-first
+			// span (TestAdaptiveCliffSlowerThanReorder pins the gap). Safety
+			// and termination must still hold — the cliff is rounds, never
+			// correctness.
+			Name: "adaptive-cliff", Adversary: AdvLiar, Scheduler: SchedAdaptiveRush,
+			Coin: CoinCommon, Inputs: InputRandom,
+			Sched: SchedParams{TargetLag: 480},
+			Doc:   "searched frontier-targeted delay + rush point that maximizes rounds-to-decide",
 		},
 		{
 			Name: "crash-rejoin", Adversary: AdvCrashMidway, Scheduler: SchedRejoin,
@@ -188,6 +208,11 @@ func deliveryBudget(n int) int {
 	return b
 }
 
+// DeliveryBudget exposes the size-scaled per-run delivery budget to other
+// packages (internal/search uses it to give searched points a budget whose
+// exhaustion is a signal rather than a pathology).
+func DeliveryBudget(n int) int { return deliveryBudget(n) }
+
 // SweepSpec expands the property spec into the checkpointable sweep it runs.
 func (p PropertySpec) SweepSpec() (SweepSpec, error) {
 	f := p.F
@@ -239,6 +264,7 @@ func (p PropertySpec) SweepSpec() (SweepSpec, error) {
 		Coin:                sc.Coin,
 		Adversary:           sc.Adversary,
 		Scheduler:           sc.Scheduler,
+		Sched:               sc.Sched,
 		Inputs:              sc.Inputs,
 		MaxDeliveries:       budget,
 		DisableDecideGadget: sc.NoHalt,

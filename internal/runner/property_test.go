@@ -45,7 +45,10 @@ func TestConsensusPropertyRandomized(t *testing.T) {
 	}
 	coins := []CoinKind{CoinLocal, CoinCommon, CoinIdeal}
 	advs := []Adversary{AdvNone, AdvSilent, AdvEquivocator, AdvLiar, AdvDecideForger, AdvSplitBrain}
-	scheds := []SchedulerKind{SchedUniform, SchedFIFO, SchedRushByz, SchedPartition}
+	scheds := []SchedulerKind{
+		SchedUniform, SchedFIFO, SchedRushByz, SchedPartition,
+		SchedLossy, SchedTopology, SchedAdaptive, SchedAdaptiveRush,
+	}
 	inputs := []Inputs{InputUnanimous0, InputUnanimous1, InputSplit, InputRandom}
 
 	prop := func(seed int64, nRaw, coinRaw, advRaw, schedRaw, inRaw uint8) bool {

@@ -117,25 +117,101 @@ type SchedulerKind int
 
 // Scheduler kinds.
 const (
-	SchedUniform   SchedulerKind = iota + 1 // uniform random delays (fair async)
-	SchedFIFO                               // uniform + per-link FIFO
-	SchedRushByz                            // uniform, Byzantine traffic rushed
-	SchedPartition                          // uniform, cross-partition traffic delayed
-	SchedReorder                            // adversarial newest-first reordering (+ rushed Byzantine)
-	SchedSplitHeal                          // network split between correct halves, healed mid-run
-	SchedRejoin                             // one correct process unreachable, rejoining mid-run
-	SchedStraggler                          // one correct process runs rounds behind on a continuously lagged inbox
+	SchedUniform      SchedulerKind = iota + 1 // uniform random delays (fair async)
+	SchedFIFO                                  // uniform + per-link FIFO
+	SchedRushByz                               // uniform, Byzantine traffic rushed
+	SchedPartition                             // uniform, cross-partition traffic delayed
+	SchedReorder                               // adversarial newest-first reordering (+ rushed Byzantine)
+	SchedSplitHeal                             // network split between correct halves, healed mid-run
+	SchedRejoin                                // one correct process unreachable, rejoining mid-run
+	SchedStraggler                             // one correct process runs rounds behind on a continuously lagged inbox
+	SchedLossy                                 // lossy/duplicating/jittery links under ARQ (loss converts to delay)
+	SchedTopology                              // ring topology: traffic relayed along the overlay, HopLag per hop
+	SchedAdaptive                              // adaptive adversary: delay targeted at the decision frontier
+	SchedAdaptiveRush                          // adaptive + traffic-triggered rush of Byzantine traffic at the victim
 )
 
-// Adversarial schedule timings (simulator ticks; base delays are 1..20, so a
-// consensus round typically spans a few dozen ticks — these land the heal
-// and the rejoin several rounds into the run).
+// Default adversarial schedule timings (simulator ticks; base delays are
+// 1..20, so a consensus round typically spans a few dozen ticks — these land
+// the heal and the rejoin several rounds into the run). Each is the value a
+// zero SchedParams field resolves to, so configs predating the parameterized
+// zoo replay bitwise identically.
 const (
 	healTime     sim.Time = 240 // SchedSplitHeal: when cross-partition traffic thaws
 	rejoinTime   sim.Time = 300 // SchedRejoin: when the victim's inbox floods back
 	reorderSpan  sim.Time = 48  // SchedReorder: the newest-first reordering window
 	stragglerLag sim.Time = 300 // SchedStraggler: extra delay on all straggler-bound links
+	partitionLag sim.Time = 500 // SchedPartition: extra delay on cross-partition links
+
+	defaultLossPct                = 20  // SchedLossy: per-attempt loss probability, percent
+	defaultDupPct                 = 10  // SchedLossy: per-send duplication probability, percent
+	defaultRetransmitLag sim.Time = 40  // SchedLossy: delay per lost attempt
+	defaultTopoDegree             = 2   // SchedTopology: direct reach in ring hops
+	defaultHopLag        sim.Time = 12  // SchedTopology: delay per relay hop
+	defaultTargetLag     sim.Time = 120 // SchedAdaptive*: extra delay into the frontier process
 )
+
+// SchedParams parameterizes the scheduler zoo: every hardcoded timing of the
+// adversarial schedule families, lifted into one searchable coordinate
+// space. The zero value of every field means "the historical default", so a
+// zero SchedParams reproduces the pre-parameterization schedules bitwise —
+// the golden replay hashes pin this. internal/search walks this space
+// hunting liveness cliffs; a point it finds can be pinned verbatim on a
+// Scenario.
+type SchedParams struct {
+	HealTime     sim.Time `json:"healTime,omitempty"`     // SchedSplitHeal thaw time
+	RejoinTime   sim.Time `json:"rejoinTime,omitempty"`   // SchedRejoin flood time
+	ReorderSpan  sim.Time `json:"reorderSpan,omitempty"`  // SchedReorder window
+	StragglerLag sim.Time `json:"stragglerLag,omitempty"` // SchedStraggler inbound lag
+	PartitionLag sim.Time `json:"partitionLag,omitempty"` // SchedPartition cross-link lag
+
+	LossPct       int      `json:"lossPct,omitempty"`       // SchedLossy loss percent
+	DupPct        int      `json:"dupPct,omitempty"`        // SchedLossy duplication percent
+	RetransmitLag sim.Time `json:"retransmitLag,omitempty"` // SchedLossy per-loss delay
+
+	TopoDegree int      `json:"topoDegree,omitempty"` // SchedTopology ring reach
+	HopLag     sim.Time `json:"hopLag,omitempty"`     // SchedTopology per-hop delay
+
+	TargetLag sim.Time `json:"targetLag,omitempty"` // SchedAdaptive* frontier delay
+}
+
+// withDefaults resolves zero fields to the historical constants.
+func (p SchedParams) withDefaults() SchedParams {
+	if p.HealTime == 0 {
+		p.HealTime = healTime
+	}
+	if p.RejoinTime == 0 {
+		p.RejoinTime = rejoinTime
+	}
+	if p.ReorderSpan == 0 {
+		p.ReorderSpan = reorderSpan
+	}
+	if p.StragglerLag == 0 {
+		p.StragglerLag = stragglerLag
+	}
+	if p.PartitionLag == 0 {
+		p.PartitionLag = partitionLag
+	}
+	if p.LossPct == 0 {
+		p.LossPct = defaultLossPct
+	}
+	if p.DupPct == 0 {
+		p.DupPct = defaultDupPct
+	}
+	if p.RetransmitLag == 0 {
+		p.RetransmitLag = defaultRetransmitLag
+	}
+	if p.TopoDegree == 0 {
+		p.TopoDegree = defaultTopoDegree
+	}
+	if p.HopLag == 0 {
+		p.HopLag = defaultHopLag
+	}
+	if p.TargetLag == 0 {
+		p.TargetLag = defaultTargetLag
+	}
+	return p
+}
 
 // String implements fmt.Stringer.
 func (s SchedulerKind) String() string {
@@ -156,6 +232,14 @@ func (s SchedulerKind) String() string {
 		return "rejoin"
 	case SchedStraggler:
 		return "straggler"
+	case SchedLossy:
+		return "lossy"
+	case SchedTopology:
+		return "topology"
+	case SchedAdaptive:
+		return "adaptive"
+	case SchedAdaptiveRush:
+		return "adaptive-rush"
 	default:
 		return fmt.Sprintf("SchedulerKind(%d)", int(s))
 	}
@@ -201,6 +285,10 @@ type Config struct {
 	Adversary Adversary
 	Scheduler SchedulerKind
 	Inputs    Inputs
+	// Sched parameterizes the scheduler family (zero value = the historical
+	// defaults, so pre-existing configs — and their golden replay hashes and
+	// checkpoint manifests — are untouched). See SchedParams.
+	Sched SchedParams `json:",omitzero"`
 
 	Seed          int64
 	MaxDeliveries int  // 0 = sim default
@@ -603,9 +691,12 @@ func buildAdversary(cfg Config, spec quorum.Spec, p types.ProcessID, peers []typ
 	}
 }
 
-// buildScheduler assembles the configured scheduler.
+// buildScheduler assembles the configured scheduler, resolving the family's
+// parameters through cfg.Sched (zero fields = historical defaults).
 func buildScheduler(cfg Config, byz, groupA, groupB []types.ProcessID) sim.Scheduler {
-	base := sim.Scheduler(sim.UniformDelay{Min: 1, Max: 20})
+	sp := cfg.Sched.withDefaults()
+	uniform := sim.UniformDelay{Min: 1, Max: 20}
+	base := sim.Scheduler(uniform)
 	// withRush composes rules with rushed Byzantine traffic (the strongest
 	// position for the adversary's own messages).
 	withRush := func(b sim.Scheduler, rules ...sim.Rule) sim.Scheduler {
@@ -629,11 +720,29 @@ func buildScheduler(cfg Config, byz, groupA, groupB []types.ProcessID) sim.Sched
 				links = append(links, [2]types.ProcessID{a, b}, [2]types.ProcessID{b, a})
 			}
 		}
-		return withRush(base, sim.DelayLinks(500, links...))
+		return withRush(base, sim.DelayLinks(sp.PartitionLag, links...))
 	case SchedReorder:
-		return withRush(sim.ReorderDelay{Span: reorderSpan})
+		return withRush(sim.ReorderDelay{Span: sp.ReorderSpan})
 	case SchedSplitHeal:
-		return withRush(base, sim.HealPartition(healTime, groupA, groupB))
+		return withRush(base, sim.HealPartition(sp.HealTime, groupA, groupB))
+	case SchedLossy:
+		return withRush(sim.LossyDelay{
+			Base:          uniform,
+			LossPct:       sp.LossPct,
+			DupPct:        sp.DupPct,
+			RetransmitLag: sp.RetransmitLag,
+		})
+	case SchedTopology:
+		return withRush(sim.TopologyDelay{
+			Base:   uniform,
+			N:      cfg.N,
+			Degree: sp.TopoDegree,
+			HopLag: sp.HopLag,
+		})
+	case SchedAdaptive:
+		return sim.NewAdaptive(uniform, sp.TargetLag, false, byz)
+	case SchedAdaptiveRush:
+		return sim.NewAdaptive(uniform, sp.TargetLag, true, byz)
 	case SchedRejoin:
 		// The victim is the last correct process: unreachable until the
 		// rejoin time, then flooded with everything it missed. Rules apply
@@ -647,7 +756,7 @@ func buildScheduler(cfg Config, byz, groupA, groupB []types.ProcessID) sim.Sched
 		if len(victims) == 0 {
 			return base
 		}
-		rules := []sim.Rule{sim.HoldUntil(rejoinTime, victims[len(victims)-1])}
+		rules := []sim.Rule{sim.HoldUntil(sp.RejoinTime, victims[len(victims)-1])}
 		if len(byz) > 0 {
 			rules = append([]sim.Rule{sim.RushFrom(byz...)}, rules...)
 		}
@@ -677,7 +786,7 @@ func buildScheduler(cfg Config, byz, groupA, groupB []types.ProcessID) sim.Sched
 		for _, p := range types.Processes(cfg.N) {
 			links = append(links, [2]types.ProcessID{p, straggler})
 		}
-		return withRush(base, sim.DelayLinks(stragglerLag, links...))
+		return withRush(base, sim.DelayLinks(sp.StragglerLag, links...))
 	default: // SchedUniform and zero value
 		return base
 	}

@@ -316,12 +316,16 @@ func TestEnumStrings(t *testing.T) {
 		{AdvSplitBrain.String(), "split-brain"},
 		{SchedUniform.String(), "uniform"},
 		{SchedPartition.String(), "partition"},
+		{SchedLossy.String(), "lossy"},
+		{SchedTopology.String(), "topology"},
+		{SchedAdaptive.String(), "adaptive"},
+		{SchedAdaptiveRush.String(), "adaptive-rush"},
 		{InputSplit.String(), "split"},
 		{InputRandom.String(), "random"},
 		{Protocol(9).String(), "Protocol(9)"},
 		{CoinKind(9).String(), "CoinKind(9)"},
 		{Adversary(9).String(), "Adversary(9)"},
-		{SchedulerKind(9).String(), "SchedulerKind(9)"},
+		{SchedulerKind(99).String(), "SchedulerKind(99)"},
 		{Inputs(9).String(), "Inputs(9)"},
 	}
 	for _, p := range pairs {

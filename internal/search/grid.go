@@ -1,0 +1,37 @@
+package search
+
+// Grid exhaustively evaluates the full axis lattice in odometer order (last
+// axis fastest) and returns every point ranked worst-first. On ErrStopped
+// the returned outcome holds the points completed so far (also saved to the
+// frontier when one is configured).
+func Grid(spec Spec) (*Outcome, error) {
+	s, err := newSearcher(&spec)
+	if err != nil {
+		return nil, err
+	}
+	s.total = 1
+	for _, ax := range spec.Axes {
+		s.total *= len(ax.Values)
+	}
+	pt := make(point, len(spec.Axes))
+	for {
+		if _, err := s.visit(pt); err != nil {
+			if err == ErrStopped {
+				return s.outcome(), err
+			}
+			return nil, err
+		}
+		// Advance the odometer; done when it wraps.
+		i := len(pt) - 1
+		for ; i >= 0; i-- {
+			pt[i]++
+			if pt[i] < len(spec.Axes[i].Values) {
+				break
+			}
+			pt[i] = 0
+		}
+		if i < 0 {
+			return s.outcome(), nil
+		}
+	}
+}

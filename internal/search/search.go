@@ -1,0 +1,445 @@
+// Package search hunts liveness cliffs in the scheduler-parameter space.
+//
+// The protocol's liveness argument is probabilistic over schedules, so its
+// hardest inputs are specific parameter settings of the adversarial
+// schedules — reorder spans, loss rates, relay lags — that hand-written
+// scenarios never hit. This package walks runner.SchedParams space with two
+// deterministic strategies (exhaustive Grid and coordinate Descend), scores
+// every point by rounds-to-decide and budget-exhaustion rate across a fixed
+// seed block, and reports the worst points found. A cliff, once found, is
+// pinned back into runner.Scenarios() as a named regression scenario.
+//
+// # Determinism contract
+//
+// A point's score is the deterministic reduction (runner.Aggregate) of pure
+// (config, seed) runs folded in seed order, and points are evaluated and
+// ranked in a fixed order — so a search's full output is a pure function of
+// (Spec.Base, Spec.Axes, Spec.Seeds): bitwise independent of worker count,
+// GOMAXPROCS, and of interruption/resume at any frontier write. Parallelism
+// lives entirely inside each point's sweep, which carries the same contract
+// (see internal/runner/checkpoint.go).
+//
+// # Frontier file
+//
+// With Spec.Frontier set, every evaluated point is recorded in a JSON
+// manifest (written atomically: temp file + rename):
+//
+//	{
+//	  "version": 1,
+//	  "config": { ... },            // the base runner.Config, seed zeroed
+//	  "axes": [{"name": ..., "values": [...]}, ...],
+//	  "seeds": {"from": a, "to": b},
+//	  "points": {"<key>": {point result}, ...}
+//	}
+//
+// Resume loads the manifest (which must match Base/Axes/Seeds exactly) and
+// reuses every recorded point instead of re-running it; since evaluation is
+// pure, a resumed search's output is byte-identical to an uninterrupted one.
+package search
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// timeOf converts an axis value to simulator ticks.
+func timeOf(v int64) sim.Time { return sim.Time(v) }
+
+// ExhaustPenaltyRounds is the rounds-to-decide equivalent charged to a run
+// that failed to decide within its delivery budget. It dominates any real
+// round count, so exhaustion-heavy points always outrank slow-but-live ones.
+const ExhaustPenaltyRounds = 1024
+
+// Axis is one searched coordinate of runner.SchedParams: a parameter name
+// (see Apply for the vocabulary) and the ordered lattice of values it may
+// take. Values must be non-zero — zero means "historical default" to
+// SchedParams and would alias another point.
+type Axis struct {
+	Name   string  `json:"name"`
+	Values []int64 `json:"values"`
+}
+
+// Spec configures one search.
+type Spec struct {
+	// Base is the configuration every point shares; each point overrides
+	// Base.Sched along the axes. Base.Seed is ignored (seeds come from
+	// Seeds); Base.MaxDeliveries should be a budget tight enough that a
+	// genuinely stuck schedule exhausts it (runner.DeliveryBudget scaled a
+	// few times, not the simulator default).
+	Base runner.Config
+	// Axes are the searched coordinates, in significance order: Grid
+	// iterates the last axis fastest, Descend walks them in order.
+	Axes []Axis
+	// Seeds is the half-open seed block every point is scored over.
+	Seeds runner.SeedRange
+
+	// Workers sizes each point's sweep pool (0 = GOMAXPROCS; scores are
+	// identical for every value).
+	Workers int
+	// Frontier is the resumable manifest path; empty disables it.
+	Frontier string
+	// Resume loads Frontier and reuses its recorded points.
+	Resume bool
+	// MaxPasses bounds Descend's passes over the axes (0 = 2×len(Axes),
+	// enough for convergence on every lattice tried so far). Grid ignores
+	// it.
+	MaxPasses int
+	// Stop, when non-nil, is polled between points; returning true saves
+	// the frontier and aborts with ErrStopped.
+	Stop func() bool
+	// Progress, when non-nil, is called after every evaluated or reused
+	// point with the count so far (total is only known for Grid; Descend
+	// reports 0).
+	Progress func(done, total int)
+}
+
+// PointResult is one evaluated parameter point.
+type PointResult struct {
+	// Key canonically names the point: "axis=value,..." in axis order.
+	Key string `json:"key"`
+	// Params is the full SchedParams the point ran under.
+	Params runner.SchedParams `json:"params"`
+	// Runs/Decided/Exhausted/Violations count the seed block's outcomes.
+	Runs       int64 `json:"runs"`
+	Decided    int64 `json:"decided"`
+	Exhausted  int64 `json:"exhausted"`
+	Violations int64 `json:"violations"`
+	// MeanRounds is the mean decision round over decided runs; MeanTime
+	// the mean simulated end time over all runs.
+	MeanRounds float64 `json:"meanRounds"`
+	MeanTime   float64 `json:"meanTime"`
+	// Score is the liveness cost the search maximizes: mean over the seed
+	// block of (rounds-to-decide, or ExhaustPenaltyRounds for a run that
+	// never decided). Higher = worse liveness.
+	Score float64 `json:"score"`
+}
+
+// Outcome is a completed search: every evaluated point, worst first.
+type Outcome struct {
+	// Points holds all evaluated points sorted by score descending, key
+	// ascending — the liveness-cliff table.
+	Points []PointResult `json:"points"`
+	// Best is Points[0] (the worst point for the protocol).
+	Best PointResult `json:"best"`
+	// Evaluated counts points actually run this invocation (reused
+	// frontier points are not included). Excluded from the JSON output so
+	// a resumed search emits bytes identical to an uninterrupted one.
+	Evaluated int `json:"-"`
+}
+
+// Worse orders points by liveness cost: higher Score first (rounds and
+// exhaustion dominate), then higher MeanTime (among equally fast deciders,
+// the schedule that stretches simulated time most is the worse one), then
+// key ascending — a strict total order, so ranking and coordinate descent
+// are pure functions of the scores.
+func Worse(a, b PointResult) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	if a.MeanTime != b.MeanTime {
+		return a.MeanTime > b.MeanTime
+	}
+	return a.Key < b.Key
+}
+
+// Search errors.
+var (
+	// ErrStopped reports a search aborted by its Stop hook; the frontier
+	// (when enabled) holds every completed point.
+	ErrStopped = errors.New("search: stopped before completion")
+	// ErrFrontierMismatch reports a resume against a frontier recorded for
+	// different parameters.
+	ErrFrontierMismatch = errors.New("search: frontier does not match spec")
+	// ErrBadSpec reports an unusable spec.
+	ErrBadSpec = errors.New("search: invalid spec")
+)
+
+// Apply sets the named parameter on p. The vocabulary is exactly the
+// searchable fields of runner.SchedParams.
+func Apply(p *runner.SchedParams, name string, v int64) error {
+	switch name {
+	case "heal-time":
+		p.HealTime = timeOf(v)
+	case "rejoin-time":
+		p.RejoinTime = timeOf(v)
+	case "reorder-span":
+		p.ReorderSpan = timeOf(v)
+	case "straggler-lag":
+		p.StragglerLag = timeOf(v)
+	case "partition-lag":
+		p.PartitionLag = timeOf(v)
+	case "loss-pct":
+		p.LossPct = int(v)
+	case "dup-pct":
+		p.DupPct = int(v)
+	case "retransmit-lag":
+		p.RetransmitLag = timeOf(v)
+	case "topo-degree":
+		p.TopoDegree = int(v)
+	case "hop-lag":
+		p.HopLag = timeOf(v)
+	case "target-lag":
+		p.TargetLag = timeOf(v)
+	default:
+		return fmt.Errorf("%w: unknown axis %q", ErrBadSpec, name)
+	}
+	return nil
+}
+
+// point is one lattice position: the value index chosen on each axis.
+type point []int
+
+// key renders the canonical point name.
+func (s *Spec) key(pt point) string {
+	var b strings.Builder
+	for i, ax := range s.Axes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%d", ax.Name, ax.Values[pt[i]])
+	}
+	return b.String()
+}
+
+// params materializes the lattice position over the base parameters.
+func (s *Spec) params(pt point) (runner.SchedParams, error) {
+	p := s.Base.Sched
+	for i, ax := range s.Axes {
+		if err := Apply(&p, ax.Name, ax.Values[pt[i]]); err != nil {
+			return runner.SchedParams{}, err
+		}
+	}
+	return p, nil
+}
+
+// validate rejects unusable specs up front.
+func (s *Spec) validate() error {
+	if len(s.Axes) == 0 {
+		return fmt.Errorf("%w: no axes", ErrBadSpec)
+	}
+	for _, ax := range s.Axes {
+		if len(ax.Values) == 0 {
+			return fmt.Errorf("%w: axis %q has no values", ErrBadSpec, ax.Name)
+		}
+		var probe runner.SchedParams
+		for _, v := range ax.Values {
+			if v == 0 {
+				return fmt.Errorf("%w: axis %q includes 0 (zero means the historical default and would alias a distinct point)", ErrBadSpec, ax.Name)
+			}
+			if err := Apply(&probe, ax.Name, v); err != nil {
+				return err
+			}
+		}
+	}
+	if s.Seeds.Len() == 0 {
+		return fmt.Errorf("%w: empty seed range %v", ErrBadSpec, s.Seeds)
+	}
+	if s.Resume && s.Frontier == "" {
+		return fmt.Errorf("%w: resume requires a frontier path", ErrBadSpec)
+	}
+	return nil
+}
+
+// searcher carries one search's shared state: the frontier cache and
+// bookkeeping common to Grid and Descend.
+type searcher struct {
+	spec   *Spec
+	points map[string]PointResult // every known point, by key
+	order  []string               // keys in first-seen order (for Outcome)
+	fresh  int                    // points evaluated this invocation
+	done   int                    // points visited (evaluated or reused)
+	total  int                    // grid size, 0 when unknown
+}
+
+func newSearcher(spec *Spec) (*searcher, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	// Seed is per run; zero it so the frontier match (and the sweeps) see
+	// the canonical form.
+	spec.Base.Seed = 0
+	s := &searcher{spec: spec, points: make(map[string]PointResult)}
+	if spec.Resume {
+		f, err := loadFrontier(spec.Frontier)
+		if err != nil {
+			return nil, err
+		}
+		if err := f.matches(spec); err != nil {
+			return nil, err
+		}
+		for k, p := range f.Points {
+			s.points[k] = p
+			s.order = append(s.order, k)
+		}
+		// Restored points precede anything new in a deterministic order.
+		sort.Strings(s.order)
+	}
+	return s, nil
+}
+
+// visit returns the point's result, evaluating it if the frontier does not
+// already hold it.
+func (s *searcher) visit(pt point) (PointResult, error) {
+	k := s.spec.key(pt)
+	res, ok := s.points[k]
+	if !ok {
+		var err error
+		res, err = s.evaluate(k, pt)
+		if err != nil {
+			return PointResult{}, err
+		}
+		s.points[k] = res
+		s.order = append(s.order, k)
+		s.fresh++
+		if err := s.save(); err != nil {
+			return PointResult{}, err
+		}
+	}
+	s.done++
+	if s.spec.Progress != nil {
+		s.spec.Progress(s.done, s.total)
+	}
+	if s.spec.Stop != nil && s.spec.Stop() {
+		return PointResult{}, ErrStopped
+	}
+	return res, nil
+}
+
+// evaluate scores one parameter point over the seed block.
+func (s *searcher) evaluate(key string, pt point) (PointResult, error) {
+	params, err := s.spec.params(pt)
+	if err != nil {
+		return PointResult{}, err
+	}
+	cfg := s.spec.Base
+	cfg.Sched = params
+	agg, err := runner.SweepSeedRange(runner.SweepSpec{
+		Cfg:     cfg,
+		Seeds:   s.spec.Seeds,
+		Workers: s.spec.Workers,
+	})
+	if err != nil {
+		return PointResult{}, fmt.Errorf("search: point %s: %w", key, err)
+	}
+	return scorePoint(key, params, agg), nil
+}
+
+// scorePoint reduces a point's sweep aggregate to its liveness cost.
+func scorePoint(key string, params runner.SchedParams, agg *runner.Aggregate) PointResult {
+	rounds := agg.Rounds.Summary()
+	times := agg.SimTime.Summary()
+	res := PointResult{
+		Key:        key,
+		Params:     params,
+		Runs:       agg.Runs,
+		Decided:    agg.Decided,
+		Exhausted:  agg.Exhausted,
+		Violations: agg.Checks.Violations,
+		MeanRounds: rounds.Mean,
+		MeanTime:   times.Mean,
+	}
+	if agg.Runs > 0 {
+		// Decided runs cost their mean decision round; undecided runs the
+		// flat penalty. Rounds only aggregates decided runs, so its sum is
+		// exactly the decided side of the numerator.
+		sum := rounds.Mean*float64(agg.Decided) + ExhaustPenaltyRounds*float64(agg.Runs-agg.Decided)
+		res.Score = sum / float64(agg.Runs)
+	}
+	return res
+}
+
+// save writes the frontier when one is configured.
+func (s *searcher) save() error {
+	if s.spec.Frontier == "" {
+		return nil
+	}
+	return frontierFor(s.spec, s.points).save(s.spec.Frontier)
+}
+
+// outcome ranks every known point, worst first.
+func (s *searcher) outcome() *Outcome {
+	out := &Outcome{Evaluated: s.fresh}
+	for _, k := range s.order {
+		out.Points = append(out.Points, s.points[k])
+	}
+	sort.Slice(out.Points, func(i, j int) bool {
+		return Worse(out.Points[i], out.Points[j])
+	})
+	if len(out.Points) > 0 {
+		out.Best = out.Points[0]
+	}
+	return out
+}
+
+// frontierVersion is the manifest format version this build writes.
+const frontierVersion = 1
+
+// frontier is the on-disk resume manifest of a search.
+type frontier struct {
+	Version int                    `json:"version"`
+	Config  runner.Config          `json:"config"`
+	Axes    []Axis                 `json:"axes"`
+	Seeds   runner.SeedRange       `json:"seeds"`
+	Points  map[string]PointResult `json:"points"`
+}
+
+func frontierFor(spec *Spec, points map[string]PointResult) *frontier {
+	return &frontier{
+		Version: frontierVersion,
+		Config:  spec.Base,
+		Axes:    spec.Axes,
+		Seeds:   spec.Seeds,
+		Points:  points,
+	}
+}
+
+func loadFrontier(path string) (*frontier, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("search: reading frontier: %w", err)
+	}
+	var f frontier
+	if err := json.Unmarshal(buf, &f); err != nil {
+		return nil, fmt.Errorf("search: parsing frontier %s: %w", path, err)
+	}
+	if f.Version != frontierVersion {
+		return nil, fmt.Errorf("search: frontier %s has version %d, want %d", path, f.Version, frontierVersion)
+	}
+	if f.Points == nil {
+		f.Points = make(map[string]PointResult)
+	}
+	return &f, nil
+}
+
+// matches reports whether the manifest was recorded for spec.
+func (f *frontier) matches(spec *Spec) error {
+	want, _ := json.Marshal(frontierFor(spec, nil))
+	got, _ := json.Marshal(frontierFor(&Spec{Base: f.Config, Axes: f.Axes, Seeds: f.Seeds}, nil))
+	if string(want) != string(got) {
+		return fmt.Errorf("%w: base config, axes, or seed range changed", ErrFrontierMismatch)
+	}
+	return nil
+}
+
+// save writes the manifest atomically (temp file + rename).
+func (f *frontier) save(path string) error {
+	buf, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("search: encoding frontier: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(buf, '\n'), 0o644); err != nil {
+		return fmt.Errorf("search: writing frontier: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("search: committing frontier: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,238 @@
+package search
+
+import (
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+// testSpec is a small, fast lattice: 2 axes over the lossy family at n=5.
+func testSpec(t *testing.T) Spec {
+	t.Helper()
+	spec, err := FamilySpec("lossy", 5, -1, runner.SeedRange{From: 1, To: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Axes = []Axis{
+		{Name: "loss-pct", Values: []int64{10, 30, 60}},
+		{Name: "retransmit-lag", Values: []int64{20, 40, 80}},
+	}
+	return spec
+}
+
+// TestGridDeterministicAcrossWorkers pins the contract the whole package
+// exists to provide: identical output (byte for byte, via JSON) regardless
+// of worker count.
+func TestGridDeterministicAcrossWorkers(t *testing.T) {
+	var outs [][]byte
+	for _, workers := range []int{1, 4} {
+		spec := testSpec(t)
+		spec.Workers = workers
+		out, err := Grid(spec)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		buf, err := json.Marshal(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, buf)
+	}
+	if string(outs[0]) != string(outs[1]) {
+		t.Errorf("grid output differs across worker counts:\n1: %s\n4: %s", outs[0], outs[1])
+	}
+}
+
+// TestGridStopResumeIdentity kills the search after every possible prefix
+// and resumes from the frontier: the final outcome must be byte-identical
+// to an uninterrupted run's, with only the remaining points re-evaluated.
+func TestGridStopResumeIdentity(t *testing.T) {
+	base, err := json.Marshal(mustGrid(t, testSpec(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for stopAfter := 1; stopAfter <= 8; stopAfter++ {
+		dir := t.TempDir()
+		frontier := filepath.Join(dir, "frontier.json")
+
+		spec := testSpec(t)
+		spec.Frontier = frontier
+		visited := 0
+		spec.Stop = func() bool { visited++; return visited >= stopAfter }
+		if _, err := Grid(spec); !errors.Is(err, ErrStopped) {
+			t.Fatalf("stopAfter=%d: err = %v, want ErrStopped", stopAfter, err)
+		}
+
+		spec = testSpec(t)
+		spec.Frontier = frontier
+		spec.Resume = true
+		out, err := Grid(spec)
+		if err != nil {
+			t.Fatalf("resume after %d: %v", stopAfter, err)
+		}
+		if want := 9 - stopAfter; out.Evaluated != want {
+			t.Errorf("resume after %d: evaluated %d points, want %d", stopAfter, out.Evaluated, want)
+		}
+		buf, err := json.Marshal(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(buf) != string(base) {
+			t.Errorf("resume after %d: outcome differs from uninterrupted run:\ngot  %s\nwant %s", stopAfter, buf, base)
+		}
+	}
+}
+
+// TestFrontierMismatch pins that a frontier recorded for different
+// parameters is rejected rather than silently reused.
+func TestFrontierMismatch(t *testing.T) {
+	dir := t.TempDir()
+	frontier := filepath.Join(dir, "frontier.json")
+	spec := testSpec(t)
+	spec.Frontier = frontier
+	mustGrid(t, spec)
+
+	for name, mutate := range map[string]func(*Spec){
+		"seeds":  func(s *Spec) { s.Seeds.To++ },
+		"axes":   func(s *Spec) { s.Axes[0].Values = []int64{10, 61} },
+		"config": func(s *Spec) { s.Base.N = 6 },
+	} {
+		spec := testSpec(t)
+		spec.Frontier = frontier
+		spec.Resume = true
+		mutate(&spec)
+		if _, err := Grid(spec); !errors.Is(err, ErrFrontierMismatch) {
+			t.Errorf("%s changed: err = %v, want ErrFrontierMismatch", name, err)
+		}
+	}
+}
+
+// TestDescendFindsGridWorst pins Descend against ground truth: on the test
+// lattice, coordinate ascent must converge to the same worst point Grid
+// finds exhaustively.
+func TestDescendFindsGridWorst(t *testing.T) {
+	grid := mustGrid(t, testSpec(t))
+	desc, err := Descend(testSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc.Best.Key != grid.Best.Key {
+		t.Errorf("Descend converged to %q (score %.1f), Grid's worst is %q (score %.1f)",
+			desc.Best.Key, desc.Best.Score, grid.Best.Key, grid.Best.Score)
+	}
+	if desc.Evaluated > len(grid.Points) {
+		t.Errorf("Descend evaluated %d points, more than the %d-point grid", desc.Evaluated, len(grid.Points))
+	}
+}
+
+// TestDescendDeterministicAcrossWorkers mirrors the grid determinism pin
+// for the coordinate walk.
+func TestDescendDeterministicAcrossWorkers(t *testing.T) {
+	var outs [][]byte
+	for _, workers := range []int{1, 3} {
+		spec := testSpec(t)
+		spec.Workers = workers
+		out, err := Descend(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, _ := json.Marshal(out)
+		outs = append(outs, buf)
+	}
+	if string(outs[0]) != string(outs[1]) {
+		t.Errorf("descend output differs across worker counts:\n1: %s\n3: %s", outs[0], outs[1])
+	}
+}
+
+// TestOutcomeRanking pins the ranking order: score descending, key
+// ascending, Best = Points[0].
+func TestOutcomeRanking(t *testing.T) {
+	out := mustGrid(t, testSpec(t))
+	if len(out.Points) != 9 {
+		t.Fatalf("got %d points, want 9", len(out.Points))
+	}
+	for i := 1; i < len(out.Points); i++ {
+		if Worse(out.Points[i], out.Points[i-1]) {
+			t.Errorf("points out of order at %d: %q before %q", i, out.Points[i-1].Key, out.Points[i].Key)
+		}
+	}
+	if !reflect.DeepEqual(out.Best, out.Points[0]) {
+		t.Errorf("Best = %+v, want Points[0] = %+v", out.Best, out.Points[0])
+	}
+}
+
+// TestApplyVocabulary pins the axis-name vocabulary 1:1 against
+// SchedParams' searchable fields.
+func TestApplyVocabulary(t *testing.T) {
+	var p runner.SchedParams
+	names := []string{
+		"heal-time", "rejoin-time", "reorder-span", "straggler-lag", "partition-lag",
+		"loss-pct", "dup-pct", "retransmit-lag", "topo-degree", "hop-lag", "target-lag",
+	}
+	for i, name := range names {
+		if err := Apply(&p, name, int64(i+1)); err != nil {
+			t.Errorf("Apply(%q): %v", name, err)
+		}
+	}
+	want := runner.SchedParams{
+		HealTime: 1, RejoinTime: 2, ReorderSpan: 3, StragglerLag: 4, PartitionLag: 5,
+		LossPct: 6, DupPct: 7, RetransmitLag: 8, TopoDegree: 9, HopLag: 10, TargetLag: 11,
+	}
+	if p != want {
+		t.Errorf("Apply round-trip = %+v, want %+v", p, want)
+	}
+	if err := Apply(&p, "no-such-axis", 1); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("unknown axis: err = %v, want ErrBadSpec", err)
+	}
+}
+
+// TestSpecValidation pins the up-front spec rejections.
+func TestSpecValidation(t *testing.T) {
+	cases := map[string]func(*Spec){
+		"no axes":     func(s *Spec) { s.Axes = nil },
+		"empty axis":  func(s *Spec) { s.Axes[0].Values = nil },
+		"zero value":  func(s *Spec) { s.Axes[0].Values = []int64{0, 10} },
+		"bad axis":    func(s *Spec) { s.Axes[0].Name = "bogus" },
+		"empty seeds": func(s *Spec) { s.Seeds = runner.SeedRange{From: 5, To: 5} },
+		"bare resume": func(s *Spec) { s.Resume = true },
+	}
+	for name, mutate := range cases {
+		spec := testSpec(t)
+		mutate(&spec)
+		if _, err := Grid(spec); err == nil {
+			t.Errorf("%s: Grid accepted an invalid spec", name)
+		}
+	}
+}
+
+// TestFamilySpecs pins that every preset builds and validates.
+func TestFamilySpecs(t *testing.T) {
+	for _, name := range Families() {
+		spec, err := FamilySpec(name, 8, -1, runner.SeedRange{From: 1, To: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := spec.validate(); err != nil {
+			t.Errorf("%s: preset does not validate: %v", name, err)
+		}
+		if FamilyDoc(name) == "" {
+			t.Errorf("%s: missing doc line", name)
+		}
+	}
+	if _, err := FamilySpec("no-such-family", 8, -1, runner.SeedRange{From: 1, To: 2}); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("unknown family: err = %v, want ErrBadSpec", err)
+	}
+}
+
+func mustGrid(t *testing.T, spec Spec) *Outcome {
+	t.Helper()
+	out, err := Grid(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

@@ -79,6 +79,18 @@ func (c Compose) Deliver(m types.Message, now Time, seq uint64, rng *rand.Rand) 
 	return at
 }
 
+// Duplicate implements Duplicator by forwarding to the base scheduler, so a
+// duplicating family (LossyDelay) keeps duplicating under composed rules.
+// The duplicate copy itself bypasses the rules: it is the link's artifact,
+// not a fresh send the adversary reschedules. Bases without the extension
+// never duplicate.
+func (c Compose) Duplicate(m types.Message, at, now Time, rng *rand.Rand) (Time, bool) {
+	if d, ok := c.Base.(Duplicator); ok {
+		return d.Duplicate(m, at, now, rng)
+	}
+	return 0, false
+}
+
 // DelayLinks returns a Rule adding extra delay to every message on the given
 // links — the adversary's basic tool for holding back traffic between chosen
 // correct processes.
@@ -214,3 +226,88 @@ type Immediate struct{}
 
 // Deliver implements Scheduler.
 func (Immediate) Deliver(_ types.Message, now Time, _ uint64, _ *rand.Rand) Time { return now }
+
+// LossyDelay models lossy, duplicating, jittery links under ARQ: each send
+// is retransmitted until a copy gets through — every lost attempt (LossPct%
+// each, independently) adds RetransmitLag to the delivery delay — and with
+// DupPct% probability a stale duplicate of the frame also arrives later.
+// Loss therefore converts to delay, never to silence, so the asynchronous
+// model's eventual-delivery guarantee survives arbitrarily hostile loss
+// rates; duplicates exercise the idempotence that quorum counting provides
+// by construction. All randomness flows from the run RNG, so a lossy run
+// replays exactly like any other.
+type LossyDelay struct {
+	Base          UniformDelay
+	LossPct       int  // per-attempt loss probability, percent (clamped to 95)
+	DupPct        int  // per-send duplication probability, percent
+	RetransmitLag Time // extra delay per lost attempt
+}
+
+// Deliver implements Scheduler.
+func (s LossyDelay) Deliver(m types.Message, now Time, seq uint64, rng *rand.Rand) Time {
+	at := s.Base.Deliver(m, now, seq, rng)
+	loss := s.LossPct
+	if loss > 95 {
+		loss = 95 // a link that never delivers leaves the model
+	}
+	for loss > 0 && int(rng.Int63n(100)) < loss {
+		at += s.RetransmitLag
+	}
+	return at
+}
+
+// Duplicate implements Duplicator: a duplicate, when one occurs, trails the
+// primary copy by a fresh jitter in (0, RetransmitLag].
+func (s LossyDelay) Duplicate(_ types.Message, at, _ Time, rng *rand.Rand) (Time, bool) {
+	if s.DupPct <= 0 || int(rng.Int63n(100)) >= s.DupPct {
+		return 0, false
+	}
+	lag := s.RetransmitLag
+	if lag < 1 {
+		lag = 1
+	}
+	return at + 1 + Time(rng.Int63n(int64(lag))), true
+}
+
+// TopologyDelay is the local-broadcast / topology-constrained model (Khan &
+// Vaidya): processes are arranged on a ring and a process reaches only the
+// neighbours within Degree ring hops directly. Traffic between non-adjacent
+// processes is relayed along the ring overlay, paying HopLag extra delay per
+// hop past the first; the graph is connected for any Degree ≥ 1, so every
+// message is still eventually delivered — but the effective diameter
+// ⌈(n/2)/Degree⌉ stretches delivery times, which is exactly the liveness
+// coordinate the parameter search explores. Processes outside 1..N (foreign
+// IDs a Byzantine node might address) are treated as adjacent to everyone.
+type TopologyDelay struct {
+	Base   UniformDelay
+	N      int  // ring size (process IDs 1..N)
+	Degree int  // direct reach in ring hops (clamped to ≥ 1)
+	HopLag Time // extra delay per relay hop
+}
+
+// Deliver implements Scheduler.
+func (s TopologyDelay) Deliver(m types.Message, now Time, seq uint64, rng *rand.Rand) Time {
+	at := s.Base.Deliver(m, now, seq, rng)
+	return at + s.HopLag*Time(s.hops(m.From, m.To)-1)
+}
+
+// hops returns the relay distance between two processes (at least 1; 1 for
+// loopback and foreign IDs).
+func (s TopologyDelay) hops(from, to types.ProcessID) int {
+	fi, ti := int(from), int(to)
+	if fi < 1 || fi > s.N || ti < 1 || ti > s.N || fi == ti {
+		return 1
+	}
+	d := fi - ti
+	if d < 0 {
+		d = -d
+	}
+	if ring := s.N - d; ring < d {
+		d = ring
+	}
+	deg := s.Degree
+	if deg < 1 {
+		deg = 1
+	}
+	return (d + deg - 1) / deg
+}

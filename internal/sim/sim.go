@@ -103,6 +103,19 @@ type Scheduler interface {
 	Deliver(m types.Message, now Time, seq uint64, rng *rand.Rand) Time
 }
 
+// Duplicator is an optional Scheduler extension for families that can
+// deliver one send more than once (lossy links duplicate frames; see
+// LossyDelay). After Deliver schedules the primary copy of a message at
+// `at`, the network asks Duplicate whether a stale duplicate of the same
+// message also arrives, and at what time. The duplicate is a real
+// transmission: it counts as a sent message, is charged wire bytes, and is
+// delivered like any other event, so protocols must be idempotent to it —
+// which quorum-counting protocols are by construction. Duplicate is never
+// called for a dropped primary.
+type Duplicator interface {
+	Duplicate(m types.Message, at, now Time, rng *rand.Rand) (Time, bool)
+}
+
 // Config configures a Network.
 type Config struct {
 	// Scheduler orders deliveries; required.
@@ -149,6 +162,7 @@ const maxDenseID = 1 << 16
 type Network struct {
 	cfg   Config
 	rng   *rand.Rand
+	dup   Duplicator               // cfg.Scheduler's optional duplication hook (nil if absent)
 	nodes map[types.ProcessID]Node // registry (duplicate detection, sparse IDs)
 	dense []Node                   // dense[id] fast path for the delivery loop
 	order []types.ProcessID        // Start order (insertion order, for determinism)
@@ -175,9 +189,11 @@ func New(cfg Config) (*Network, error) {
 	if cfg.MaxDeliveries <= 0 {
 		cfg.MaxDeliveries = DefaultMaxDeliveries
 	}
+	dup, _ := cfg.Scheduler.(Duplicator)
 	return &Network{
 		cfg:   cfg,
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		dup:   dup,
 		nodes: make(map[types.ProcessID]Node),
 	}, nil
 }
@@ -297,6 +313,20 @@ func (n *Network) send(node Node, msgs []types.Message) {
 			at = n.now // schedulers cannot deliver into the past
 		}
 		n.queue.push(event{at: at, seq: n.seq, msg: m})
+		if n.dup != nil {
+			if dat, ok := n.dup.Duplicate(m, at, n.now, n.rng); ok {
+				if dat < n.now {
+					dat = n.now
+				}
+				n.seq++
+				n.stats.Sent++
+				if n.cfg.Sizer != nil {
+					n.stats.Bytes += int64(n.cfg.Sizer(m))
+				}
+				n.record(trace.Event{Time: int64(n.now), Kind: trace.KindSend, P: node.ID(), Msg: m})
+				n.queue.push(event{at: dat, seq: n.seq, msg: m})
+			}
+		}
 	}
 }
 

@@ -216,7 +216,9 @@ func validateFrag(index, totalLen, sumsLen, fragLen int) error {
 }
 
 // DecodePayload parses a payload produced by EncodePayload. It rejects
-// trailing bytes.
+// trailing bytes and non-canonical encodings: only the exact bytes
+// EncodePayload produces are accepted, so every logical payload has one
+// wire representation (see checkCanonical).
 func DecodePayload(buf []byte) (types.Payload, error) {
 	p, rest, err := decodePayload(buf)
 	if err != nil {
@@ -225,6 +227,9 @@ func DecodePayload(buf []byte) (types.Payload, error) {
 	if len(rest) != 0 {
 		return nil, ErrTrailing
 	}
+	if err := checkCanonical(p, buf, len(buf)); err != nil {
+		return nil, err
+	}
 	return p, nil
 }
 
@@ -232,7 +237,6 @@ func decodePayload(buf []byte) (types.Payload, []byte, error) {
 	if len(buf) == 0 {
 		return nil, nil, ErrTruncated
 	}
-	full := buf
 	kind := types.Kind(buf[0])
 	buf = buf[1:]
 	switch kind {
@@ -437,9 +441,6 @@ func decodePayload(buf []byte) (types.Payload, []byte, error) {
 			Sums:     string(sums),
 			Frag:     string(frag),
 		}
-		if err := checkCanonical(p, full, len(full)-len(buf)); err != nil {
-			return nil, nil, err
-		}
 		return p, buf, nil
 	case types.KindRBCSum:
 		sender, buf, err := readInt(buf)
@@ -472,9 +473,6 @@ func decodePayload(buf []byte) (types.Payload, []byte, error) {
 			},
 			Sum: string(sum),
 		}
-		if err := checkCanonical(p, full, len(full)-len(buf)); err != nil {
-			return nil, nil, err
-		}
 		return p, buf, nil
 	default:
 		return nil, nil, fmt.Errorf("%w: %d", ErrUnknownKind, kind)
@@ -482,10 +480,12 @@ func decodePayload(buf []byte) (types.Payload, []byte, error) {
 }
 
 // checkCanonical re-encodes a freshly decoded payload and compares it to the
-// consumed byte span. Varints admit padded encodings of the same value; the
-// coded-RBC kinds key instance tallies by message content, so two distinct
-// encodings of one logical fragment must not both parse (the same reasoning
-// DecodeStep and DecodeBatch apply to RBC bodies).
+// consumed byte span. Varints admit padded encodings of the same value;
+// protocol layers key tallies and dedup by message content (the coded-RBC
+// kinds hash fragments, the checkpoint plane digests certificates), so two
+// distinct encodings of one logical payload must not both parse (the same
+// reasoning DecodeStep and DecodeBatch apply to RBC bodies). DecodePayload
+// and DecodeMessage apply it at the entry point, covering every kind at once.
 func checkCanonical(p types.Payload, full []byte, consumed int) error {
 	bp := GetBuffer()
 	re, err := AppendPayload(*bp, p)
@@ -516,8 +516,12 @@ func AppendMessage(dst []byte, m types.Message) ([]byte, error) {
 	return buf, nil
 }
 
-// DecodeMessage parses a message produced by EncodeMessage.
+// DecodeMessage parses a message produced by EncodeMessage. Like
+// DecodePayload it is strictly canonical: the whole frame — the From/To
+// varints included — is re-encoded and compared against the input, so a
+// padded address varint cannot yield two wire frames for one message.
 func DecodeMessage(buf []byte) (types.Message, error) {
+	full := buf
 	from, buf, err := readInt(buf)
 	if err != nil {
 		return types.Message{}, err
@@ -533,7 +537,18 @@ func DecodeMessage(buf []byte) (types.Message, error) {
 	if len(rest) != 0 {
 		return types.Message{}, ErrTrailing
 	}
-	return types.Message{From: types.ProcessID(from), To: types.ProcessID(to), Payload: p}, nil
+	m := types.Message{From: types.ProcessID(from), To: types.ProcessID(to), Payload: p}
+	bp := GetBuffer()
+	re, err := AppendMessage(*bp, m)
+	if err == nil && (len(re) != len(full) || string(re) != string(full)) {
+		err = fmt.Errorf("%w: non-canonical message encoding", ErrBadValue)
+	}
+	*bp = re[:0]
+	PutBuffer(bp)
+	if err != nil {
+		return types.Message{}, err
+	}
+	return m, nil
 }
 
 // EncodeStep canonically encodes a consensus step message for use as a
