@@ -1,5 +1,5 @@
 // Command bench regenerates every table and figure of the evaluation
-// (EXPERIMENTS.md): E1–E14 plus the ablations A1–A4. Output is aligned text
+// (EXPERIMENTS.md): E1–E16 plus the ablations A1–A4. Output is aligned text
 // tables by default, CSV with -csv, JSON with -json. Independent runs are
 // fanned across a worker pool (runner.Sweep); -workers 1 forces the old
 // serial behaviour and, by the sweep engine's determinism contract, produces
@@ -61,6 +61,18 @@
 // wire-bytes drop (that is the whole point; see experiment E14):
 //
 //	bench -smr 64 -n 16 -ckpt-every 8 -coded          # same digests, fewer bytes
+//
+// The -telemetry mode attaches the deterministic telemetry plane to a seed
+// sweep of each scheduler family (uniform, reorder, adaptive-cliff — same
+// adversary/coin/inputs, see experiment E16) and prints the merged per-kind
+// wire metrics and phase-latency histograms. Every output byte is a pure
+// function of the flags: CI diffs -json output across -workers values and
+// GOMAXPROCS settings. The -trace mode runs one traced uniform-schedule run,
+// dumps the causal event stream as JSONL (wire seq + causal parent per
+// event), and prints the decision critical-path analysis (internal/obs):
+//
+//	bench -telemetry -n 16 -runs 5 -json > telemetry.json   # diffable record
+//	bench -trace run.jsonl -n 16 -seed 7                    # dump + critical paths
 package main
 
 import (
@@ -78,9 +90,11 @@ import (
 
 	"repro/internal/adversary"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/quorum"
 	"repro/internal/runner"
 	"repro/internal/search"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -93,7 +107,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		id      = fs.String("experiment", "", "run a single experiment (E1..E14, A1..A4); empty = all")
+		id      = fs.String("experiment", "", "run a single experiment (E1..E16, A1..A4); empty = all")
 		runs    = fs.Int("runs", 0, "repetitions per configuration (0 = default)")
 		seed    = fs.Int64("seed", 1, "base seed")
 		quick   = fs.Bool("quick", false, "shrink sweeps for a fast smoke run")
@@ -121,6 +135,9 @@ func run(args []string, out io.Writer) error {
 		throughput = fs.Int("throughput", 0, "committed-entries throughput mode: entry target per grid point across the -batch × -pipeline grid")
 		batchList  = fs.String("batch", "1,4,16", "-throughput: comma-separated batch sizes (commands per proposal body)")
 		pipeList   = fs.String("pipeline", "1,2", "-throughput: comma-separated dissemination pipeline depths")
+
+		telemetry = fs.Bool("telemetry", false, "telemetry mode: per-kind wire metrics and phase-latency histograms across the scheduler families, merged over a seed sweep (deterministic, diffable)")
+		traceOut  = fs.String("trace", "", "trace mode: run one traced uniform-schedule consensus run, write the causal JSONL event dump to this file, and print the decision critical-path summary")
 
 		smrSlots   = fs.Int("smr", 0, "run a replicated-log workload of this many slots (the checkpoint/state-transfer mode)")
 		coded      = fs.Bool("coded", false, "-smr/-throughput: erasure-coded dissemination (AVID-style coded RBC); committed digests are identical either way, wire bytes drop")
@@ -152,16 +169,22 @@ func run(args []string, out io.Writer) error {
 	if *searchFam != "" && (*sweep != "" || set["smr"] || set["throughput"]) {
 		return fmt.Errorf("-search is mutually exclusive with -sweep, -smr, and -throughput")
 	}
+	if *telemetry && (*sweep != "" || set["smr"] || set["throughput"] || *searchFam != "" || *traceOut != "") {
+		return fmt.Errorf("-telemetry is mutually exclusive with the other modes")
+	}
+	if *traceOut != "" && (*sweep != "" || set["smr"] || set["throughput"] || *searchFam != "") {
+		return fmt.Errorf("-trace is mutually exclusive with the other modes")
+	}
 	if set["smr"] && *smrSlots <= 0 {
 		return fmt.Errorf("-smr wants a positive slot count, got %d", *smrSlots)
 	}
 	if set["throughput"] && *throughput <= 0 {
 		return fmt.Errorf("-throughput wants a positive entry target, got %d", *throughput)
 	}
-	if *sweep == "" && *smrSlots == 0 && *throughput == 0 && *searchFam == "" {
+	if *sweep == "" && *smrSlots == 0 && *throughput == 0 && *searchFam == "" && !*telemetry && *traceOut == "" {
 		for _, name := range []string{"n", "f", "scenario", "checkpoint", "resume", "every", "stop-after", "no-prune", "window", "lowwater", "ckpt-every", "restart", "ckpt-dir", "ckpt-attack", "batch", "pipeline", "coded", "seeds", "descend"} {
 			if set[name] {
-				return fmt.Errorf("-%s requires -sweep, -smr, -throughput, or -search", name)
+				return fmt.Errorf("-%s requires -sweep, -smr, -throughput, -search, -telemetry, or -trace", name)
 			}
 		}
 	}
@@ -228,6 +251,28 @@ func run(args []string, out io.Writer) error {
 			entries: *throughput, n: *sweepN, f: *sweepF, seed: *seed,
 			batches: batches, depths: depths, ckptEvery: *ckptEvery,
 			window: *window, workers: *workers, coded: *coded,
+			jsonOut: *jsonOut,
+		})
+	}
+	if *telemetry {
+		for _, name := range []string{"experiment", "quick", "csv", "scenario", "checkpoint", "resume", "every", "stop-after", "no-prune", "window", "lowwater", "ckpt-every", "restart", "ckpt-dir", "ckpt-attack", "batch", "pipeline", "coded", "seeds", "descend"} {
+			if set[name] {
+				return fmt.Errorf("-%s does not apply to -telemetry", name)
+			}
+		}
+		return runTelemetryCmd(out, telemetryOpts{
+			n: *sweepN, f: *sweepF, seed: *seed, runs: *runs,
+			workers: *workers, jsonOut: *jsonOut,
+		})
+	}
+	if *traceOut != "" {
+		for _, name := range []string{"experiment", "runs", "workers", "quick", "csv", "scenario", "checkpoint", "resume", "every", "stop-after", "no-prune", "window", "lowwater", "ckpt-every", "restart", "ckpt-dir", "ckpt-attack", "batch", "pipeline", "coded", "seeds", "descend"} {
+			if set[name] {
+				return fmt.Errorf("-%s does not apply to -trace", name)
+			}
+		}
+		return runTraceCmd(out, traceOpts{
+			path: *traceOut, n: *sweepN, f: *sweepF, seed: *seed,
 			jsonOut: *jsonOut,
 		})
 	}
@@ -370,6 +415,8 @@ func runSMRCmd(out io.Writer, o smrOpts) error {
 			Stale       int    `json:"staleResponses"`
 			Unverified  int    `json:"unverifiableResponses"`
 			Deliveries  int    `json:"deliveries"`
+			Dropped     int    `json:"dropped"`
+			Spoofed     int    `json:"spoofed"`
 			Coded       bool   `json:"coded"`
 			WireBytes   int64  `json:"wireBytes"`
 		}{o.n, f, o.slots, o.seed, o.ckptEvery,
@@ -378,6 +425,7 @@ func runSMRCmd(out io.Writer, o smrOpts) error {
 			res.DealerSlots, res.Transfers, res.VictimCommitted,
 			res.RestoredCuts, res.StoreErrors, res.TransferRetries,
 			res.StaleResponses, res.UnverifiableResponses, res.Deliveries,
+			res.Dropped, res.Spoofed,
 			o.coded, res.WireBytes})
 	}
 	fmt.Fprintf(out, "smr workload: n=%d f=%d slots=%d seed=%d ckpt-every=%d window=%d restart=%v coded=%v\n",
@@ -397,7 +445,8 @@ func runSMRCmd(out io.Writer, o smrOpts) error {
 		fmt.Fprintf(out, "attack %s: installs=%d retries=%d stale=%d unverifiable=%d\n",
 			o.ckptAttack, res.TotalInstalls, res.TransferRetries, res.StaleResponses, res.UnverifiableResponses)
 	}
-	fmt.Fprintf(out, "deliveries=%d messages=%d wire-bytes=%d\n", res.Deliveries, res.Messages, res.WireBytes)
+	fmt.Fprintf(out, "deliveries=%d messages=%d wire-bytes=%d dropped=%d spoofed=%d\n",
+		res.Deliveries, res.Messages, res.WireBytes, res.Dropped, res.Spoofed)
 	return nil
 }
 
@@ -818,4 +867,144 @@ func stoppedCk(stopped bool, checkpoint string) string {
 		return ""
 	}
 	return checkpoint
+}
+
+// telemetryOpts carries the -telemetry flag bundle.
+type telemetryOpts struct {
+	n, f, runs int
+	seed       int64
+	workers    int
+	jsonOut    bool
+}
+
+// runTelemetryCmd executes the telemetry mode: every scheduler family of the
+// E16 comparison (uniform, reorder, adaptive-cliff — same adversary, coin,
+// and inputs throughout) swept over a seed block with the telemetry plane
+// attached, per-run sinks merged in index order. Every byte of the output is
+// deterministic — a pure function of (flags, seed), bitwise identical at any
+// -workers value and any GOMAXPROCS, which is exactly what the CI telemetry
+// determinism smoke diffs.
+func runTelemetryCmd(out io.Writer, o telemetryOpts) error {
+	if o.runs <= 0 {
+		o.runs = 5
+	}
+	type familyRecord struct {
+		Family     string     `json:"family"`
+		N          int        `json:"n"`
+		F          int        `json:"f"`
+		Runs       int        `json:"runs"`
+		Seed       int64      `json:"seed"`
+		MeanRounds float64    `json:"meanRounds"`
+		Messages   int        `json:"messages"`
+		Deliveries int        `json:"deliveries"`
+		Dropped    int        `json:"dropped"`
+		Spoofed    int        `json:"spoofed"`
+		WireBytes  int64      `json:"wireBytes"`
+		Telemetry  sim.Report `json:"telemetry"`
+	}
+	var records []familyRecord
+	for _, fam := range experiments.TelemetryFamilies() {
+		cfgs := make([]runner.Config, o.runs)
+		for i := range cfgs {
+			cfgs[i] = experiments.TelemetryConfig(fam, o.n, o.seed+int64(i))
+			if o.f >= 0 {
+				cfgs[i].F = o.f
+			}
+		}
+		results, err := runner.Sweep(cfgs, o.workers)
+		if err != nil {
+			return fmt.Errorf("telemetry family %s: %w", fam.Name, err)
+		}
+		merged := sim.NewTelemetry()
+		rec := familyRecord{Family: fam.Name, N: o.n, F: cfgs[0].F, Runs: o.runs, Seed: o.seed}
+		var roundSum float64
+		for _, r := range results {
+			if len(r.Violations) > 0 {
+				return fmt.Errorf("telemetry family %s seed %d: %d property violations", fam.Name, r.Config.Seed, len(r.Violations))
+			}
+			merged.Merge(r.Telemetry)
+			roundSum += r.MeanRounds
+			rec.Messages += r.Messages
+			rec.Deliveries += r.Deliveries
+			rec.Dropped += r.Dropped
+			rec.Spoofed += r.Spoofed
+			rec.WireBytes += r.WireBytes
+		}
+		rec.MeanRounds = roundSum / float64(len(results))
+		rec.Telemetry = merged.Report()
+		records = append(records, rec)
+	}
+	if o.jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(records)
+	}
+	for _, rec := range records {
+		fmt.Fprintf(out, "telemetry: family=%s n=%d f=%d runs=%d seed=%d\n",
+			rec.Family, rec.N, rec.F, rec.Runs, rec.Seed)
+		fmt.Fprintf(out, "  rounds=%.2f messages=%d deliveries=%d dropped=%d spoofed=%d wire-bytes=%d\n",
+			rec.MeanRounds, rec.Messages, rec.Deliveries, rec.Dropped, rec.Spoofed, rec.WireBytes)
+		for _, k := range rec.Telemetry.Kinds {
+			fmt.Fprintf(out, "  kind %-10s sent=%-8d delivered=%-8d dropped=%-6d bytes=%-10d lat-p50=%d lat-p99=%d\n",
+				k.Kind, k.Sent, k.Delivered, k.Dropped, k.Bytes, k.LatencyP50, k.LatencyP99)
+		}
+		for _, p := range rec.Telemetry.Phases {
+			fmt.Fprintf(out, "  phase %-17s count=%-8d p50=%-6d p99=%-6d max=%d\n",
+				p.Phase, p.Count, p.P50, p.P99, p.Max)
+		}
+	}
+	return nil
+}
+
+// traceOpts carries the -trace flag bundle.
+type traceOpts struct {
+	path    string
+	n, f    int
+	seed    int64
+	jsonOut bool
+}
+
+// runTraceCmd executes the trace mode: one traced uniform-schedule run of the
+// telemetry comparison's base configuration, its causal event stream dumped
+// as JSONL (one event per line: time, kind, process, wire seq, causal parent
+// seq — the format internal/obs and external tools consume), and the
+// decision critical-path analysis printed to stdout. Both the file and
+// stdout are deterministic: two runs of the same flags produce byte-identical
+// dumps, which the CI trace smoke diffs.
+func runTraceCmd(out io.Writer, o traceOpts) error {
+	fams := experiments.TelemetryFamilies()
+	cfg := experiments.TelemetryConfig(fams[0], o.n, o.seed) // uniform schedule
+	if o.f >= 0 {
+		cfg.F = o.f
+	}
+	cfg.Telemetry = false
+	cfg.Trace = true
+	res, err := runner.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if len(res.Violations) > 0 {
+		return fmt.Errorf("trace run: %d property violations", len(res.Violations))
+	}
+	f, err := os.Create(o.path)
+	if err != nil {
+		return err
+	}
+	if err := res.Recorder.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	report := obs.Analyze(res.Recorder.Events())
+	if o.jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	fmt.Fprintf(out, "trace: n=%d f=%d seed=%d events=%d -> %s\n",
+		cfg.N, cfg.F, o.seed, len(res.Recorder.Events()), o.path)
+	fmt.Fprint(out, report.String())
+	return nil
 }

@@ -403,6 +403,8 @@ func TestRunModeFlagMatrix(t *testing.T) {
 		"smr":        {"-smr", "16"},
 		"throughput": {"-throughput", "16"},
 		"search":     {"-search", "adaptive"},
+		"telemetry":  {"-telemetry"},
+		"trace":      {"-trace", "out.jsonl"},
 	}
 	// A representative private knob of each mode, foreign to all others.
 	foreign := map[string][]string{

@@ -71,6 +71,11 @@ type Config struct {
 	Window int
 	// Recorder, when enabled, receives protocol events.
 	Recorder *trace.Recorder
+	// Telemetry, when non-nil, is forwarded to the input-dissemination
+	// broadcaster and every binary instance, so RBC quorum marks and
+	// round→decide marks flow from all n+1 multiplexed protocols into one
+	// sink (see sim.Telemetry).
+	Telemetry *sim.Telemetry
 }
 
 // Node is one ACS participant. Deterministic state machine (sim.Node); not
@@ -137,10 +142,12 @@ func New(cfg Config) (*Node, error) {
 	if cfg.Coded {
 		newRBC = rbc.NewCoded
 	}
+	values := newRBC(cfg.Me, cfg.Peers, cfg.Spec)
+	values.SetTelemetry(cfg.Telemetry)
 	return &Node{
 		cfg:      cfg,
 		spec:     cfg.Spec,
-		values:   newRBC(cfg.Me, cfg.Peers, cfg.Spec),
+		values:   values,
 		bins:     make([]*core.Node, n+1),
 		pending:  make([][]types.Message, n+1),
 		inputs:   make([]string, n+1),
@@ -293,14 +300,15 @@ func (n *Node) vote(out []types.Message, idx int, v types.Value) []types.Message
 	}
 	n.voted[idx] = true
 	bin, err := core.New(core.Config{
-		Me:       n.cfg.Me,
-		Peers:    n.cfg.Peers,
-		Spec:     n.spec,
-		Coin:     n.cfg.NewCoin(idx),
-		Proposal: v,
-		Instance: idx,
-		Window:   n.cfg.Window,
-		Recorder: n.cfg.Recorder,
+		Me:        n.cfg.Me,
+		Peers:     n.cfg.Peers,
+		Spec:      n.spec,
+		Coin:      n.cfg.NewCoin(idx),
+		Proposal:  v,
+		Instance:  idx,
+		Window:    n.cfg.Window,
+		Recorder:  n.cfg.Recorder,
+		Telemetry: n.cfg.Telemetry,
 	})
 	if err != nil {
 		// Config is derived from our own validated Config; this cannot

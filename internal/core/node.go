@@ -96,6 +96,11 @@ type Config struct {
 	Window int
 	// MaxRounds bounds round progression (0 = DefaultMaxRounds).
 	MaxRounds int
+	// Telemetry, when non-nil, receives the consensus phase marks (round
+	// entry → decision) and is forwarded to the RBC layer for its quorum
+	// marks. Must be the sink the owning network is charging, whose clock
+	// supplies the mark times.
+	Telemetry *sim.Telemetry
 }
 
 // Stats counts a node's protocol activity.
@@ -119,6 +124,9 @@ type Node struct {
 	step  types.Step
 	value types.Value
 	dFlag bool // value is a decision proposal (between steps 2 and 3)
+	// roundEnteredAt marks when the current round began (telemetry clock;
+	// meaningless without a sink).
+	roundEnteredAt sim.Time
 
 	accepted acceptedTable
 
@@ -268,10 +276,12 @@ func New(cfg Config) (*Node, error) {
 	if cfg.Coded {
 		newRBC = rbc.NewCoded
 	}
+	bcast := newRBC(cfg.Me, cfg.Peers, cfg.Spec)
+	bcast.SetTelemetry(cfg.Telemetry)
 	return &Node{
 		cfg:         cfg,
 		spec:        cfg.Spec,
-		bcast:       newRBC(cfg.Me, cfg.Peers, cfg.Spec),
+		bcast:       bcast,
 		val:         newVal(cfg.Spec),
 		value:       cfg.Proposal,
 		accepted:    acceptedTable{base: 1},
@@ -526,6 +536,7 @@ func (n *Node) enterRound(out []types.Message, r int) []types.Message {
 	n.round = r
 	n.step = types.Step1
 	n.dFlag = false
+	n.roundEnteredAt = n.cfg.Telemetry.Now()
 	n.stats.RoundsStarted++
 	if !n.cfg.DisablePruning {
 		// The pruning invariant: state for round k is released once round
@@ -569,6 +580,7 @@ func (n *Node) decide(out []types.Message, v types.Value) []types.Message {
 		n.decided = true
 		n.decision = v
 		n.decidedRound = n.round
+		n.cfg.Telemetry.Observe(sim.PhaseRoundDecide, n.roundEnteredAt)
 		n.record(trace.Event{Kind: trace.KindDecide, P: n.cfg.Me, Round: n.round, V: v})
 	}
 	if n.cfg.DisableDecideGadget || n.sentDecide {
@@ -604,6 +616,7 @@ func (n *Node) onDecideVote(out []types.Message, from types.ProcessID, p *types.
 			n.decided = true
 			n.decision = v
 			n.decidedRound = n.round
+			n.cfg.Telemetry.Observe(sim.PhaseRoundDecide, n.roundEnteredAt)
 			n.record(trace.Event{Kind: trace.KindDecide, P: n.cfg.Me, Round: n.round, V: v})
 		}
 		n.halted = true

@@ -51,6 +51,7 @@ import (
 
 	"repro/internal/quorum"
 	"repro/internal/rscode"
+	"repro/internal/sim"
 	"repro/internal/types"
 )
 
@@ -125,6 +126,10 @@ type codedInst struct {
 	echoed    bool
 	readied   bool
 	delivered bool
+	// readyQuorum and t0: the phase-mark latch and first-seen start mark,
+	// exactly as in the plain instance.
+	readyQuorum bool
+	t0          sim.Time
 
 	deliveredDigest uint64
 
@@ -144,6 +149,7 @@ func (b *Broadcaster) cinst(id types.InstanceID) *codedInst {
 	ci, ok := b.codedInsts[id]
 	if !ok {
 		ci = &codedInst{
+			t0:   b.tele.Now(),
 			keys: make(map[sumKey]string),
 			sets: make(map[string]*fragSet),
 		}
@@ -312,15 +318,23 @@ func (b *Broadcaster) AppendHandleSum(out []types.Message, from types.ProcessID,
 func (b *Broadcaster) maybeCodedReadyAndDeliver(out []types.Message, ci *codedInst, id types.InstanceID,
 	key string, echoes, readies int) ([]types.Message, []Delivery) {
 	if !ci.readied && (echoes >= b.spec.Echo() || readies >= b.spec.Adopt()) {
+		if echoes >= b.spec.Echo() {
+			b.tele.Observe(sim.PhaseRBCEchoQuorum, ci.t0)
+		}
 		ci.readied = true
 		ci.readyPayload = types.RBCSumPayload{ID: id, Sum: key}
 		out = types.AppendBroadcast(out, b.me, b.peers, &ci.readyPayload)
 	}
 	var deliveries []Delivery
+	if !ci.readyQuorum && readies >= b.spec.Decide() {
+		ci.readyQuorum = true
+		b.tele.Observe(sim.PhaseRBCReadyQuorum, ci.t0)
+	}
 	if !ci.delivered && readies >= b.spec.Decide() {
 		if body, ok := b.tryDecode(ci, key); ok {
 			ci.delivered = true
 			ci.deliveredDigest = digest(body)
+			b.tele.Observe(sim.PhaseRBCDeliver, ci.t0)
 			deliveries = append(deliveries, Delivery{ID: id, Body: body})
 		}
 	}

@@ -58,6 +58,7 @@ import (
 
 	"repro/internal/quorum"
 	"repro/internal/rscode"
+	"repro/internal/sim"
 	"repro/internal/types"
 )
 
@@ -107,7 +108,17 @@ type Broadcaster struct {
 	// scratch is the reusable hashing buffer of the coded path (fragment
 	// digest checks, tally-key derivation): zero steady-state allocation.
 	scratch []byte
+	// tele, when non-nil, receives the RBC phase marks: instance first seen
+	// → echo quorum / ready quorum / delivery (see sim.Telemetry). All
+	// calls are nil-safe, so a detached broadcaster pays a branch, nothing
+	// more.
+	tele *sim.Telemetry
 }
+
+// SetTelemetry attaches the phase-latency sink (nil detaches). The sink
+// must be the one the owning network was configured with — its clock is
+// what turns first-seen marks into latencies.
+func (b *Broadcaster) SetTelemetry(t *sim.Telemetry) { b.tele = t }
 
 // New creates a Broadcaster for process me among peers (which must include
 // me, matching the paper's "send to all" that includes the sender).
@@ -152,6 +163,11 @@ type instance struct {
 	echoed    bool // this process echoed a body (at most one, ever)
 	readied   bool // this process sent READY for a body (at most one)
 	delivered bool
+	// readyQuorum latches the 2f+1-readies phase mark (observed once); t0
+	// is the instance's first-seen time, the start mark every RBC phase
+	// latency is measured from.
+	readyQuorum bool
+	t0          sim.Time
 
 	// deliveredDigest fingerprints the delivered body (set at delivery):
 	// what survives compaction, so Delivered/DeliveredDigest keep answering
@@ -182,7 +198,7 @@ func digest(body string) uint64 {
 func (b *Broadcaster) inst(id types.InstanceID) *instance {
 	in, ok := b.instances[id]
 	if !ok {
-		in = &instance{}
+		in = &instance{t0: b.tele.Now()}
 		b.instances[id] = in
 	}
 	return in
@@ -320,14 +336,25 @@ func (b *Broadcaster) onReady(out []types.Message, from types.ProcessID, p *type
 func (b *Broadcaster) maybeReadyAndDeliver(out []types.Message, in *instance, id types.InstanceID,
 	body string, echoes, readies int) ([]types.Message, []Delivery) {
 	if !in.readied && (echoes >= b.spec.Echo() || readies >= b.spec.Adopt()) {
+		if echoes >= b.spec.Echo() {
+			// The mark means "the echo quorum tripped this READY"; a READY
+			// triggered by f+1 amplification is deliberately not charged
+			// here — it measures contagion, not quorum assembly.
+			b.tele.Observe(sim.PhaseRBCEchoQuorum, in.t0)
+		}
 		in.readied = true
 		in.readyPayload = types.RBCPayload{Phase: types.KindRBCReady, ID: id, Body: body}
 		out = types.AppendBroadcast(out, b.me, b.peers, &in.readyPayload)
 	}
 	var deliveries []Delivery
+	if !in.readyQuorum && readies >= b.spec.Decide() {
+		in.readyQuorum = true
+		b.tele.Observe(sim.PhaseRBCReadyQuorum, in.t0)
+	}
 	if !in.delivered && readies >= b.spec.Decide() {
 		in.delivered = true
 		in.deliveredDigest = digest(body)
+		b.tele.Observe(sim.PhaseRBCDeliver, in.t0)
 		deliveries = append(deliveries, Delivery{ID: id, Body: body})
 	}
 	return out, deliveries

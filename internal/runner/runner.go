@@ -294,6 +294,12 @@ type Config struct {
 	MaxDeliveries int  // 0 = sim default
 	MaxRounds     int  // 0 = protocol default
 	Trace         bool // record events (slower, for debugging)
+	// Telemetry attaches the deterministic telemetry plane: per-kind wire
+	// counters and latency histograms plus protocol phase histograms,
+	// surfaced as Result.Telemetry. Integer state only — the report is a
+	// pure function of (Config, Seed), bitwise identical across worker
+	// counts and GOMAXPROCS.
+	Telemetry bool
 
 	DisableValidation   bool // ablation A1 (Bracha only)
 	DisableDecideGadget bool // ablation A2
@@ -365,6 +371,11 @@ type Result struct {
 	// WireBytes is the wire.MessageSize total over every sent message — the
 	// run's bandwidth under the real codec, measured without encoding.
 	WireBytes int64
+	// Dropped counts messages the scheduler dropped or that expired when
+	// their destination finished; Spoofed counts sends rejected for a forged
+	// From (see sim.Stats).
+	Dropped int
+	Spoofed int
 	// PrunedLate sums, over the correct Bracha nodes, the justified
 	// messages that arrived for rounds already released by per-round
 	// pruning and were dropped (see core.Stats.PrunedLate).
@@ -389,6 +400,8 @@ type Result struct {
 	DealerRoundsRetained int
 	// Recorder holds the trace when Config.Trace was set.
 	Recorder *trace.Recorder
+	// Telemetry holds the telemetry sink when Config.Telemetry was set.
+	Telemetry *sim.Telemetry
 }
 
 // node is the common read surface of both protocol implementations.
@@ -439,11 +452,16 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Trace {
 		rec = trace.New(0)
 	}
+	var tele *sim.Telemetry
+	if cfg.Telemetry {
+		tele = sim.NewTelemetry()
+	}
 	net, err := sim.New(sim.Config{
 		Scheduler:     buildScheduler(cfg, byz, groupA, groupB),
 		Seed:          cfg.Seed,
 		MaxDeliveries: cfg.MaxDeliveries,
 		Recorder:      rec,
+		Telemetry:     tele,
 		Sizer:         wire.MessageSize,
 	})
 	if err != nil {
@@ -473,7 +491,7 @@ func Run(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		nd, err := buildCorrect(cfg, spec, p, peers, c, proposalFor(cfg, i, p), rec)
+		nd, err := buildCorrect(cfg, spec, p, peers, c, proposalFor(cfg, i, p), rec, tele)
 		if err != nil {
 			return nil, err
 		}
@@ -550,7 +568,10 @@ func Run(cfg Config) (*Result, error) {
 		EndTime:    stats.End,
 		Exhausted:  stats.Exhausted,
 		WireBytes:  stats.Bytes,
+		Dropped:    stats.Dropped,
+		Spoofed:    stats.Spoofed,
 		Recorder:   rec,
+		Telemetry:  tele,
 		AllDecided: true,
 	}
 	obs := check.ConsensusObservation{
@@ -624,12 +645,13 @@ func splitGroups(correct []types.ProcessID) (a, b []types.ProcessID) {
 
 // buildCorrect constructs a correct node of the configured protocol.
 func buildCorrect(cfg Config, spec quorum.Spec, p types.ProcessID, peers []types.ProcessID,
-	c coin.Coin, proposal types.Value, rec *trace.Recorder) (node, error) {
+	c coin.Coin, proposal types.Value, rec *trace.Recorder, tele *sim.Telemetry) (node, error) {
 	switch cfg.Protocol {
 	case ProtocolBracha:
 		return core.New(core.Config{
 			Me: p, Peers: peers, Spec: spec, Coin: c, Proposal: proposal,
 			Recorder:            rec,
+			Telemetry:           tele,
 			Coded:               cfg.Coded,
 			DisableValidation:   cfg.DisableValidation,
 			DisableDecideGadget: cfg.DisableDecideGadget,

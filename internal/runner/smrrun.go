@@ -117,6 +117,11 @@ type SMRConfig struct {
 	MaxPendingCuts int
 	// MaxDeliveries bounds the run (0 = a Slots- and n-scaled default).
 	MaxDeliveries int
+	// Telemetry attaches the deterministic telemetry plane (shared by every
+	// replica): per-kind wire counters and latency histograms plus the
+	// checkpoint-plane phase histograms (vote→certify, request→install),
+	// surfaced as SMRResult.Telemetry.
+	Telemetry bool
 }
 
 // smrStragglerLag is the extra delay on every link touching the SMR
@@ -251,6 +256,13 @@ type SMRResult struct {
 	// WireBytes is the wire.MessageSize total over every sent message — the
 	// run's bandwidth under the real codec (the E14 measurement surface).
 	WireBytes int64
+	// Dropped counts messages the scheduler dropped or that expired when
+	// their destination finished; Spoofed counts sends rejected for a
+	// forged From (see sim.Stats).
+	Dropped int
+	Spoofed int
+	// Telemetry holds the telemetry sink when Config.Telemetry was set.
+	Telemetry *sim.Telemetry
 }
 
 // smrObserver tails one replica's log.
@@ -373,10 +385,15 @@ func RunSMR(cfg SMRConfig) (*SMRResult, error) {
 			budget = sim.DefaultMaxDeliveries
 		}
 	}
+	var tele *sim.Telemetry
+	if cfg.Telemetry {
+		tele = sim.NewTelemetry()
+	}
 	net, err := sim.New(sim.Config{
 		Scheduler:     cfg.scheduler(live),
 		Seed:          cfg.Seed,
 		MaxDeliveries: budget,
+		Telemetry:     tele,
 		Sizer:         wire.MessageSize,
 	})
 	if err != nil {
@@ -532,6 +549,8 @@ func RunSMR(cfg SMRConfig) (*SMRResult, error) {
 			Batch:    cfg.Batch,
 			Depth:    cfg.Depth,
 			Coded:    cfg.Coded,
+
+			Telemetry: tele,
 		}
 		if cfg.Commands > smr.DefaultQueueLimit {
 			// The harness preloads every command up front; keep the queue
@@ -709,6 +728,9 @@ func RunSMR(cfg SMRConfig) (*SMRResult, error) {
 		EndTime:     stats.End,
 		Exhausted:   stats.Exhausted,
 		WireBytes:   stats.Bytes,
+		Dropped:     stats.Dropped,
+		Spoofed:     stats.Spoofed,
+		Telemetry:   tele,
 	}
 	for i, o := range observers {
 		rep := o.current()

@@ -2,11 +2,14 @@ package sim
 
 import "repro/internal/types"
 
-// event is a queued delivery.
+// event is a queued delivery. sent is the time the message was handed to
+// the network — kept alongside the delivery time so the telemetry plane can
+// charge queue-to-delivery latency without a side table.
 type event struct {
-	at  Time
-	seq uint64
-	msg types.Message
+	at   Time
+	seq  uint64
+	sent Time
+	msg  types.Message
 }
 
 // before is the queue's strict total order: time first, then the unique

@@ -135,6 +135,12 @@ type Config struct {
 	// wire.MessageSize so the total is bytes-on-the-wire under the real
 	// codec without ever encoding.
 	Sizer func(types.Message) int
+	// Telemetry, when non-nil, is charged with per-kind counts, bytes and
+	// queue-to-delivery latencies as the run executes, and mirrors the
+	// network clock so protocol layers holding the same sink can stamp
+	// phase marks (see telemetry.go). Nil costs one branch per send and
+	// per delivery.
+	Telemetry *Telemetry
 }
 
 // DefaultMaxDeliveries is the per-run event budget when none is given.
@@ -252,17 +258,35 @@ func (n *Network) Run(stop func() bool) (Stats, error) {
 		}
 		ev := n.queue.pop()
 		n.now = ev.at
+		tele := n.cfg.Telemetry
+		if tele != nil {
+			tele.now = n.now
+		}
 		dst := n.lookup(ev.msg.To)
 		if dst == nil || dst.Done() {
 			// Unknown destination or halted node: the message evaporates.
 			n.stats.Dropped++
-			n.record(trace.Event{Time: int64(n.now), Kind: trace.KindDrop, P: ev.msg.To, Msg: ev.msg, Note: "destination done or unknown"})
+			if tele != nil {
+				tele.Kinds[kindIndex(ev.msg)].Dropped++
+			}
+			n.record(trace.Event{Time: int64(n.now), Kind: trace.KindDrop, P: ev.msg.To, Msg: ev.msg, Seq: ev.seq, Note: "destination done or unknown"})
 			continue
 		}
 		n.stats.Delivered++
 		n.stats.End = n.now
-		n.record(trace.Event{Time: int64(n.now), Kind: trace.KindDeliver, P: ev.msg.To, Msg: ev.msg})
+		if tele != nil {
+			ks := &tele.Kinds[kindIndex(ev.msg)]
+			ks.Delivered++
+			ks.Latency.Observe(int64(n.now - ev.sent))
+		}
+		n.record(trace.Event{Time: int64(n.now), Kind: trace.KindDeliver, P: ev.msg.To, Msg: ev.msg, Seq: ev.seq})
+		// Everything recorded while this delivery's handler runs — the
+		// sends it emits, the decides and round advances it triggers — is
+		// causally due to this message: stamp it as the parent (see
+		// trace.Recorder.SetParent and internal/obs).
+		n.setParent(ev.seq)
 		n.dispatch(dst, dst.Deliver(ev.msg))
+		n.setParent(0)
 		if stop != nil && stop() {
 			break
 		}
@@ -290,29 +314,43 @@ func (n *Network) dispatch(node Node, msgs []types.Message) {
 // a message whose From is not the emitting node is rejected (and counted),
 // exactly as an authenticated channel would reject a forged frame.
 func (n *Network) send(node Node, msgs []types.Message) {
+	tele := n.cfg.Telemetry
 	for _, m := range msgs {
 		if m.From != node.ID() {
 			n.stats.Spoofed++
 			n.stats.Dropped++
+			if tele != nil {
+				tele.Kinds[kindIndex(m)].Dropped++
+			}
 			n.record(trace.Event{Time: int64(n.now), Kind: trace.KindDrop, P: node.ID(), Msg: m, Note: "spoofed sender"})
 			continue
 		}
 		n.seq++
 		at := n.cfg.Scheduler.Deliver(m, n.now, n.seq, n.rng)
 		n.stats.Sent++
+		var sz int64
 		if n.cfg.Sizer != nil {
-			n.stats.Bytes += int64(n.cfg.Sizer(m))
+			sz = int64(n.cfg.Sizer(m))
+			n.stats.Bytes += sz
 		}
-		n.record(trace.Event{Time: int64(n.now), Kind: trace.KindSend, P: node.ID(), Msg: m})
+		if tele != nil {
+			ks := &tele.Kinds[kindIndex(m)]
+			ks.Sent++
+			ks.Bytes += sz
+		}
+		n.record(trace.Event{Time: int64(n.now), Kind: trace.KindSend, P: node.ID(), Msg: m, Seq: n.seq})
 		if at < n.now {
 			if at == Drop {
 				n.stats.Dropped++
-				n.record(trace.Event{Time: int64(n.now), Kind: trace.KindDrop, P: node.ID(), Msg: m, Note: "scheduler drop"})
+				if tele != nil {
+					tele.Kinds[kindIndex(m)].Dropped++
+				}
+				n.record(trace.Event{Time: int64(n.now), Kind: trace.KindDrop, P: node.ID(), Msg: m, Seq: n.seq, Note: "scheduler drop"})
 				continue
 			}
 			at = n.now // schedulers cannot deliver into the past
 		}
-		n.queue.push(event{at: at, seq: n.seq, msg: m})
+		n.queue.push(event{at: at, seq: n.seq, sent: n.now, msg: m})
 		if n.dup != nil {
 			if dat, ok := n.dup.Duplicate(m, at, n.now, n.rng); ok {
 				if dat < n.now {
@@ -320,11 +358,14 @@ func (n *Network) send(node Node, msgs []types.Message) {
 				}
 				n.seq++
 				n.stats.Sent++
-				if n.cfg.Sizer != nil {
-					n.stats.Bytes += int64(n.cfg.Sizer(m))
+				n.stats.Bytes += sz
+				if tele != nil {
+					ks := &tele.Kinds[kindIndex(m)]
+					ks.Sent++
+					ks.Bytes += sz
 				}
-				n.record(trace.Event{Time: int64(n.now), Kind: trace.KindSend, P: node.ID(), Msg: m})
-				n.queue.push(event{at: dat, seq: n.seq, msg: m})
+				n.record(trace.Event{Time: int64(n.now), Kind: trace.KindSend, P: node.ID(), Msg: m, Seq: n.seq})
+				n.queue.push(event{at: dat, seq: n.seq, sent: n.now, msg: m})
 			}
 		}
 	}
@@ -333,5 +374,11 @@ func (n *Network) send(node Node, msgs []types.Message) {
 func (n *Network) record(e trace.Event) {
 	if n.cfg.Recorder.Enabled() {
 		n.cfg.Recorder.Record(e)
+	}
+}
+
+func (n *Network) setParent(seq uint64) {
+	if n.cfg.Recorder.Enabled() {
+		n.cfg.Recorder.SetParent(seq)
 	}
 }

@@ -1,0 +1,269 @@
+package sim
+
+// The telemetry plane: an optional per-kind/per-phase sink the network and
+// the protocol layers charge as a run executes. sim.Stats answers "how much
+// traffic did this run cost in total"; Telemetry answers "which message
+// kinds and which protocol phases the cost went to" — the per-phase
+// visibility needed to explain WHY a hostile schedule (the adaptive-cliff
+// summit) is slow where a merely chaotic one (reorder) is not.
+//
+// # Determinism and cost contract
+//
+// A Telemetry sink is charged only from the single-threaded event loop of
+// one Network (and from the nodes that loop drives), so its state is a pure
+// function of (config, seed) like everything else in a run. All aggregation
+// state is integer (metrics.Hist), so Merge is exactly associative and
+// commutative — per-run sinks from a parallel sweep fold to bit-identical
+// totals in any order, at any worker count.
+//
+// When Config.Telemetry is nil the network pays one predictable branch per
+// send and per delivery and the protocol layers pay a nil-receiver method
+// call; nothing allocates. The 0 allocs/op delivery gate holds with
+// telemetry disabled, pinned by BenchmarkSimDisabledDelivery.
+
+import (
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/types"
+)
+
+// Phase identifies one protocol-level latency segment. Each phase gets a
+// histogram of "ticks from the segment's start mark to its end mark",
+// stamped by the layer that owns the state machine (see the package docs of
+// internal/rbc, internal/core, internal/smr).
+type Phase uint8
+
+// The measured phases.
+const (
+	// PhaseRBCEchoQuorum: RBC instance first seen → echo quorum reached
+	// (this process sends READY because ⌈(n+f+1)/2⌉ echoes agree).
+	PhaseRBCEchoQuorum Phase = iota
+	// PhaseRBCReadyQuorum: RBC instance first seen → 2f+1 readies observed.
+	PhaseRBCReadyQuorum
+	// PhaseRBCDeliver: RBC instance first seen → body delivered. Equal to
+	// the ready quorum in plain mode; later in coded mode when fragments
+	// still have to arrive for the decode.
+	PhaseRBCDeliver
+	// PhaseRoundDecide: consensus round entered → decision (recorded once,
+	// at the deciding round).
+	PhaseRoundDecide
+	// PhaseCkptCertify: checkpoint vote cast → certificate assembled.
+	PhaseCkptCertify
+	// PhaseCkptInstall: state-transfer request sent → snapshot installed.
+	PhaseCkptInstall
+
+	// PhaseCount bounds the dense phase table.
+	PhaseCount
+)
+
+var phaseNames = [...]string{
+	PhaseRBCEchoQuorum:  "rbc-echo-quorum",
+	PhaseRBCReadyQuorum: "rbc-ready-quorum",
+	PhaseRBCDeliver:     "rbc-deliver",
+	PhaseRoundDecide:    "round-decide",
+	PhaseCkptCertify:    "ckpt-certify",
+	PhaseCkptInstall:    "ckpt-install",
+}
+
+// String implements fmt.Stringer (alloc-free, stable for unknown phases).
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return "phase(?)"
+}
+
+// KindStats aggregates one payload kind's wire activity: counts, bytes under
+// the run's Sizer, and the queue-to-delivery latency distribution in sim
+// ticks.
+type KindStats struct {
+	Sent      int64        `json:"sent"`
+	Delivered int64        `json:"delivered"`
+	Dropped   int64        `json:"dropped"`
+	Bytes     int64        `json:"bytes"`
+	Latency   metrics.Hist `json:"latency"`
+}
+
+// Telemetry is the per-run sink. Allocate one with NewTelemetry and hand it
+// to Config.Telemetry; the network charges every send, drop and delivery,
+// and protocol layers holding the same pointer stamp phase marks. All
+// methods are nil-receiver safe — a disabled plane is a nil pointer, not a
+// flag.
+type Telemetry struct {
+	// now mirrors the network's clock so passive protocol nodes (which
+	// never see sim time directly) can read Now() for start marks and have
+	// Observe charge end marks, without widening the Node interface.
+	now Time
+
+	Kinds  [types.KindCount]KindStats
+	Phases [PhaseCount]metrics.Hist
+}
+
+// NewTelemetry returns an empty sink.
+func NewTelemetry() *Telemetry { return &Telemetry{} }
+
+// Now returns the current sim time (0 on a nil sink — marks taken while
+// disabled are never observed, so the value is irrelevant).
+func (t *Telemetry) Now() Time {
+	if t == nil {
+		return 0
+	}
+	return t.now
+}
+
+// Observe charges phase p with the latency from start to the current sim
+// time. No-op on a nil sink.
+func (t *Telemetry) Observe(p Phase, start Time) {
+	if t == nil {
+		return
+	}
+	t.Phases[p].Observe(int64(t.now - start))
+}
+
+// kindIndex maps a message to its dense kind slot (0 — never a valid kind —
+// for anything malformed, so hostile payloads cannot index out of range).
+func kindIndex(m types.Message) int {
+	if m.Payload == nil {
+		return 0
+	}
+	if k := int(m.Payload.Kind()); k > 0 && k < types.KindCount {
+		return k
+	}
+	return 0
+}
+
+// Merge folds another sink into t elementwise. Exactly associative and
+// commutative (integer state throughout), so sweep aggregation is
+// worker-order independent.
+func (t *Telemetry) Merge(o *Telemetry) {
+	if t == nil || o == nil {
+		return
+	}
+	for i := range t.Kinds {
+		t.Kinds[i].Sent += o.Kinds[i].Sent
+		t.Kinds[i].Delivered += o.Kinds[i].Delivered
+		t.Kinds[i].Dropped += o.Kinds[i].Dropped
+		t.Kinds[i].Bytes += o.Kinds[i].Bytes
+		t.Kinds[i].Latency.Merge(o.Kinds[i].Latency)
+	}
+	for i := range t.Phases {
+		t.Phases[i].Merge(o.Phases[i])
+	}
+}
+
+// KindReport is one payload kind's row in a Report, with the kind rendered
+// by name and headline latency figures pre-extracted for human diffing.
+type KindReport struct {
+	Kind       string       `json:"kind"`
+	Sent       int64        `json:"sent"`
+	Delivered  int64        `json:"delivered"`
+	Dropped    int64        `json:"dropped,omitempty"`
+	Bytes      int64        `json:"bytes"`
+	LatencyP50 int64        `json:"latency_p50"`
+	LatencyP99 int64        `json:"latency_p99"`
+	Latency    metrics.Hist `json:"latency"`
+}
+
+// PhaseReport is one phase's row in a Report.
+type PhaseReport struct {
+	Phase string       `json:"phase"`
+	Count int64        `json:"count"`
+	P50   int64        `json:"p50"`
+	P99   int64        `json:"p99"`
+	Max   int64        `json:"max"`
+	Hist  metrics.Hist `json:"hist"`
+}
+
+// Report is the canonical serializable rendering of a sink: kinds with any
+// activity in kind order, phases with any observations in phase order. A
+// pure function of the sink state, so two bitwise-equal sinks render to
+// byte-identical JSON — what the CI telemetry determinism smoke diffs.
+type Report struct {
+	Kinds  []KindReport  `json:"kinds"`
+	Phases []PhaseReport `json:"phases"`
+}
+
+// Report renders the sink.
+func (t *Telemetry) Report() Report {
+	var r Report
+	if t == nil {
+		return r
+	}
+	for k := range t.Kinds {
+		ks := &t.Kinds[k]
+		if ks.Sent == 0 && ks.Delivered == 0 && ks.Dropped == 0 {
+			continue
+		}
+		r.Kinds = append(r.Kinds, KindReport{
+			Kind:       types.Kind(k).String(),
+			Sent:       ks.Sent,
+			Delivered:  ks.Delivered,
+			Dropped:    ks.Dropped,
+			Bytes:      ks.Bytes,
+			LatencyP50: ks.Latency.Quantile(0.50),
+			LatencyP99: ks.Latency.Quantile(0.99),
+			Latency:    ks.Latency,
+		})
+	}
+	for p := range t.Phases {
+		h := &t.Phases[p]
+		if h.Count == 0 {
+			continue
+		}
+		r.Phases = append(r.Phases, PhaseReport{
+			Phase: Phase(p).String(),
+			Count: h.Count,
+			P50:   h.Quantile(0.50),
+			P99:   h.Quantile(0.99),
+			Max:   h.Max,
+			Hist:  *h,
+		})
+	}
+	return r
+}
+
+// TotalBytes returns the sink's wire-byte total (matches Stats.Bytes when
+// the same Sizer fed both).
+func (t *Telemetry) TotalBytes() int64 {
+	if t == nil {
+		return 0
+	}
+	var sum int64
+	for i := range t.Kinds {
+		sum += t.Kinds[i].Bytes
+	}
+	return sum
+}
+
+// TopKindsByBytes returns the kind names carrying the most bytes, heaviest
+// first (ties broken by kind order — deterministic).
+func (t *Telemetry) TopKindsByBytes(n int) []string {
+	if t == nil {
+		return nil
+	}
+	type kb struct {
+		k int
+		b int64
+	}
+	var all []kb
+	for k := range t.Kinds {
+		if t.Kinds[k].Bytes > 0 {
+			all = append(all, kb{k, t.Kinds[k].Bytes})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].b != all[j].b {
+			return all[i].b > all[j].b
+		}
+		return all[i].k < all[j].k
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, 0, n)
+	for _, e := range all[:n] {
+		out = append(out, types.Kind(e.k).String())
+	}
+	return out
+}

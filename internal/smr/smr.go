@@ -197,6 +197,11 @@ type Config struct {
 	OnCertified func(cut int)
 	// Recorder, when enabled, receives protocol events.
 	Recorder *trace.Recorder
+	// Telemetry, when set, receives checkpoint-plane phase marks
+	// (vote→certify, request→install) and is forwarded to the
+	// dissemination broadcaster and each slot's binary instance. Nil
+	// disables all charging.
+	Telemetry *sim.Telemetry
 }
 
 // Replica is one state-machine-replication participant. Deterministic
@@ -229,6 +234,10 @@ type Replica struct {
 	frontier     int               // highest slot named by live traffic
 	sinceRequest int               // deliveries until the next transfer request may fire
 	transfers    int               // state transfers installed
+
+	// Telemetry phase-mark start times (zero-valued without a sink).
+	voteAt map[int]sim.Time // cut slot → time this replica's own vote was cast
+	reqAt  sim.Time         // time the current transfer-request epoch opened
 
 	// Transfer retry/fallback state: requests are targeted (one peer at a
 	// time, rotating deterministically by nonce), and a response that comes
@@ -303,6 +312,7 @@ func New(cfg Config) (*Replica, error) {
 		waiting:   make(map[int]bool),
 		logDigest: ckpt.InitialLogDigest,
 	}
+	r.values.SetTelemetry(cfg.Telemetry)
 	if cfg.Store != nil && cfg.CheckpointEvery <= 0 {
 		return nil, ErrStoreNoCkpt
 	}
@@ -815,6 +825,11 @@ func (r *Replica) sendRequest(out []types.Message) []types.Message {
 	}
 	req := &types.CkptRequestPayload{Slot: r.slot, Nonce: r.reqNonce}
 	r.reqNonce++
+	if r.cfg.Telemetry != nil && r.reqAt == 0 {
+		// Request→install is measured from the first request of the
+		// catch-up epoch; retries within the epoch keep the original mark.
+		r.reqAt = r.cfg.Telemetry.Now()
+	}
 	return append(out, types.Message{From: r.cfg.Me, To: target, Payload: req})
 }
 
@@ -925,6 +940,18 @@ func (r *Replica) onCkpt(out []types.Message, m types.Message) []types.Message {
 // ahead of this replica's progress (the cluster outran us) must not touch
 // the live slots we are still working through.
 func (r *Replica) afterCertified(out []types.Message, cert ckpt.Certificate) []types.Message {
+	// Vote→certify latency: charged only for cuts this replica voted on
+	// itself (a certificate adopted for a cut we never reached measures
+	// the cluster, not this replica's checkpoint round-trip). Settled
+	// entries are released so the map stays bounded by pending cuts.
+	if start, ok := r.voteAt[cert.Slot]; ok {
+		r.cfg.Telemetry.Observe(sim.PhaseCkptCertify, start)
+	}
+	for s := range r.voteAt {
+		if s <= cert.Slot {
+			delete(r.voteAt, s)
+		}
+	}
 	floor := cert.Slot
 	if floor > r.slot {
 		floor = r.slot
@@ -993,6 +1020,10 @@ func (r *Replica) install(out []types.Message, cert ckpt.Certificate, snapshot s
 		return out
 	}
 	r.transfers++
+	if r.reqAt != 0 {
+		r.cfg.Telemetry.Observe(sim.PhaseCkptInstall, r.reqAt)
+		r.reqAt = 0
+	}
 	// Proposing turns the jump skips consume their queued commands: the
 	// cluster committed those slots without us (as noops, or as whatever a
 	// pre-crash instance disseminated), so re-proposing a consumed command
@@ -1109,11 +1140,12 @@ func (r *Replica) step(out []types.Message) []types.Message {
 			}
 			bin, err := core.New(core.Config{
 				Me: r.cfg.Me, Peers: r.cfg.Peers, Spec: r.spec,
-				Coin:     r.cfg.NewCoin(r.slot),
-				Proposal: types.One, // candidate in hand
-				Instance: r.slot + 1,
-				Window:   r.cfg.Window,
-				Recorder: r.cfg.Recorder,
+				Coin:      r.cfg.NewCoin(r.slot),
+				Proposal:  types.One, // candidate in hand
+				Instance:  r.slot + 1,
+				Window:    r.cfg.Window,
+				Recorder:  r.cfg.Recorder,
+				Telemetry: r.cfg.Telemetry,
 			})
 			if err != nil {
 				panic(fmt.Sprintf("smr: starting slot %d: %v", r.slot, err))
@@ -1223,6 +1255,12 @@ func (r *Replica) voteCheckpoint(out []types.Message) []types.Message {
 		LogDigest:   r.logDigest,
 	}
 	vote, cert, advanced := r.tracker.RecordLocal(c, snapshot)
+	if r.cfg.Telemetry != nil {
+		if r.voteAt == nil {
+			r.voteAt = make(map[int]sim.Time)
+		}
+		r.voteAt[c.Slot] = r.cfg.Telemetry.Now()
+	}
 	out = types.AppendBroadcast(out, r.cfg.Me, r.others, vote)
 	if advanced {
 		out = r.afterCertified(out, cert)

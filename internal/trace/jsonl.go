@@ -1,0 +1,65 @@
+package trace
+
+// Strict JSONL export: one JSON object per event, one event per line, with a
+// fixed field set in a fixed order (encoding/json emits struct fields in
+// declaration order). The rendering is a pure function of the recorded
+// events, so two identical runs dump byte-identical files — CI diffs them —
+// and internal/obs or any external tool (jq, a notebook) can parse a trace
+// without knowing this repository's types.
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// jsonlEvent is the export schema. Numeric identifiers are plain integers
+// (p, from, to are process IDs; seq/parent are wire sequence numbers); kinds
+// render by name. Omitted fields mean "not applicable to this event kind",
+// except v, which is a string ("0"/"1") precisely so a decided Zero is not
+// swallowed by omitempty.
+type jsonlEvent struct {
+	T      int64  `json:"t"`
+	Kind   string `json:"kind"`
+	P      int    `json:"p"`
+	Seq    uint64 `json:"seq,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
+	Msg    string `json:"msg,omitempty"`
+	From   int    `json:"from,omitempty"`
+	To     int    `json:"to,omitempty"`
+	Round  int    `json:"round,omitempty"`
+	V      string `json:"v,omitempty"`
+	Note   string `json:"note,omitempty"`
+}
+
+// WriteJSONL renders every stored event to w in record order.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range r.Events() {
+		je := jsonlEvent{
+			T:      e.Time,
+			Kind:   e.Kind.String(),
+			P:      int(e.P),
+			Seq:    e.Seq,
+			Parent: e.Parent,
+			Note:   e.Note,
+		}
+		switch e.Kind {
+		case KindSend, KindDeliver, KindDrop:
+			if e.Msg.Payload != nil {
+				je.Msg = e.Msg.Payload.Kind().String()
+			}
+			je.From, je.To = int(e.Msg.From), int(e.Msg.To)
+		case KindDecide, KindCoin:
+			je.V = e.V.String()
+			je.Round = e.Round
+		case KindRound:
+			je.Round = e.Round
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

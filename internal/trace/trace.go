@@ -31,7 +31,10 @@ const (
 	KindNote                    // free-form annotation
 )
 
-var kindNames = map[Kind]string{
+// kindNames is a dense array, not a map: Kind.String() on the hot rendering
+// paths (Dump folds it per event, JSONL export per line) is a bounds check
+// and an index, never a map probe or an allocation.
+var kindNames = [...]string{
 	KindSend:    "SEND",
 	KindDeliver: "DELIVER",
 	KindDecide:  "DECIDE",
@@ -43,25 +46,42 @@ var kindNames = map[Kind]string{
 	KindNote:    "NOTE",
 }
 
-// String implements fmt.Stringer.
+// kindUnknown is the stable rendering of any out-of-range Kind: one constant
+// string for every unknown value, so rendering never allocates and corrupt
+// kinds cannot smuggle variable bytes into a dump.
+const kindUnknown = "KIND(?)"
+
+// String implements fmt.Stringer. Alloc-free for every input.
 func (k Kind) String() string {
-	if s, ok := kindNames[k]; ok {
-		return s
+	if int(k) < len(kindNames) {
+		if s := kindNames[k]; s != "" {
+			return s
+		}
 	}
-	return fmt.Sprintf("Kind(%d)", uint8(k))
+	return kindUnknown
 }
 
 // Event is one recorded occurrence. Fields beyond Kind, Time and P are
 // populated per kind: Msg for SEND/DELIVER/DROP, V for DECIDE/COIN, Round for
 // ROUND/COIN, Note for NOTE and DROP reasons.
+//
+// Seq and Parent carry the causal structure (see internal/obs): Seq is the
+// wire sequence number of the message a SEND/DELIVER/DROP event concerns,
+// and Parent is the wire sequence of the delivery whose handler recorded the
+// event — the delivered message that *triggered* it (0 for events recorded
+// during Start or outside a handler). Both are deliberately absent from
+// String(), so the golden replay hashes over Dump() are unchanged by their
+// introduction.
 type Event struct {
-	Time  int64
-	Kind  Kind
-	P     types.ProcessID
-	Msg   types.Message
-	Round int
-	V     types.Value
-	Note  string
+	Time   int64
+	Kind   Kind
+	P      types.ProcessID
+	Msg    types.Message
+	Round  int
+	V      types.Value
+	Note   string
+	Seq    uint64
+	Parent uint64
 }
 
 // String implements fmt.Stringer.
@@ -92,7 +112,11 @@ type Recorder struct {
 	enabled bool
 	limit   int
 	dropped int
-	events  []Event
+	// parent is the causal context: the wire seq of the delivery whose
+	// handler is currently running (see SetParent). Stamped onto every
+	// recorded event whose Parent is unset.
+	parent uint64
+	events []Event
 }
 
 // DefaultLimit bounds a Recorder's memory when no explicit limit is given.
@@ -112,6 +136,10 @@ func New(limit int) *Recorder {
 func (r *Recorder) Enabled() bool { return r != nil && r.enabled }
 
 // Record stores the event if the recorder is enabled and under its limit.
+// An event with no explicit Parent inherits the current causal context —
+// protocol nodes record DECIDE/ROUND/RBC events with no knowledge of wire
+// sequencing, and the context set by the driver links them to the delivery
+// that triggered them.
 func (r *Recorder) Record(e Event) {
 	if !r.Enabled() {
 		return
@@ -122,7 +150,23 @@ func (r *Recorder) Record(e Event) {
 		r.dropped++
 		return
 	}
+	if e.Parent == 0 {
+		e.Parent = r.parent
+	}
 	r.events = append(r.events, e)
+}
+
+// SetParent sets (seq ≠ 0) or clears (seq = 0) the causal context stamped
+// onto subsequently recorded events. The simulator brackets every delivery
+// dispatch with it; single-threaded drivers get exact causality, concurrent
+// drivers (live transports) should leave it unset.
+func (r *Recorder) SetParent(seq uint64) {
+	if !r.Enabled() {
+		return
+	}
+	r.mu.Lock()
+	r.parent = seq
+	r.mu.Unlock()
 }
 
 // Events returns a copy of all stored events in record order.

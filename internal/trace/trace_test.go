@@ -132,9 +132,42 @@ func TestKindString(t *testing.T) {
 	if KindSend.String() != "SEND" || KindRBC.String() != "RBC" {
 		t.Error("unexpected kind names")
 	}
-	if got := Kind(222).String(); got != "Kind(222)" {
-		t.Errorf("unknown kind String() = %q", got)
+	// Unknown kinds render to one stable constant — the same string for
+	// every out-of-range value (including 0), so no formatting, no
+	// allocation, and no attacker-controlled bytes in a dump.
+	if got := Kind(222).String(); got != kindUnknown {
+		t.Errorf("unknown kind String() = %q, want %q", got, kindUnknown)
 	}
+	if got := Kind(0).String(); got != kindUnknown {
+		t.Errorf("zero kind String() = %q, want %q", got, kindUnknown)
+	}
+}
+
+// TestKindStringAllocFree pins the dense-array rendering at zero
+// allocations for known and unknown kinds alike (the map+Sprintf rendering
+// it replaced allocated on every unknown kind).
+func TestKindStringAllocFree(t *testing.T) {
+	var sink string
+	allocs := testing.AllocsPerRun(100, func() {
+		sink = KindSend.String()
+		sink = KindNote.String()
+		sink = Kind(222).String()
+	})
+	_ = sink
+	if allocs != 0 {
+		t.Errorf("Kind.String cost %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkKindString measures the dense-array name lookup (compare against
+// a map probe by checking out the previous revision).
+func BenchmarkKindString(b *testing.B) {
+	b.ReportAllocs()
+	var sink string
+	for i := 0; i < b.N; i++ {
+		sink = Kind(i % 11).String()
+	}
+	_ = sink
 }
 
 func TestDump(t *testing.T) {

@@ -88,6 +88,11 @@ const (
 	KindRBCSum                      // coded RBC: ready amplification keyed by the cross-checksum digest
 )
 
+// KindCount bounds the dense per-kind tables (the telemetry sinks in
+// internal/sim): every valid Kind is strictly below it, so a [KindCount]
+// array indexed by Kind needs no bounds logic beyond a validity check.
+const KindCount = int(KindRBCSum) + 1
+
 var kindNames = map[Kind]string{
 	KindRBCSend:     "RBC-SEND",
 	KindRBCEcho:     "RBC-ECHO",
